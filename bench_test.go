@@ -1,0 +1,274 @@
+// Package repro's benchmark harness regenerates every table and figure
+// of the paper's evaluation (run `go test -bench=. -benchmem`):
+//
+//	BenchmarkTable2/*      — Table II TCP bandwidth rows (Mbit/s metric)
+//	BenchmarkFig3*         — the capability-violation experiment
+//	BenchmarkFig4*         — ff_write(): Scenario 1 vs Baseline
+//	BenchmarkFig5*         — ff_write(): Scenario 2 (uncontended) vs Baseline
+//	BenchmarkFig6*         — ff_write(): Scenario 2 uncontended vs contended
+//	BenchmarkAblation*     — design-choice ablations from DESIGN.md
+package repro_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/cheri"
+	"repro/internal/core"
+	"repro/internal/hostos"
+	"repro/internal/intravisor"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// --- Table II ---
+
+// benchTable2Block runs one scenario/direction pair per iteration and
+// reports the local goodput.
+func benchTable2Block(b *testing.B, spec int, dir core.Direction) {
+	b.ReportAllocs()
+	var last []core.BWResult
+	for i := 0; i < b.N; i++ {
+		s, err := core.Table2Spec[spec].Build(sim.NewVClock())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.BandwidthPair(s, dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for i, r := range last {
+		b.ReportMetric(r.Mbps, fmt.Sprintf("Mbit/s:ep%d", i))
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	names := []string{"BaselineDual", "Scenario1", "BaselineSingle", "Scenario2Uncontended", "Scenario2Contended"}
+	for i, name := range names {
+		i := i
+		for _, dir := range []core.Direction{core.LocalIsServer, core.LocalIsClient} {
+			dir := dir
+			b.Run(fmt.Sprintf("%s/%v", name, dir), func(b *testing.B) {
+				benchTable2Block(b, i, dir)
+			})
+		}
+	}
+}
+
+// --- Fig. 3 ---
+
+func BenchmarkFig3CapViolation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := core.RunFig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Fault == nil || !rep.VictimUnaffected {
+			b.Fatal("compartmentalization did not hold")
+		}
+	}
+}
+
+// --- Figs. 4-6 (ff_write latency) ---
+
+// benchCfg derives a measurement size from b.N so `-benchtime` scales
+// the experiment, with a floor for stable quartiles.
+func benchCfg(b *testing.B) core.FFWriteConfig {
+	cfg := core.DefaultFFWriteConfig()
+	cfg.Iterations = max(b.N, 2000)
+	return cfg
+}
+
+func reportSets(b *testing.B, sets []core.LatencySet) {
+	for _, s := range sets {
+		box := stats.CleanBox(s.Samples)
+		b.ReportMetric(box.Mean, "ns-mean:"+shortLabel(s.Label))
+		b.ReportMetric(box.Median, "ns-med:"+shortLabel(s.Label))
+	}
+}
+
+func shortLabel(l string) string {
+	out := make([]rune, 0, len(l))
+	for _, r := range l {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+func BenchmarkFig4FFWriteS1VsBaseline(b *testing.B) {
+	sets, err := core.MeasureFig4(benchCfg(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	reportSets(b, sets)
+}
+
+func BenchmarkFig5FFWriteS2VsBaseline(b *testing.B) {
+	sets, err := core.MeasureFig5(benchCfg(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	reportSets(b, sets)
+}
+
+func BenchmarkFig6FFWriteContention(b *testing.B) {
+	sets, err := core.MeasureFig6(benchCfg(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	reportSets(b, sets)
+}
+
+// --- Table I ---
+
+func BenchmarkTable1LoCCount(b *testing.B) {
+	var row core.Table1Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		row, err = core.RunTable1()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(row.CapLines), "cap-lines")
+	b.ReportMetric(row.Percent, "pct")
+}
+
+// BenchmarkScenario3Bandwidth measures the future-work layout (§VI:
+// DPDK separated from F-Stack into its own cVM) — per-burst gate
+// crossings on the datapath, still expected at line rate.
+func BenchmarkScenario3Bandwidth(b *testing.B) {
+	var last []core.BWResult
+	for i := 0; i < b.N; i++ {
+		s, err := core.NewScenario3(sim.NewVClock())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.BandwidthPair(s, core.LocalIsClient)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last[0].Mbps, "Mbit/s")
+}
+
+// --- Ablations (design choices called out in DESIGN.md) ---
+
+// BenchmarkAblationCapChecks compares the datapath memory access with
+// and without capability checking — the raw cost CHERI adds per copy.
+func BenchmarkAblationCapChecks(b *testing.B) {
+	mem := cheri.NewTMem(1 << 20)
+	capa, err := mem.Root().SetAddr(0x1000).SetBounds(64 * 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]byte, 1448)
+	b.Run("checked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s, err := mem.CheckedSliceRO(capa, 0x1000, len(dst))
+			if err != nil {
+				b.Fatal(err)
+			}
+			copy(dst, s)
+		}
+	})
+	b.Run("raw", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s, err := mem.RawSlice(0x1000, len(dst))
+			if err != nil {
+				b.Fatal(err)
+			}
+			copy(dst, s)
+		}
+	})
+}
+
+// BenchmarkAblationTrampoline compares the clock read through the
+// Intravisor trampoline (save frame, scrub, CInvoke, proxy, restore)
+// with a direct host syscall — the ~125 ns of Fig. 4.
+func BenchmarkAblationTrampoline(b *testing.B) {
+	k, err := hostos.NewKernel(16 << 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s1, err := core.NewScenario1(hostos.NewRealClock())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cvm := s1.Envs[0].CVM
+	b.Run("trampoline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if cvm.NowNS() < 0 {
+				b.Fatal("clock failed")
+			}
+		}
+	})
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, errno := k.Syscall(hostos.SysClockGettime, hostos.Args{hostos.ClockMonotonicRaw}); errno != hostos.OK {
+				b.Fatal(errno)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationGateCall isolates the cross-compartment call cost of
+// Scenario 2 (no mutex contention, no payload).
+func BenchmarkAblationGateCall(b *testing.B) {
+	s, err := core.NewScenario2(hostos.NewRealClock(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gate, err := s.Local.IV.NewGate(s.Envs[0].CVM,
+		func(_ *intravisor.CVM, a hostos.Args, _ cheri.Cap) (uint64, hostos.Errno) {
+			return a[0] + 1, hostos.OK
+		})
+	if err != nil {
+		b.Fatal(err)
+	}
+	app := s.AppCVM(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r, errno := gate.Call(app, hostos.Args{uint64(i)}, cheri.NullCap); errno != hostos.OK || r != uint64(i)+1 {
+			b.Fatal("gate call failed")
+		}
+	}
+}
+
+// BenchmarkAblationLock compares serialization strategies for the
+// F-Stack API (the paper's future-work question): the mutex the paper
+// uses vs a channel-based hand-off.
+func BenchmarkAblationLock(b *testing.B) {
+	b.Run("mutex", func(b *testing.B) {
+		var mu sync.Mutex
+		x := 0
+		for i := 0; i < b.N; i++ {
+			mu.Lock()
+			x++
+			mu.Unlock()
+		}
+		_ = x
+	})
+	b.Run("channel", func(b *testing.B) {
+		req := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			for range req {
+				done <- struct{}{}
+			}
+		}()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req <- struct{}{}
+			<-done
+		}
+		close(req)
+	})
+}

@@ -1,0 +1,109 @@
+// Command cherinet regenerates the tables and figures of "Enabling
+// Security on the Edge: A CHERI Compartmentalized Network Stack"
+// (DATE 2025) on the simulated Morello/CheriBSD testbed.
+//
+// Usage:
+//
+//	cherinet table2            # TCP bandwidth, all scenarios (virtual time)
+//	cherinet fig3              # capability out-of-bounds demonstration
+//	cherinet fig4 [-iters N]   # ff_write(): Scenario 1 vs Baseline
+//	cherinet fig5 [-iters N]   # ff_write(): Scenario 2 (uncontended) vs Baseline
+//	cherinet fig6 [-iters N]   # ff_write(): Scenario 2 uncontended vs contended
+//	cherinet table1            # capability-integration LoC of the F-Stack port
+//	cherinet all               # everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: cherinet {table1|table2|fig3|fig4|fig5|fig6|all} [-iters N] [-interval NS] [-payload B]\n")
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	iters := fs.Int("iters", 100_000, "timed ff_write iterations (paper: 1e6)")
+	interval := fs.Int64("interval", 20_000, "ns between timed writes")
+	payload := fs.Int("payload", 1448, "ff_write payload bytes")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		usage()
+	}
+	cfg := core.FFWriteConfig{Iterations: *iters, IntervalNS: *interval, Payload: *payload}
+
+	run := func(name string) error {
+		switch name {
+		case "table1":
+			row, err := core.RunTable1()
+			if err != nil {
+				return err
+			}
+			fmt.Println("TABLE I — capability-integration lines in the TCP/IP library")
+			fmt.Println(" ", row)
+		case "table2":
+			blocks, err := core.RunTable2()
+			if err != nil {
+				return err
+			}
+			fmt.Print(core.FormatTable2(blocks))
+		case "fig3":
+			rep, err := core.RunFig3()
+			if err != nil {
+				return err
+			}
+			fmt.Println("FIG 3 — applications accessing memory outside their boundaries")
+			fmt.Println(" ", rep)
+		case "fig4":
+			sets, err := core.MeasureFig4(cfg)
+			if err != nil {
+				return err
+			}
+			printBoxes("FIG 4 — ff_write() execution time: Scenario 1 vs Baseline (ns)", sets)
+		case "fig5":
+			sets, err := core.MeasureFig5(cfg)
+			if err != nil {
+				return err
+			}
+			printBoxes("FIG 5 — ff_write() execution time: Scenario 2 (uncontended) vs Baseline (ns)", sets)
+		case "fig6":
+			sets, err := core.MeasureFig6(cfg)
+			if err != nil {
+				return err
+			}
+			printBoxes("FIG 6 — ff_write() execution time: Scenario 2 uncontended vs contended (ns)", sets)
+		default:
+			usage()
+		}
+		return nil
+	}
+
+	names := []string{cmd}
+	if cmd == "all" {
+		names = []string{"fig3", "table1", "table2", "fig4", "fig5", "fig6"}
+	}
+	for _, n := range names {
+		if err := run(n); err != nil {
+			fmt.Fprintf(os.Stderr, "cherinet %s: %v\n", n, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+func printBoxes(title string, sets []core.LatencySet) {
+	fmt.Println(title)
+	for _, s := range sets {
+		b := stats.CleanBox(s.Samples)
+		fmt.Printf("  %-26s %v\n", s.Label, b)
+	}
+}

@@ -1,0 +1,57 @@
+// Iperf runs the paper's bandwidth benchmark on any scenario from the
+// command line, printing Table II-style rows.
+//
+// Run with: go run ./examples/iperf [-scenario baseline1|baseline2|s1|s2|s2c] [-dir server|client]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func main() {
+	scenario := flag.String("scenario", "s1", "baseline1 | baseline2 | s1 | s2 | s2c | s3")
+	dir := flag.String("dir", "client", "server (local receives) | client (local sends)")
+	flag.Parse()
+
+	clk := sim.NewVClock()
+	var (
+		setup *core.Setup
+		err   error
+	)
+	switch *scenario {
+	case "baseline1":
+		setup, err = core.NewBaselineSingle(clk)
+	case "baseline2":
+		setup, err = core.NewBaselineDual(clk)
+	case "s1":
+		setup, err = core.NewScenario1(clk)
+	case "s2":
+		setup, err = core.NewScenario2(clk, 1)
+	case "s2c":
+		setup, err = core.NewScenario2(clk, 2)
+	case "s3":
+		setup, err = core.NewScenario3(clk) // future work: DPDK in its own cVM
+	default:
+		log.Fatalf("unknown scenario %q", *scenario)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := core.LocalIsClient
+	if *dir == "server" {
+		d = core.LocalIsServer
+	}
+	fmt.Printf("running iperf, scenario=%s, local side=%v ...\n", *scenario, d)
+	res, err := core.BandwidthPair(setup, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range res {
+		fmt.Println(" ", r)
+	}
+}

@@ -1,0 +1,28 @@
+// Package cheri implements a software model of the CHERI capability
+// architecture sufficient to reproduce the compartmentalization behaviour
+// evaluated in "Enabling Security on the Edge: A CHERI Compartmentalized
+// Network Stack" (DATE 2025).
+//
+// The model provides:
+//
+//   - Cap: a 128-bit-style capability carrying base, length, cursor
+//     (address), permissions, an object type for sealing, and a validity
+//     tag. Derivation is monotonic: a derived capability can never carry
+//     more rights or wider bounds than its parent.
+//   - TMem: byte-addressable tagged memory. One tag bit guards each
+//     16-byte granule; writing data bytes into a granule clears its tag,
+//     so capabilities cannot be forged by writing their bit pattern.
+//   - Context: a compartment execution context (PCC, DDC and a register
+//     file of capabilities) together with sealed entry pairs and the
+//     CInvoke/blrs-style domain-crossing operation used by trampolines.
+//
+// Faults mirror CHERI exception causes (tag, seal, permission, bounds,
+// monotonicity violations) and are reported as *Fault errors rather than
+// hardware traps; the scenario layer turns them into compartment
+// exceptions (paper Fig. 3).
+//
+// The model is deliberately uncompressed (no CHERI Concentrate encoding):
+// bounds are exact. Tag granularity, alignment rules for capability
+// loads/stores, and permission monotonicity match the architectural
+// behaviour that the paper's evaluation depends on.
+package cheri

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fstack"
+	"repro/internal/iperf"
+	"repro/internal/sim"
+)
+
+// Direction selects which side of the link the local box plays, as in
+// Table II's "Server" (receiver) and "Client" (sender) columns.
+type Direction int
+
+const (
+	// LocalIsServer: the Morello box receives; the link partners send.
+	LocalIsServer Direction = iota
+	// LocalIsClient: the Morello box sends; the link partners receive.
+	LocalIsClient
+)
+
+// String names the direction Table II-style.
+func (d Direction) String() string {
+	if d == LocalIsServer {
+		return "Server"
+	}
+	return "Client"
+}
+
+// BWResult is one Table II cell pair: the goodput one endpoint achieved.
+type BWResult struct {
+	Label      string
+	Mbps       float64
+	Efficiency float64 // vs the 1 Gbit/s port
+}
+
+// String formats the row.
+func (r BWResult) String() string {
+	return fmt.Sprintf("%-24s %5.0f Mbit/s  %5.1f%%", r.Label, r.Mbps, r.Efficiency*100)
+}
+
+// bandwidth run parameters.
+const (
+	bwTick = 5_000 // 5 µs virtual per iteration
+	// bwDuration is the per-measurement traffic time. Sender-side
+	// accounting includes the residual socket buffer (it is counted when
+	// written, as in iperf3), which inflates the client figure by
+	// ~sndbuf/duration — 1 s keeps that under ~4 Mbit/s.
+	bwDuration = 1_000e6
+	bwDeadline = 4_000e6 // hard stop (virtual ns)
+	iperfPort  = uint16(5201)
+)
+
+// runVirtual steps every loop (and the extra app steppers) in lockstep
+// virtual time until done() or the deadline.
+func runVirtual(clk *sim.VClock, loops []*fstack.Loop, apps []func(now int64), done func() bool) error {
+	start := clk.Now()
+	for clk.Now()-start < bwDeadline {
+		if done() {
+			return nil
+		}
+		for _, l := range loops {
+			l.RunOnce()
+		}
+		now := clk.Now()
+		for _, f := range apps {
+			f(now)
+		}
+		clk.Advance(bwTick)
+	}
+	return fmt.Errorf("core: bandwidth run did not finish within %.0f ms virtual", bwDeadline/1e6)
+}
+
+// attachInLoop embeds an iperf endpoint in a loop's user callback, the
+// Baseline/Scenario 1 layout where the application runs inside the
+// stack's compartment.
+func attachInLoop(env *Env, step func(api iperf.API, now int64)) {
+	api := env.Loop.Locked()
+	env.Loop.OnLoop = func(now int64) bool {
+		step(api, now)
+		return true
+	}
+}
+
+// BandwidthPair measures one (setup, direction) combination with one
+// connection per local environment or app compartment, and returns the
+// local-side goodput per endpoint (which is what Table II tabulates).
+//
+// In LocalIsServer mode the local endpoints run iperf servers and the
+// remote partners run clients; in LocalIsClient mode the roles flip.
+func BandwidthPair(s *Setup, dir Direction) ([]BWResult, error) {
+	clk, ok := s.Clk.(*sim.VClock)
+	if !ok {
+		return nil, fmt.Errorf("core: bandwidth runs need the virtual clock")
+	}
+	type endpoint struct {
+		label  string
+		client *iperf.Client
+		server *iperf.Server
+	}
+	var eps []endpoint
+	var appSteppers []func(now int64)
+
+	// Local endpoints: per port-owning env (Baseline, Scenario 1) or per
+	// application compartment (Scenario 2).
+	if len(s.Apps) == 0 {
+		for i, env := range s.Envs {
+			port := i // env i owns port i in these layouts
+			ep := endpoint{label: env.Name}
+			if dir == LocalIsServer {
+				srv := iperf.NewServer(fstack.IPv4Addr{}, iperfPort)
+				ep.server = srv
+				attachInLoop(env, srv.Step)
+			} else {
+				cli := iperf.NewClient(peerIP(port), iperfPort, int64(bwDuration))
+				ep.client = cli
+				attachInLoop(env, cli.Step)
+			}
+			eps = append(eps, ep)
+		}
+	} else {
+		// Scenario 2: all apps share the single stack on port 0; each
+		// uses a distinct TCP port.
+		for i, api := range s.Apps {
+			api := api
+			port := iperfPort + uint16(i)
+			ep := endpoint{label: api.App.Name}
+			if dir == LocalIsServer {
+				srv := iperf.NewServer(fstack.IPv4Addr{}, port)
+				ep.server = srv
+				appSteppers = append(appSteppers, func(now int64) { srv.Step(api, now) })
+			} else {
+				cli := iperf.NewClient(peerIP(0), port, int64(bwDuration))
+				ep.client = cli
+				appSteppers = append(appSteppers, func(now int64) { cli.Step(api, now) })
+			}
+			eps = append(eps, ep)
+		}
+	}
+
+	// Remote endpoints: the peer for port i talks to local endpoint i —
+	// except in Scenario 2 where one peer carries every flow.
+	var peerCli []*iperf.Client
+	var peerSrv []*iperf.Server
+	if len(s.Apps) == 0 {
+		for i, p := range s.Peers {
+			if dir == LocalIsServer {
+				cli := iperf.NewClient(localIP(i), iperfPort, int64(bwDuration))
+				peerCli = append(peerCli, cli)
+				attachInLoop(p.Env, cli.Step)
+			} else {
+				srv := iperf.NewServer(fstack.IPv4Addr{}, iperfPort)
+				peerSrv = append(peerSrv, srv)
+				attachInLoop(p.Env, srv.Step)
+			}
+		}
+	} else {
+		p := s.Peers[0]
+		n := len(s.Apps)
+		if dir == LocalIsServer {
+			for i := 0; i < n; i++ {
+				cli := iperf.NewClient(localIP(0), iperfPort+uint16(i), int64(bwDuration))
+				peerCli = append(peerCli, cli)
+			}
+			api := p.Env.Loop.Locked()
+			p.Env.Loop.OnLoop = func(now int64) bool {
+				for _, c := range peerCli {
+					c.Step(api, now)
+				}
+				return true
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				srv := iperf.NewServer(fstack.IPv4Addr{}, iperfPort+uint16(i))
+				peerSrv = append(peerSrv, srv)
+			}
+			api := p.Env.Loop.Locked()
+			p.Env.Loop.OnLoop = func(now int64) bool {
+				for _, sv := range peerSrv {
+					sv.Step(api, now)
+				}
+				return true
+			}
+		}
+	}
+
+	done := func() bool {
+		for _, ep := range eps {
+			if ep.client != nil && !ep.client.Done() {
+				return false
+			}
+			if ep.server != nil && !ep.server.Done() {
+				return false
+			}
+		}
+		for _, c := range peerCli {
+			if !c.Done() {
+				return false
+			}
+		}
+		for _, sv := range peerSrv {
+			if !sv.Done() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := runVirtual(clk, s.Loops(), appSteppers, done); err != nil {
+		return nil, err
+	}
+
+	var out []BWResult
+	for _, ep := range eps {
+		var rep iperf.Report
+		switch {
+		case ep.server != nil:
+			if ep.server.Err() != 0 {
+				return nil, fmt.Errorf("core: server %s failed: %v", ep.label, ep.server.Err())
+			}
+			rep = ep.server.Report()
+		case ep.client != nil:
+			if ep.client.Err() != 0 {
+				return nil, fmt.Errorf("core: client %s failed: %v", ep.label, ep.client.Err())
+			}
+			rep = ep.client.Report()
+		}
+		out = append(out, BWResult{
+			Label:      fmt.Sprintf("%s %s", ep.label, dir),
+			Mbps:       rep.Mbps(),
+			Efficiency: rep.Efficiency(1000),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestBaselineSingleHitsLineGoodput(t *testing.T) {
+	clk := sim.NewVClock()
+	s, err := NewBaselineSingle(clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BandwidthPair(s, LocalIsClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("results: %v", res)
+	}
+	t.Logf("baseline single client: %v", res[0])
+	// Paper Table II: 941 Mbit/s (94.1%); sender-side accounting may sit
+	// a few Mbit/s above (socket-buffer residue).
+	if res[0].Mbps < 930 || res[0].Mbps > 950 {
+		t.Fatalf("single-port goodput %.0f Mbit/s, want ≈941", res[0].Mbps)
+	}
+}
+
+func TestBaselineSingleServerSide(t *testing.T) {
+	clk := sim.NewVClock()
+	s, err := NewBaselineSingle(clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BandwidthPair(s, LocalIsServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("baseline single server: %v", res[0])
+	if res[0].Mbps < 935 || res[0].Mbps > 945 {
+		t.Fatalf("single-port RX goodput %.0f Mbit/s, want ≈941", res[0].Mbps)
+	}
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/cheri"
+	"repro/internal/fstack"
+	"repro/internal/hostos"
+	"repro/internal/intravisor"
+)
+
+// StackGates is the Scenario 2 wrapper layer: one sealed entry gate per
+// exported F-Stack API function ("we also implemented the wrapper
+// functions to the API of F-Stack to do the cross-compartment jump
+// between the running application and the cVM1", §III-B). Every call
+// crosses from the application compartment into the stack compartment
+// and takes the F-Stack mutex there.
+type StackGates struct {
+	stk *fstack.Stack
+
+	socket, bind, listen, accept, connect *intravisor.Gate
+	read, write, closeG                   *intravisor.Gate
+	epCreate, epCtl, epWait               *intravisor.Gate
+}
+
+// ip4FromU64 decodes an IPv4 address passed as a scalar argument.
+func ip4FromU64(v uint64) fstack.IPv4Addr {
+	return fstack.IP4(byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// u64FromIP4 encodes an IPv4 address as a scalar argument.
+func u64FromIP4(ip fstack.IPv4Addr) uint64 {
+	return uint64(ip[0])<<24 | uint64(ip[1])<<16 | uint64(ip[2])<<8 | uint64(ip[3])
+}
+
+// NewStackGates exports the F-Stack API of stackEnv's stack from its
+// cVM.
+func NewStackGates(iv *intravisor.Intravisor, stackEnv *Env) (*StackGates, error) {
+	if stackEnv.CVM == nil {
+		return nil, fmt.Errorf("core: gates need a cVM-hosted stack")
+	}
+	s := stackEnv.Stk
+	mem := iv.Mem()
+	g := &StackGates{stk: s}
+	mk := func(fn intravisor.GateFunc) (*intravisor.Gate, error) {
+		return iv.NewGate(stackEnv.CVM, fn)
+	}
+	var err error
+	if g.socket, err = mk(func(_ *intravisor.CVM, a hostos.Args, _ cheri.Cap) (uint64, hostos.Errno) {
+		fd, errno := s.Socket(int(a[0]))
+		return uint64(fd), errno
+	}); err != nil {
+		return nil, err
+	}
+	if g.bind, err = mk(func(_ *intravisor.CVM, a hostos.Args, _ cheri.Cap) (uint64, hostos.Errno) {
+		return 0, s.Bind(int(a[0]), ip4FromU64(a[1]), uint16(a[2]))
+	}); err != nil {
+		return nil, err
+	}
+	if g.listen, err = mk(func(_ *intravisor.CVM, a hostos.Args, _ cheri.Cap) (uint64, hostos.Errno) {
+		return 0, s.Listen(int(a[0]), int(a[1]))
+	}); err != nil {
+		return nil, err
+	}
+	if g.accept, err = mk(func(_ *intravisor.CVM, a hostos.Args, addrOut cheri.Cap) (uint64, hostos.Errno) {
+		nfd, ip, port, errno := s.Accept(int(a[0]))
+		if errno != hostos.OK {
+			return 0, errno
+		}
+		// Write the peer address through the caller's sockaddr buffer.
+		var sa [8]byte
+		copy(sa[0:4], ip[:])
+		binary.LittleEndian.PutUint16(sa[4:6], port)
+		if addrOut.Tag() {
+			if err := mem.Store(addrOut, addrOut.Addr(), sa[:]); err != nil {
+				return 0, hostos.EFAULT
+			}
+		}
+		return uint64(nfd), hostos.OK
+	}); err != nil {
+		return nil, err
+	}
+	if g.connect, err = mk(func(_ *intravisor.CVM, a hostos.Args, _ cheri.Cap) (uint64, hostos.Errno) {
+		return 0, s.Connect(int(a[0]), ip4FromU64(a[1]), uint16(a[2]))
+	}); err != nil {
+		return nil, err
+	}
+	if g.read, err = mk(func(_ *intravisor.CVM, a hostos.Args, dst cheri.Cap) (uint64, hostos.Errno) {
+		n, errno := s.ReadCap(int(a[0]), mem, dst, int(a[1]))
+		return uint64(n), errno
+	}); err != nil {
+		return nil, err
+	}
+	if g.write, err = mk(func(_ *intravisor.CVM, a hostos.Args, src cheri.Cap) (uint64, hostos.Errno) {
+		n, errno := s.WriteCap(int(a[0]), mem, src, int(a[1]))
+		return uint64(n), errno
+	}); err != nil {
+		return nil, err
+	}
+	if g.closeG, err = mk(func(_ *intravisor.CVM, a hostos.Args, _ cheri.Cap) (uint64, hostos.Errno) {
+		return 0, s.Close(int(a[0]))
+	}); err != nil {
+		return nil, err
+	}
+	if g.epCreate, err = mk(func(_ *intravisor.CVM, _ hostos.Args, _ cheri.Cap) (uint64, hostos.Errno) {
+		return uint64(s.EpollCreate()), hostos.OK
+	}); err != nil {
+		return nil, err
+	}
+	if g.epCtl, err = mk(func(_ *intravisor.CVM, a hostos.Args, _ cheri.Cap) (uint64, hostos.Errno) {
+		return 0, s.EpollCtl(int(a[0]), int(a[1]), int(a[2]), uint32(a[3]))
+	}); err != nil {
+		return nil, err
+	}
+	if g.epWait, err = mk(func(_ *intravisor.CVM, a hostos.Args, evOut cheri.Cap) (uint64, hostos.Errno) {
+		maxEv := int(a[1])
+		evs := make([]fstack.Event, maxEv)
+		n, errno := s.EpollWait(int(a[0]), evs)
+		if errno != hostos.OK {
+			return 0, errno
+		}
+		// Marshal events (fd u32, events u32) through the caller's
+		// buffer capability.
+		out := make([]byte, 8*n)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(out[i*8:], uint32(evs[i].FD))
+			binary.LittleEndian.PutUint32(out[i*8+4:], evs[i].Events)
+		}
+		if n > 0 {
+			if err := mem.Store(evOut, evOut.Addr(), out); err != nil {
+				return 0, hostos.EFAULT
+			}
+		}
+		return uint64(n), hostos.OK
+	}); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Staging-area layout inside an application cVM's window.
+const (
+	stageWriteOff  = 0x1000
+	stageWriteSize = 256 * 1024
+	stageReadOff   = stageWriteOff + stageWriteSize
+	stageReadSize  = 128 * 1024
+	stageAddrOff   = stageReadOff + stageReadSize // 8-byte sockaddr
+	stageEventsOff = stageAddrOff + 16
+	stageEventsMax = 64 // events of 8 bytes
+)
+
+// GatedAPI is the application-side view of the F-Stack API in
+// Scenario 2. It satisfies iperf.API; every method is a cross-cVM call.
+type GatedAPI struct {
+	G   *StackGates
+	App *intravisor.CVM
+	mem *cheri.TMem
+
+	// staged tracks which application buffer currently sits in the
+	// write staging area, so repeated sends of the same buffer (iperf's
+	// pattern — and any zero-copy-minded app) skip the refresh.
+	stagedPtr *byte
+	stagedLen int
+}
+
+// NewGatedAPI wires an application cVM to the stack gates.
+func NewGatedAPI(g *StackGates, app *intravisor.CVM, mem *cheri.TMem) *GatedAPI {
+	return &GatedAPI{G: g, App: app, mem: mem}
+}
+
+// stageCap derives a capability over a staging area of the app window.
+func (a *GatedAPI) stageCap(off uint64, n int) (cheri.Cap, error) {
+	return a.App.DeriveBuf(a.App.Base()+off, uint64(n))
+}
+
+// Socket creates a descriptor.
+func (a *GatedAPI) Socket(typ int) (int, hostos.Errno) {
+	r, errno := a.G.socket.Call(a.App, hostos.Args{uint64(typ)}, cheri.NullCap)
+	return int(r), errno
+}
+
+// Bind attaches a local address.
+func (a *GatedAPI) Bind(fd int, ip fstack.IPv4Addr, port uint16) hostos.Errno {
+	_, errno := a.G.bind.Call(a.App, hostos.Args{uint64(fd), u64FromIP4(ip), uint64(port)}, cheri.NullCap)
+	return errno
+}
+
+// Listen makes a socket passive.
+func (a *GatedAPI) Listen(fd, backlog int) hostos.Errno {
+	_, errno := a.G.listen.Call(a.App, hostos.Args{uint64(fd), uint64(backlog)}, cheri.NullCap)
+	return errno
+}
+
+// Accept dequeues a connection; the peer address crosses through the
+// sockaddr staging buffer.
+func (a *GatedAPI) Accept(fd int) (int, fstack.IPv4Addr, uint16, hostos.Errno) {
+	sa, err := a.stageCap(stageAddrOff, 8)
+	if err != nil {
+		return -1, fstack.IPv4Addr{}, 0, hostos.EFAULT
+	}
+	r, errno := a.G.accept.Call(a.App, hostos.Args{uint64(fd)}, sa)
+	if errno != hostos.OK {
+		return -1, fstack.IPv4Addr{}, 0, errno
+	}
+	var buf [8]byte
+	if err := a.App.Load(a.App.Base()+stageAddrOff, buf[:]); err != nil {
+		return -1, fstack.IPv4Addr{}, 0, hostos.EFAULT
+	}
+	ip := fstack.IPv4Addr{buf[0], buf[1], buf[2], buf[3]}
+	port := uint16(buf[4]) | uint16(buf[5])<<8
+	return int(r), ip, port, hostos.OK
+}
+
+// Connect starts an active open.
+func (a *GatedAPI) Connect(fd int, ip fstack.IPv4Addr, port uint16) hostos.Errno {
+	_, errno := a.G.connect.Call(a.App, hostos.Args{uint64(fd), u64FromIP4(ip), uint64(port)}, cheri.NullCap)
+	return errno
+}
+
+// Write sends bytes: the application buffer is staged into the app
+// window once (it is the app's own memory) and its capability crosses
+// the gate — the measured ff_write path of Figs. 5 and 6.
+func (a *GatedAPI) Write(fd int, src []byte) (int, hostos.Errno) {
+	if len(src) == 0 || len(src) > stageWriteSize {
+		return -1, hostos.EINVAL
+	}
+	if a.stagedPtr != &src[0] || a.stagedLen != len(src) {
+		if err := a.App.Store(a.App.Base()+stageWriteOff, src); err != nil {
+			return -1, hostos.EFAULT
+		}
+		a.stagedPtr, a.stagedLen = &src[0], len(src)
+	}
+	buf, err := a.stageCap(stageWriteOff, len(src))
+	if err != nil {
+		return -1, hostos.EFAULT
+	}
+	r, errno := a.G.write.Call(a.App, hostos.Args{uint64(fd), uint64(len(src))}, buf)
+	return int(r), errno
+}
+
+// Read receives bytes through the read staging area.
+func (a *GatedAPI) Read(fd int, dst []byte) (int, hostos.Errno) {
+	n := min(len(dst), stageReadSize)
+	if n == 0 {
+		return 0, hostos.OK
+	}
+	buf, err := a.stageCap(stageReadOff, n)
+	if err != nil {
+		return -1, hostos.EFAULT
+	}
+	r, errno := a.G.read.Call(a.App, hostos.Args{uint64(fd), uint64(n)}, buf)
+	if errno != hostos.OK {
+		return int(r), errno
+	}
+	if r > 0 {
+		if err := a.App.Load(a.App.Base()+stageReadOff, dst[:r]); err != nil {
+			return -1, hostos.EFAULT
+		}
+	}
+	return int(r), hostos.OK
+}
+
+// Close shuts a descriptor down.
+func (a *GatedAPI) Close(fd int) hostos.Errno {
+	_, errno := a.G.closeG.Call(a.App, hostos.Args{uint64(fd)}, cheri.NullCap)
+	return errno
+}
+
+// EpollCreate makes an epoll descriptor.
+func (a *GatedAPI) EpollCreate() int {
+	r, _ := a.G.epCreate.Call(a.App, hostos.Args{}, cheri.NullCap)
+	return int(r)
+}
+
+// EpollCtl manipulates an interest set.
+func (a *GatedAPI) EpollCtl(epfd, op, fd int, events uint32) hostos.Errno {
+	_, errno := a.G.epCtl.Call(a.App,
+		hostos.Args{uint64(epfd), uint64(op), uint64(fd), uint64(events)}, cheri.NullCap)
+	return errno
+}
+
+// EpollWait collects ready events through the event staging area.
+func (a *GatedAPI) EpollWait(epfd int, evs []fstack.Event) (int, hostos.Errno) {
+	n := min(len(evs), stageEventsMax)
+	if n == 0 {
+		return 0, hostos.OK
+	}
+	buf, err := a.stageCap(stageEventsOff, n*8)
+	if err != nil {
+		return -1, hostos.EFAULT
+	}
+	r, errno := a.G.epWait.Call(a.App, hostos.Args{uint64(epfd), uint64(n)}, buf)
+	if errno != hostos.OK {
+		return -1, errno
+	}
+	if r > 0 {
+		raw := make([]byte, int(r)*8)
+		if err := a.App.Load(a.App.Base()+stageEventsOff, raw); err != nil {
+			return -1, hostos.EFAULT
+		}
+		for i := 0; i < int(r); i++ {
+			evs[i] = fstack.Event{
+				FD:     int(binary.LittleEndian.Uint32(raw[i*8:])),
+				Events: binary.LittleEndian.Uint32(raw[i*8+4:]),
+			}
+		}
+	}
+	return int(r), hostos.OK
+}

@@ -1,0 +1,329 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"repro/internal/cheri"
+	"repro/internal/dpdk"
+	"repro/internal/fstack"
+	"repro/internal/hostos"
+	"repro/internal/intravisor"
+)
+
+// Scenario 3 implements the first of the paper's future-work layouts
+// (§VI): "the separation of DPDK from F-Stack and the application".
+// cVM1 holds only the DPDK driver (and the NIC's DMA window); cVM2
+// holds F-Stack plus the application. Every RX/TX burst crosses a
+// sealed gate between the two compartments, with the frames copied
+// through a bounded staging buffer — neither compartment can reach the
+// other's memory.
+
+// Device-gate staging layout inside the stack cVM's window (distinct
+// from the GatedAPI staging, which Scenario 3 does not use).
+const (
+	devStageOff  = 0x200000
+	devStageSize = 64 * 1024
+	// devBurstMax frames per crossing; 32 frames of 1514 bytes plus
+	// framing fit the staging buffer.
+	devBurstMax = 32
+)
+
+// DevGates exports a DPDK compartment's ethdev as sealed entry points.
+type DevGates struct {
+	rx, tx, poll, stats *intravisor.Gate
+	mac                 [6]byte
+}
+
+// NewDevGates wraps dev (owned by dpdkCVM, with buffers in devPool)
+// into cross-compartment gates.
+func NewDevGates(iv *intravisor.Intravisor, dpdkCVM *intravisor.CVM, dev *dpdk.EthDev, devPool *dpdk.Mempool) (*DevGates, error) {
+	mem := iv.Mem()
+	g := &DevGates{mac: dev.MAC()}
+	mk := func(fn intravisor.GateFunc) (*intravisor.Gate, error) {
+		return iv.NewGate(dpdkCVM, fn)
+	}
+	var err error
+	// rx: harvest up to a[0] frames; pack [u16 len][bytes]... through
+	// the caller's staging capability; returns the frame count.
+	if g.rx, err = mk(func(_ *intravisor.CVM, a hostos.Args, stage cheri.Cap) (uint64, hostos.Errno) {
+		n := int(a[0])
+		if n > devBurstMax {
+			n = devBurstMax
+		}
+		var burst [devBurstMax]*dpdk.Mbuf
+		k := dev.RxBurst(burst[:n])
+		addr := stage.Addr()
+		packed := 0
+		for i := 0; i < k; i++ {
+			m := burst[i]
+			data, err := m.BytesRO()
+			if err == nil {
+				var hdr [2]byte
+				binary.LittleEndian.PutUint16(hdr[:], uint16(len(data)))
+				if mem.Store(stage, addr, hdr[:]) == nil &&
+					mem.Store(stage, addr+2, data) == nil {
+					addr += 2 + uint64(len(data))
+					packed++
+				}
+			}
+			m.Free()
+		}
+		return uint64(packed), hostos.OK
+	}); err != nil {
+		return nil, err
+	}
+	// tx: unpack a[0] frames from the staging capability into the DPDK
+	// compartment's own mbufs and transmit; returns accepted count.
+	if g.tx, err = mk(func(_ *intravisor.CVM, a hostos.Args, stage cheri.Cap) (uint64, hostos.Errno) {
+		n := int(a[0])
+		addr := stage.Addr()
+		accepted := 0
+		for i := 0; i < n && i < devBurstMax; i++ {
+			var hdr [2]byte
+			if mem.Load(stage, addr, hdr[:]) != nil {
+				break
+			}
+			length := int(binary.LittleEndian.Uint16(hdr[:]))
+			m, ok := devPool.Get()
+			if !ok {
+				break
+			}
+			dst, err := m.Append(length)
+			if err != nil || mem.Load(stage, addr+2, dst) != nil {
+				m.Free()
+				break
+			}
+			if dev.TxBurst([]*dpdk.Mbuf{m}) != 1 {
+				m.Free()
+				break
+			}
+			addr += 2 + uint64(length)
+			accepted++
+		}
+		return uint64(accepted), hostos.OK
+	}); err != nil {
+		return nil, err
+	}
+	if g.poll, err = mk(func(_ *intravisor.CVM, _ hostos.Args, _ cheri.Cap) (uint64, hostos.Errno) {
+		dev.Poll()
+		return 0, hostos.OK
+	}); err != nil {
+		return nil, err
+	}
+	if g.stats, err = mk(func(_ *intravisor.CVM, _ hostos.Args, stage cheri.Cap) (uint64, hostos.Errno) {
+		st := dev.Stats()
+		var buf [40]byte
+		binary.LittleEndian.PutUint64(buf[0:], st.IPackets)
+		binary.LittleEndian.PutUint64(buf[8:], st.OPackets)
+		binary.LittleEndian.PutUint64(buf[16:], st.IBytes)
+		binary.LittleEndian.PutUint64(buf[24:], st.OBytes)
+		binary.LittleEndian.PutUint64(buf[32:], st.IMissed)
+		if mem.Store(stage, stage.Addr(), buf[:]) != nil {
+			return 0, hostos.EFAULT
+		}
+		return 0, hostos.OK
+	}); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// GatedEthDev is the stack-compartment side: it satisfies
+// fstack.EthDevice, crossing into the DPDK compartment per burst.
+type GatedEthDev struct {
+	g      *DevGates
+	caller *intravisor.CVM // the F-Stack cVM
+	pool   *dpdk.Mempool   // stack-side pool for harvested frames
+}
+
+var _ fstack.EthDevice = (*GatedEthDev)(nil)
+
+// NewGatedEthDev wires the stack cVM to the device gates.
+func NewGatedEthDev(g *DevGates, stackCVM *intravisor.CVM, pool *dpdk.Mempool) *GatedEthDev {
+	return &GatedEthDev{g: g, caller: stackCVM, pool: pool}
+}
+
+// stage derives the staging capability for one crossing.
+func (d *GatedEthDev) stage() (cheri.Cap, error) {
+	return d.caller.DeriveBuf(d.caller.Base()+devStageOff, devStageSize)
+}
+
+// MAC returns the port's hardware address (cached at gate creation).
+func (d *GatedEthDev) MAC() [6]byte { return d.g.mac }
+
+// RxBurst pulls frames across the compartment boundary into stack-side
+// mbufs.
+func (d *GatedEthDev) RxBurst(out []*dpdk.Mbuf) int {
+	want := min(len(out), devBurstMax)
+	if want == 0 {
+		return 0
+	}
+	stage, err := d.stage()
+	if err != nil {
+		return 0
+	}
+	r, errno := d.g.rx.Call(d.caller, hostos.Args{uint64(want)}, stage)
+	if errno != hostos.OK || r == 0 {
+		return 0
+	}
+	addr := d.caller.Base() + devStageOff
+	got := 0
+	for i := 0; i < int(r); i++ {
+		var hdr [2]byte
+		if d.caller.Load(addr, hdr[:]) != nil {
+			break
+		}
+		length := int(binary.LittleEndian.Uint16(hdr[:]))
+		m, ok := d.pool.Get()
+		if !ok {
+			break // frames beyond this point are lost, as on pool exhaustion
+		}
+		dst, err := m.Append(length)
+		if err != nil || d.caller.Load(addr+2, dst) != nil {
+			m.Free()
+			break
+		}
+		out[got] = m
+		got++
+		addr += 2 + uint64(length)
+	}
+	return got
+}
+
+// TxBurst pushes frames across the boundary; accepted mbufs are freed
+// here (ownership passes to the driver, as with the direct ethdev).
+func (d *GatedEthDev) TxBurst(bufs []*dpdk.Mbuf) int {
+	n := min(len(bufs), devBurstMax)
+	if n == 0 {
+		return 0
+	}
+	stage, err := d.stage()
+	if err != nil {
+		return 0
+	}
+	addr := d.caller.Base() + devStageOff
+	packed := 0
+	for _, m := range bufs[:n] {
+		data, err := m.BytesRO()
+		if err != nil {
+			break
+		}
+		var hdr [2]byte
+		binary.LittleEndian.PutUint16(hdr[:], uint16(len(data)))
+		if d.caller.Store(addr, hdr[:]) != nil || d.caller.Store(addr+2, data) != nil {
+			break
+		}
+		addr += 2 + uint64(len(data))
+		packed++
+	}
+	r, errno := d.g.tx.Call(d.caller, hostos.Args{uint64(packed)}, stage)
+	if errno != hostos.OK {
+		return 0
+	}
+	for i := 0; i < int(r); i++ {
+		bufs[i].Free()
+	}
+	return int(r)
+}
+
+// Poll advances the device across the gate.
+func (d *GatedEthDev) Poll() {
+	d.g.poll.Call(d.caller, hostos.Args{}, cheri.NullCap)
+}
+
+// Stats reads the device counters across the gate.
+func (d *GatedEthDev) Stats() dpdk.Stats {
+	stage, err := d.stage()
+	if err != nil {
+		return dpdk.Stats{}
+	}
+	if _, errno := d.g.stats.Call(d.caller, hostos.Args{}, stage); errno != hostos.OK {
+		return dpdk.Stats{}
+	}
+	var buf [40]byte
+	if d.caller.Load(d.caller.Base()+devStageOff, buf[:]) != nil {
+		return dpdk.Stats{}
+	}
+	return dpdk.Stats{
+		IPackets: binary.LittleEndian.Uint64(buf[0:]),
+		OPackets: binary.LittleEndian.Uint64(buf[8:]),
+		IBytes:   binary.LittleEndian.Uint64(buf[16:]),
+		OBytes:   binary.LittleEndian.Uint64(buf[24:]),
+		IMissed:  binary.LittleEndian.Uint64(buf[32:]),
+	}
+}
+
+// NewScenario3 builds the future-work layout: cVM1 = DPDK only, cVM2 =
+// F-Stack + application, one port, gates between them.
+func NewScenario3(clk hostos.Clock) (*Setup, error) {
+	local, err := NewMachine(MachineConfig{
+		Name: "morello", Clk: clk, Ports: 2, BusLimited: true, CapDMA: true, MACLast: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Setup{Clk: clk, Local: local}
+
+	// cVM1: the driver compartment — segment, pool, bound port.
+	dpdkCVM, err := local.NewCVM("cvm1-dpdk")
+	if err != nil {
+		return nil, err
+	}
+	devSegBase := dpdkCVM.Base() + dpdkCVM.Size() - segSize
+	devSegCap, err := dpdkCVM.DDC().SetAddr(devSegBase).SetBounds(segSize)
+	if err != nil {
+		return nil, err
+	}
+	devSeg, err := dpdk.NewMemSeg(local.K.Mem, devSegBase, segSize, devSegCap, true)
+	if err != nil {
+		return nil, err
+	}
+	devPool, err := dpdk.NewMempool(devSeg, "dpdk-pkt", poolBufs, dpdk.DefaultDataroom)
+	if err != nil {
+		return nil, err
+	}
+	dev, err := dpdk.Probe(local.K.PCI, local.Card.Port(0).BDF(), devSeg)
+	if err != nil {
+		return nil, err
+	}
+	if err := dev.Configure(ringSize, ringSize, devPool); err != nil {
+		return nil, err
+	}
+	if err := dev.Start(); err != nil {
+		return nil, err
+	}
+	gates, err := NewDevGates(local.IV, dpdkCVM, dev, devPool)
+	if err != nil {
+		return nil, err
+	}
+
+	// cVM2: F-Stack + application, no direct NIC access.
+	stackCVM, err := local.NewCVM("cvm2-fstack")
+	if err != nil {
+		return nil, err
+	}
+	segBase := stackCVM.Base() + stackCVM.Size() - segSize
+	segCap, err := stackCVM.DDC().SetAddr(segBase).SetBounds(segSize)
+	if err != nil {
+		return nil, err
+	}
+	seg, err := dpdk.NewMemSeg(local.K.Mem, segBase, segSize, segCap, true)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := dpdk.NewMempool(seg, "fstack-pkt", poolBufs, dpdk.DefaultDataroom)
+	if err != nil {
+		return nil, err
+	}
+	stk := fstack.NewStack(seg, pool, clk)
+	gdev := NewGatedEthDev(gates, stackCVM, pool)
+	stk.AddNetIF("eth0", gdev, localIP(0), mask24)
+	env := &Env{Name: "cvm2", CVM: stackCVM, Seg: seg, Pool: pool, Stk: stk}
+	env.Loop = &fstack.Loop{Stk: stk}
+	s.Envs = append(s.Envs, env)
+
+	if err := s.addPeers([]int{0}); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

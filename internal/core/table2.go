@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Table2Block is one section of Table II: a scenario measured in both
+// server (receiver) and client (sender) modes.
+type Table2Block struct {
+	Name   string
+	Server []BWResult
+	Client []BWResult
+}
+
+// Table2Spec enumerates the paper's five blocks in order.
+var Table2Spec = []struct {
+	Name  string
+	Build func(clk *sim.VClock) (*Setup, error)
+	// Paper holds the published Mbit/s (server, client) per endpoint.
+	Paper [][2]float64
+}{
+	{
+		Name:  "Baseline (dual-port)",
+		Build: func(clk *sim.VClock) (*Setup, error) { return NewBaselineDual(clk) },
+		Paper: [][2]float64{{658, 757}, {658, 757}},
+	},
+	{
+		Name:  "Scenario 1",
+		Build: func(clk *sim.VClock) (*Setup, error) { return NewScenario1(clk) },
+		Paper: [][2]float64{{658, 757}, {658, 757}},
+	},
+	{
+		Name:  "Baseline (single-port)",
+		Build: func(clk *sim.VClock) (*Setup, error) { return NewBaselineSingle(clk) },
+		Paper: [][2]float64{{941, 941}},
+	},
+	{
+		Name:  "Scenario 2 (uncontended)",
+		Build: func(clk *sim.VClock) (*Setup, error) { return NewScenario2(clk, 1) },
+		Paper: [][2]float64{{941, 941}},
+	},
+	{
+		Name:  "Scenario 2 (contended)",
+		Build: func(clk *sim.VClock) (*Setup, error) { return NewScenario2(clk, 2) },
+		Paper: [][2]float64{{470, 531}, {470, 410}},
+	},
+}
+
+// RunTable2Block measures one block (a fresh setup per direction — the
+// iperf endpoints are single-use, like real runs).
+func RunTable2Block(i int) (Table2Block, error) {
+	spec := Table2Spec[i]
+	blk := Table2Block{Name: spec.Name}
+	for _, dir := range []Direction{LocalIsServer, LocalIsClient} {
+		s, err := spec.Build(sim.NewVClock())
+		if err != nil {
+			return blk, fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		res, err := BandwidthPair(s, dir)
+		if err != nil {
+			return blk, fmt.Errorf("%s (%v): %w", spec.Name, dir, err)
+		}
+		if dir == LocalIsServer {
+			blk.Server = res
+		} else {
+			blk.Client = res
+		}
+	}
+	return blk, nil
+}
+
+// RunTable2 regenerates every block of Table II.
+func RunTable2() ([]Table2Block, error) {
+	out := make([]Table2Block, 0, len(Table2Spec))
+	for i := range Table2Spec {
+		blk, err := RunTable2Block(i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, blk)
+	}
+	return out, nil
+}
+
+// FormatTable2 renders the blocks in the paper's layout, with the
+// published values alongside.
+func FormatTable2(blocks []Table2Block) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE II — TCP benchmarks (Mbit/s), measured vs paper\n")
+	for i, blk := range blocks {
+		fmt.Fprintf(&b, "\n%s\n", blk.Name)
+		fmt.Fprintf(&b, "  %-10s %18s %18s\n", "Mode", "Server (recv)", "Client (send)")
+		for j := range blk.Server {
+			var paperS, paperC float64
+			if i < len(Table2Spec) && j < len(Table2Spec[i].Paper) {
+				paperS, paperC = Table2Spec[i].Paper[j][0], Table2Spec[i].Paper[j][1]
+			}
+			label := strings.TrimSuffix(blk.Server[j].Label, " Server")
+			fmt.Fprintf(&b, "  %-10s %6.0f (paper %3.0f) %6.0f (paper %3.0f)\n",
+				label, blk.Server[j].Mbps, paperS, blk.Client[j].Mbps, paperC)
+		}
+	}
+	return b.String()
+}

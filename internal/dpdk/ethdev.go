@@ -1,0 +1,279 @@
+package dpdk
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/hostos"
+	"repro/internal/nic"
+)
+
+// steppable is the "hardware runs" hook of the simulated device; the
+// poll-mode driver advances the device from its own burst calls.
+type steppable interface{ Step() }
+
+// Stats mirrors rte_eth_stats.
+type Stats struct {
+	IPackets uint64 // received packets
+	OPackets uint64 // transmitted packets
+	IBytes   uint64 // received bytes
+	OBytes   uint64 // transmitted bytes
+	IMissed  uint64 // RX drops at the device (ring/FIFO full)
+}
+
+// EthDev is one bound Ethernet port driven in user space (rte_ethdev +
+// igb PMD in one type).
+type EthDev struct {
+	dev  hostos.PCIDevice
+	step func()
+	seg  *MemSeg
+	pool *Mempool
+	mac  [6]byte
+
+	nRX, nTX  uint32
+	rxBase    uint64
+	txBase    uint64
+	rxMbufs   []*Mbuf
+	txMbufs   []*Mbuf
+	rxNext    uint32 // next RX descriptor to harvest
+	rxTail    uint32 // software copy of RDT
+	txNext    uint32 // next TX descriptor to program
+	txReclaim uint32 // next TX descriptor to reclaim
+	txFree    uint32 // free TX descriptors
+
+	configured bool
+	started    bool
+}
+
+// Probe claims the unbound PCI device at bdf and wraps it in an EthDev
+// using seg for all descriptor and packet memory.
+func Probe(pci *hostos.PCI, bdf string, seg *MemSeg) (*EthDev, error) {
+	dev, errno := pci.Claim(bdf)
+	if errno != hostos.OK {
+		return nil, fmt.Errorf("dpdk: claiming %s: %v (unbind the kernel driver first)", bdf, errno)
+	}
+	if dev.VendorID() != 0x8086 || dev.DeviceID() != 0x10C9 {
+		return nil, fmt.Errorf("dpdk: %s is %04x:%04x, not an 82576", bdf, dev.VendorID(), dev.DeviceID())
+	}
+	st, ok := dev.(steppable)
+	if !ok {
+		return nil, fmt.Errorf("dpdk: device %s cannot be polled", bdf)
+	}
+	d := &EthDev{dev: dev, step: st.Step, seg: seg}
+	ral := dev.RegRead32(nic.RegRAL0)
+	rah := dev.RegRead32(nic.RegRAH0)
+	d.mac = [6]byte{byte(ral), byte(ral >> 8), byte(ral >> 16), byte(ral >> 24), byte(rah), byte(rah >> 8)}
+	// In capability-DMA mode, grant the device its IOMMU window over the
+	// segment.
+	if p, ok := dev.(*nic.Port); ok && seg.CapMode() {
+		p.SetDMACap(seg.Cap())
+	}
+	return d, nil
+}
+
+// MAC returns the port's hardware address.
+func (d *EthDev) MAC() [6]byte { return d.mac }
+
+// Configure allocates nrx/ntx descriptor rings from the segment and
+// programs the device. pool supplies RX buffers.
+func (d *EthDev) Configure(nrx, ntx uint32, pool *Mempool) error {
+	if d.configured {
+		return fmt.Errorf("dpdk: device already configured")
+	}
+	if nrx < 8 || ntx < 8 {
+		return fmt.Errorf("dpdk: ring sizes %d/%d too small", nrx, ntx)
+	}
+	var err error
+	d.rxBase, err = d.seg.Alloc(uint64(nrx)*nic.DescSize, 128)
+	if err != nil {
+		return err
+	}
+	d.txBase, err = d.seg.Alloc(uint64(ntx)*nic.DescSize, 128)
+	if err != nil {
+		return err
+	}
+	d.nRX, d.nTX = nrx, ntx
+	d.pool = pool
+	d.rxMbufs = make([]*Mbuf, nrx)
+	d.txMbufs = make([]*Mbuf, ntx)
+	d.txFree = ntx - 1 // one slot kept open to distinguish full/empty
+
+	d.dev.RegWrite32(nic.RegRDBAL, uint32(d.rxBase))
+	d.dev.RegWrite32(nic.RegRDBAH, uint32(d.rxBase>>32))
+	d.dev.RegWrite32(nic.RegRDLEN, nrx*nic.DescSize)
+	d.dev.RegWrite32(nic.RegRDH, 0)
+	d.dev.RegWrite32(nic.RegRDT, 0)
+	d.dev.RegWrite32(nic.RegTDBAL, uint32(d.txBase))
+	d.dev.RegWrite32(nic.RegTDBAH, uint32(d.txBase>>32))
+	d.dev.RegWrite32(nic.RegTDLEN, ntx*nic.DescSize)
+	d.dev.RegWrite32(nic.RegTDH, 0)
+	d.dev.RegWrite32(nic.RegTDT, 0)
+	d.configured = true
+	return nil
+}
+
+// writeDesc programs one descriptor (through the segment, so it is a
+// checked store in capability mode).
+func (d *EthDev) writeDesc(descAddr, bufAddr uint64, length uint16, cmd byte) error {
+	s, err := d.seg.Slice(descAddr, nic.DescSize)
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(s[0:8], bufAddr)
+	binary.LittleEndian.PutUint16(s[8:10], length)
+	s[10] = 0
+	s[11] = cmd
+	s[12] = 0 // status
+	s[13] = 0
+	binary.LittleEndian.PutUint16(s[14:16], 0)
+	return nil
+}
+
+// descStatus reads a descriptor's status byte and length.
+func (d *EthDev) descStatus(descAddr uint64) (status byte, length uint16, err error) {
+	s, err := d.seg.SliceRO(descAddr, nic.DescSize)
+	if err != nil {
+		return 0, 0, err
+	}
+	return s[12], binary.LittleEndian.Uint16(s[8:10]), nil
+}
+
+// Start posts the RX ring and enables both queues.
+func (d *EthDev) Start() error {
+	if !d.configured {
+		return fmt.Errorf("dpdk: start before configure")
+	}
+	if d.started {
+		return fmt.Errorf("dpdk: device already started")
+	}
+	// Post a buffer in EVERY slot; RDT=nRX-1 leaves a one-descriptor gap
+	// for the hardware's full/empty disambiguation. The gap slot still
+	// holds a valid buffer, so the window can slide over it safely.
+	for i := uint32(0); i < d.nRX; i++ {
+		m, ok := d.pool.Get()
+		if !ok {
+			return fmt.Errorf("dpdk: pool %q exhausted while filling RX ring", d.pool.Name())
+		}
+		d.rxMbufs[i] = m
+		if err := d.writeDesc(d.rxBase+uint64(i)*nic.DescSize, m.DataAddr(), 0, 0); err != nil {
+			return err
+		}
+	}
+	d.rxTail = d.nRX - 1
+	d.dev.RegWrite32(nic.RegRDT, d.rxTail)
+	d.dev.RegWrite32(nic.RegRCTL, nic.RctlEN)
+	d.dev.RegWrite32(nic.RegTCTL, nic.TctlEN)
+	d.started = true
+	return nil
+}
+
+// RxBurst polls the device and harvests up to len(out) received frames.
+// Each returned mbuf's payload is the raw Ethernet frame.
+func (d *EthDev) RxBurst(out []*Mbuf) int {
+	if !d.started {
+		return 0
+	}
+	d.step()
+	n := 0
+	for n < len(out) {
+		descAddr := d.rxBase + uint64(d.rxNext)*nic.DescSize
+		status, length, err := d.descStatus(descAddr)
+		if err != nil || status&nic.StatDD == 0 {
+			break
+		}
+		// Refill first: if the pool is dry, stop harvesting (the frame
+		// stays until a buffer is available).
+		repl, ok := d.pool.Get()
+		if !ok {
+			break
+		}
+		m := d.rxMbufs[d.rxNext]
+		m.off = MbufHeadroom
+		if err := m.SetLen(int(length)); err != nil {
+			// Oversized: drop.
+			repl.Free()
+			m.reset()
+			repl = m
+		}
+
+		d.rxMbufs[d.rxNext] = repl
+		if err := d.writeDesc(descAddr, repl.DataAddr(), 0, 0); err != nil {
+			break
+		}
+		if m != repl {
+			out[n] = m
+			n++
+		}
+		d.rxNext = (d.rxNext + 1) % d.nRX
+		d.rxTail = (d.rxTail + 1) % d.nRX
+		d.dev.RegWrite32(nic.RegRDT, d.rxTail)
+	}
+	return n
+}
+
+// reclaimTX frees mbufs whose descriptors the device completed.
+func (d *EthDev) reclaimTX() {
+	for d.txFree < d.nTX-1 {
+		descAddr := d.txBase + uint64(d.txReclaim)*nic.DescSize
+		status, _, err := d.descStatus(descAddr)
+		if err != nil || status&nic.StatDD == 0 {
+			return
+		}
+		if m := d.txMbufs[d.txReclaim]; m != nil {
+			m.Free()
+			d.txMbufs[d.txReclaim] = nil
+		}
+		d.txReclaim = (d.txReclaim + 1) % d.nTX
+		d.txFree++
+	}
+}
+
+// TxBurst enqueues up to len(bufs) frames for transmission and returns
+// how many were accepted; ownership of accepted mbufs passes to the
+// driver (they return to the pool after the device sends them).
+func (d *EthDev) TxBurst(bufs []*Mbuf) int {
+	if !d.started {
+		return 0
+	}
+	d.step() // push earlier frames, complete descriptors
+	d.reclaimTX()
+	n := 0
+	for _, m := range bufs {
+		if n >= len(bufs) || d.txFree == 0 {
+			break
+		}
+		descAddr := d.txBase + uint64(d.txNext)*nic.DescSize
+		if err := d.writeDesc(descAddr, m.DataAddr(), uint16(m.Len()), nic.TxCmdEOP|nic.TxCmdRS); err != nil {
+			break
+		}
+		d.txMbufs[d.txNext] = m
+		d.txNext = (d.txNext + 1) % d.nTX
+		d.txFree--
+		n++
+	}
+	if n > 0 {
+		d.dev.RegWrite32(nic.RegTDT, d.txNext)
+		d.step()
+	}
+	return n
+}
+
+// Poll advances the device without transferring mbufs (keeps TX draining
+// while the application is idle) and reclaims completed transmissions.
+func (d *EthDev) Poll() {
+	if d.started {
+		d.step()
+		d.reclaimTX()
+	}
+}
+
+// Stats reads the device counters.
+func (d *EthDev) Stats() Stats {
+	return Stats{
+		IPackets: uint64(d.dev.RegRead32(nic.RegGPRC)),
+		OPackets: uint64(d.dev.RegRead32(nic.RegGPTC)),
+		IBytes:   uint64(d.dev.RegRead32(nic.RegGORCL)) | uint64(d.dev.RegRead32(nic.RegGORCH))<<32,
+		OBytes:   uint64(d.dev.RegRead32(nic.RegGOTCL)) | uint64(d.dev.RegRead32(nic.RegGOTCH))<<32,
+		IMissed:  uint64(d.dev.RegRead32(nic.RegMPC)),
+	}
+}

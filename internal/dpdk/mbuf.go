@@ -1,0 +1,180 @@
+package dpdk
+
+import (
+	"fmt"
+	"sync"
+)
+
+// MbufHeadroom is the reserved space before packet data
+// (RTE_PKTMBUF_HEADROOM); protocol layers prepend headers into it.
+const MbufHeadroom = 128
+
+// DefaultDataroom fits an MTU-1500 Ethernet frame plus headroom.
+const DefaultDataroom = 2048 + MbufHeadroom
+
+// Mbuf is a single-segment packet buffer. Chained (multi-segment) mbufs
+// are not modelled: the dataroom exceeds the 1514-byte maximum frame, so
+// the stack never needs chaining.
+type Mbuf struct {
+	pool *Mempool
+	buf  uint64 // base address of the data room
+	room uint16 // data room size
+
+	off uint16 // data offset from buf
+	len uint16 // data length
+
+	// Port is the receiving port id, set by RxBurst.
+	Port int
+}
+
+// DataAddr returns the address of the first payload byte.
+func (m *Mbuf) DataAddr() uint64 { return m.buf + uint64(m.off) }
+
+// Len returns the payload length.
+func (m *Mbuf) Len() int { return int(m.len) }
+
+// Headroom returns the unused space before the payload.
+func (m *Mbuf) Headroom() int { return int(m.off) }
+
+// Tailroom returns the unused space after the payload.
+func (m *Mbuf) Tailroom() int { return int(m.room - m.off - m.len) }
+
+// reset rewinds the mbuf to headroom-only, zero length.
+func (m *Mbuf) reset() {
+	m.off = MbufHeadroom
+	m.len = 0
+	m.Port = 0
+}
+
+// Append grows the payload by n bytes at the tail and returns a writable
+// view of the new region (capability-checked in CHERI mode).
+func (m *Mbuf) Append(n int) ([]byte, error) {
+	if n < 0 || n > m.Tailroom() {
+		return nil, fmt.Errorf("dpdk: append %d exceeds tailroom %d", n, m.Tailroom())
+	}
+	addr := m.buf + uint64(m.off+m.len)
+	m.len += uint16(n)
+	return m.pool.seg.Slice(addr, n)
+}
+
+// Prepend grows the payload by n bytes at the head (header push) and
+// returns a writable view of the new region.
+func (m *Mbuf) Prepend(n int) ([]byte, error) {
+	if n < 0 || n > int(m.off) {
+		return nil, fmt.Errorf("dpdk: prepend %d exceeds headroom %d", n, m.off)
+	}
+	m.off -= uint16(n)
+	m.len += uint16(n)
+	return m.pool.seg.Slice(m.buf+uint64(m.off), n)
+}
+
+// Adj strips n bytes from the head (header pull).
+func (m *Mbuf) Adj(n int) error {
+	if n < 0 || n > int(m.len) {
+		return fmt.Errorf("dpdk: adj %d exceeds length %d", n, m.len)
+	}
+	m.off += uint16(n)
+	m.len -= uint16(n)
+	return nil
+}
+
+// Trim strips n bytes from the tail.
+func (m *Mbuf) Trim(n int) error {
+	if n < 0 || n > int(m.len) {
+		return fmt.Errorf("dpdk: trim %d exceeds length %d", n, m.len)
+	}
+	m.len -= uint16(n)
+	return nil
+}
+
+// SetLen forces the payload length (used by RX harvest: the device wrote
+// the bytes already).
+func (m *Mbuf) SetLen(n int) error {
+	if n < 0 || n > int(m.room-m.off) {
+		return fmt.Errorf("dpdk: length %d exceeds room", n)
+	}
+	m.len = uint16(n)
+	return nil
+}
+
+// Bytes returns a read-write view of the whole payload.
+func (m *Mbuf) Bytes() ([]byte, error) {
+	return m.pool.seg.Slice(m.DataAddr(), m.Len())
+}
+
+// BytesRO returns a read-only view of the whole payload.
+func (m *Mbuf) BytesRO() ([]byte, error) {
+	return m.pool.seg.SliceRO(m.DataAddr(), m.Len())
+}
+
+// Free returns the mbuf to its pool.
+func (m *Mbuf) Free() { m.pool.put(m) }
+
+// Mempool is a fixed-population mbuf allocator over a memory segment.
+type Mempool struct {
+	seg  *MemSeg
+	name string
+	room uint16
+
+	mu    sync.Mutex
+	free  []*Mbuf
+	total int
+}
+
+// NewMempool carves n mbufs of the given dataroom out of seg.
+func NewMempool(seg *MemSeg, name string, n int, dataroom uint16) (*Mempool, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dpdk: mempool %q needs a positive population", name)
+	}
+	if dataroom < MbufHeadroom+64 {
+		return nil, fmt.Errorf("dpdk: mempool %q dataroom %d too small", name, dataroom)
+	}
+	p := &Mempool{seg: seg, name: name, room: dataroom, total: n}
+	base, err := p.seg.Alloc(uint64(n)*uint64(dataroom), 64)
+	if err != nil {
+		return nil, fmt.Errorf("dpdk: mempool %q: %w", name, err)
+	}
+	p.free = make([]*Mbuf, 0, n)
+	for i := 0; i < n; i++ {
+		m := &Mbuf{pool: p, buf: base + uint64(i)*uint64(dataroom), room: dataroom}
+		m.reset()
+		p.free = append(p.free, m)
+	}
+	return p, nil
+}
+
+// Name returns the pool's name.
+func (p *Mempool) Name() string { return p.name }
+
+// Get allocates an mbuf; ok is false when the pool is exhausted.
+func (p *Mempool) Get() (*Mbuf, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) == 0 {
+		return nil, false
+	}
+	m := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return m, true
+}
+
+// put returns an mbuf to the pool.
+func (p *Mempool) put(m *Mbuf) {
+	m.reset()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) >= p.total {
+		panic(fmt.Sprintf("dpdk: mempool %q double free", p.name))
+	}
+	p.free = append(p.free, m)
+}
+
+// Avail reports free mbufs.
+func (p *Mempool) Avail() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}
+
+// Total reports the pool population.
+func (p *Mempool) Total() int { return p.total }

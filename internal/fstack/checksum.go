@@ -1,0 +1,44 @@
+package fstack
+
+// Checksum computes the RFC 1071 internet checksum of data.
+func Checksum(data []byte) uint16 {
+	return finishChecksum(sumBytes(0, data))
+}
+
+// sumBytes accumulates 16-bit big-endian words into a running sum.
+func sumBytes(sum uint32, data []byte) uint32 {
+	n := len(data) &^ 1
+	for i := 0; i < n; i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	return sum
+}
+
+// finishChecksum folds the carries and complements.
+func finishChecksum(sum uint32) uint16 {
+	for sum>>16 != 0 {
+		sum = (sum & 0xFFFF) + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderSum starts a TCP/UDP checksum with the IPv4 pseudo header.
+func pseudoHeaderSum(src, dst IPv4Addr, proto uint8, length int) uint32 {
+	var sum uint32
+	sum += uint32(src[0])<<8 | uint32(src[1])
+	sum += uint32(src[2])<<8 | uint32(src[3])
+	sum += uint32(dst[0])<<8 | uint32(dst[1])
+	sum += uint32(dst[2])<<8 | uint32(dst[3])
+	sum += uint32(proto)
+	sum += uint32(length)
+	return sum
+}
+
+// transportChecksum computes the TCP/UDP checksum over header+payload.
+func transportChecksum(src, dst IPv4Addr, proto uint8, segment []byte) uint16 {
+	sum := pseudoHeaderSum(src, dst, proto, len(segment))
+	return finishChecksum(sumBytes(sum, segment))
+}

@@ -1,0 +1,34 @@
+// Package fstack is a user-space TCP/IP stack over DPDK, modelled on
+// F-Stack (the FreeBSD-derived stack the paper ports to CheriBSD,
+// §II-C/§III-B).
+//
+// Architecture, following F-Stack's:
+//
+//   - The stack is owned by a single poll-mode main loop (Loop): every
+//     iteration drains the NIC RX rings, runs protocol input, fires
+//     timers, flushes TX, and invokes a user callback. There are no
+//     interrupts and no kernel involvement after boot.
+//   - Applications use the ff_* socket API (Socket, Bind, Listen,
+//     Accept, Connect, Read, Write, Close) plus an epoll-style event
+//     API. All calls are non-blocking; readiness is reported through
+//     epoll, which is how the paper's iperf3 port works after its
+//     select->epoll conversion (§III-B).
+//   - API calls and the main loop are serialized by one stack mutex.
+//     In Baseline and Scenario 1 the application runs inside the loop
+//     callback, so the mutex is uncontended; in Scenario 2 separate
+//     application compartments call through cross-cVM gates and contend
+//     on it — the effect Fig. 6 measures.
+//   - In capability mode (the CHERI port) socket buffers and all packet
+//     memory live in a bounded memory segment and every copy is a
+//     checked capability access; ff_write takes a `__capability` buffer
+//     argument exactly like the modified API in the paper (§III-B).
+//
+// Protocols: Ethernet II, ARP, IPv4 (no fragmentation — the MSS never
+// exceeds the MTU), ICMP echo, UDP, and TCP with the features the
+// evaluation exercises: 3-way handshake, sliding window, timestamp
+// options (12 bytes, giving the canonical 1448-byte MSS payload and the
+// 941 Mbit/s GbE goodput ceiling), delayed ACKs, slow start + AIMD
+// congestion control, fast retransmit, and RTO with exponential backoff.
+// Loss recovery is go-back-N (out-of-order segments are not queued);
+// DESIGN.md discusses why this suffices for the reproduced experiments.
+package fstack

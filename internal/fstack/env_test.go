@@ -1,0 +1,140 @@
+package fstack
+
+import (
+	"testing"
+
+	"repro/internal/cheri"
+	"repro/internal/dpdk"
+	"repro/internal/hostos"
+	"repro/internal/nic"
+	"repro/internal/sim"
+)
+
+// testEnv is a two-machine rig: stack A (10.0.0.1) and stack B
+// (10.0.0.2) wired back-to-back at 1 Gbit/s, driven in virtual time.
+type testEnv struct {
+	t    *testing.T
+	clk  *sim.VClock
+	stkA *Stack
+	stkB *Stack
+}
+
+// buildMachine makes one machine: memory, card, segment, pool, ethdev,
+// stack.
+func buildMachine(t *testing.T, clk *sim.VClock, bdf string, macLast byte, ip IPv4Addr, capMode bool) (*Stack, *nic.Card) {
+	t.Helper()
+	mem := cheri.NewTMem(16 << 20)
+	pci := hostos.NewPCI()
+	card, err := nic.New(nic.Config{
+		BDFBase: bdf, Ports: 1, LineRateBps: 1e9,
+		MAC: [6]byte{2, 0, 0, 0, 0, macLast}, Clk: clk, Mem: mem, CapDMA: capMode,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := card.RegisterPCI(pci); err != nil {
+		t.Fatal(err)
+	}
+	if errno := pci.Unbind(bdf + ".0"); errno != hostos.OK {
+		t.Fatal(errno)
+	}
+	var segCap cheri.Cap
+	const segBase, segSize = 0x100000, 8 << 20
+	if capMode {
+		segCap, err = mem.Root().SetAddr(segBase).SetBounds(segSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		segCap, err = segCap.AndPerms(cheri.PermData)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg, err := dpdk.NewMemSeg(mem, segBase, segSize, segCap, capMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := dpdk.NewMempool(seg, "pkt", 1024, dpdk.DefaultDataroom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := dpdk.Probe(pci, bdf+".0", seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Configure(256, 256, pool); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Start(); err != nil {
+		t.Fatal(err)
+	}
+	stk := NewStack(seg, pool, clk)
+	stk.AddNetIF("eth0", dev, ip, IP4(255, 255, 255, 0))
+	return stk, card
+}
+
+// newEnv builds the rig.
+func newEnv(t *testing.T, capMode bool) *testEnv {
+	t.Helper()
+	clk := sim.NewVClock()
+	stkA, cardA := buildMachine(t, clk, "0000:03:00", 1, IP4(10, 0, 0, 1), capMode)
+	stkB, cardB := buildMachine(t, clk, "0000:04:00", 2, IP4(10, 0, 0, 2), capMode)
+	nic.Connect(cardA.Port(0), cardB.Port(0))
+	return &testEnv{t: t, clk: clk, stkA: stkA, stkB: stkB}
+}
+
+// tick runs one poll iteration on both stacks and advances 5 µs.
+func (e *testEnv) tick() {
+	e.stkA.PollOnce()
+	e.stkB.PollOnce()
+	e.clk.Advance(5000)
+}
+
+// pumpUntil ticks until cond is true, failing after maxTicks.
+func (e *testEnv) pumpUntil(maxTicks int, what string, cond func() bool) {
+	e.t.Helper()
+	for i := 0; i < maxTicks; i++ {
+		if cond() {
+			return
+		}
+		e.tick()
+	}
+	e.t.Fatalf("condition %q not reached after %d ticks (%.1f ms virtual)",
+		what, maxTicks, float64(e.clk.Now())/1e6)
+}
+
+// connectPair establishes a TCP connection: B listens on port, A
+// connects; returns (client fd on A, accepted fd on B).
+func (e *testEnv) connectPair(port uint16) (int, int) {
+	e.t.Helper()
+	lfd, errno := e.stkB.Socket(SockStream)
+	if errno != hostos.OK {
+		e.t.Fatal(errno)
+	}
+	if errno := e.stkB.Bind(lfd, IPv4Addr{}, port); errno != hostos.OK {
+		e.t.Fatal(errno)
+	}
+	if errno := e.stkB.Listen(lfd, 8); errno != hostos.OK {
+		e.t.Fatal(errno)
+	}
+	cfd, errno := e.stkA.Socket(SockStream)
+	if errno != hostos.OK {
+		e.t.Fatal(errno)
+	}
+	if errno := e.stkA.Connect(cfd, IP4(10, 0, 0, 2), port); errno != hostos.EINPROGRESS {
+		e.t.Fatalf("connect: %v", errno)
+	}
+	afd := -1
+	e.pumpUntil(4000, "accept", func() bool {
+		fd, _, _, errno := e.stkB.Accept(lfd)
+		if errno == hostos.OK {
+			afd = fd
+			return true
+		}
+		return false
+	})
+	e.pumpUntil(4000, "client established", func() bool {
+		return e.stkA.ConnState(cfd) == "ESTABLISHED"
+	})
+	return cfd, afd
+}

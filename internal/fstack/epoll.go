@@ -1,0 +1,143 @@
+package fstack
+
+import "repro/internal/hostos"
+
+// Epoll event bits (Linux values; musl callers expect them).
+const (
+	EPOLLIN  uint32 = 0x001
+	EPOLLOUT uint32 = 0x004
+	EPOLLERR uint32 = 0x008
+	EPOLLHUP uint32 = 0x010
+)
+
+// Epoll ctl operations.
+const (
+	EpollCtlAdd = 1
+	EpollCtlDel = 2
+	EpollCtlMod = 3
+)
+
+// Event is one readiness report.
+type Event struct {
+	FD     int
+	Events uint32
+}
+
+// epollInstance is a level-triggered readiness poller over the stack's
+// sockets. The paper's iperf3 port replaced select with this mechanism
+// (§III-B); in a poll-mode stack Wait never blocks — the main loop is
+// the thing that makes progress.
+type epollInstance struct {
+	interest map[int]uint32
+}
+
+// EpollCreate makes an epoll descriptor.
+func (s *Stack) EpollCreate() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epollCreateLocked()
+}
+
+func (s *Stack) epollCreateLocked() int {
+	fd := s.nextFD
+	s.nextFD++
+	s.epolls[fd] = &epollInstance{interest: make(map[int]uint32)}
+	return fd
+}
+
+// EpollCtl manipulates the interest set.
+func (s *Stack) EpollCtl(epfd, op, fd int, events uint32) hostos.Errno {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epollCtlLocked(epfd, op, fd, events)
+}
+
+func (s *Stack) epollCtlLocked(epfd, op, fd int, events uint32) hostos.Errno {
+	ep, ok := s.epolls[epfd]
+	if !ok {
+		return hostos.EBADF
+	}
+	if _, ok := s.socks[fd]; !ok {
+		return hostos.EBADF
+	}
+	switch op {
+	case EpollCtlAdd:
+		if _, dup := ep.interest[fd]; dup {
+			return hostos.EINVAL
+		}
+		ep.interest[fd] = events
+	case EpollCtlMod:
+		if _, ok := ep.interest[fd]; !ok {
+			return hostos.ENOENT
+		}
+		ep.interest[fd] = events
+	case EpollCtlDel:
+		delete(ep.interest, fd)
+	default:
+		return hostos.EINVAL
+	}
+	return hostos.OK
+}
+
+// EpollWait collects ready events (non-blocking).
+func (s *Stack) EpollWait(epfd int, evs []Event) (int, hostos.Errno) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epollWaitLocked(epfd, evs)
+}
+
+func (s *Stack) epollWaitLocked(epfd int, evs []Event) (int, hostos.Errno) {
+	ep, ok := s.epolls[epfd]
+	if !ok {
+		return -1, hostos.EBADF
+	}
+	n := 0
+	for fd, want := range ep.interest {
+		if n >= len(evs) {
+			break
+		}
+		got := s.readiness(fd) & (want | EPOLLERR | EPOLLHUP)
+		if got != 0 {
+			evs[n] = Event{FD: fd, Events: got}
+			n++
+		}
+	}
+	return n, hostos.OK
+}
+
+// readiness computes the level-triggered event set of a socket.
+func (s *Stack) readiness(fd int) uint32 {
+	sk, ok := s.socks[fd]
+	if !ok {
+		return EPOLLERR
+	}
+	var r uint32
+	switch {
+	case sk.lst != nil:
+		if len(sk.lst.pending) > 0 {
+			r |= EPOLLIN
+		}
+	case sk.conn != nil:
+		c := sk.conn
+		if c.rcvBuf.Len() > 0 || c.finRcvd {
+			r |= EPOLLIN
+		}
+		switch c.state {
+		case tcpEstablished, tcpCloseWait:
+			if c.sndBuf.Free() > 0 {
+				r |= EPOLLOUT
+			}
+		case tcpClosed:
+			r |= EPOLLHUP
+		}
+		if c.sockErr != hostos.OK {
+			r |= EPOLLERR
+		}
+	case sk.udp != nil:
+		if len(sk.udp.q) > 0 {
+			r |= EPOLLIN
+		}
+		r |= EPOLLOUT // UDP is always writable (best effort)
+	}
+	return r
+}

@@ -1,0 +1,67 @@
+package fstack
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MACAddr is an Ethernet hardware address.
+type MACAddr [6]byte
+
+// String formats the address in colon notation.
+func (m MACAddr) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// BroadcastMAC is ff:ff:ff:ff:ff:ff.
+var BroadcastMAC = MACAddr{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}
+
+// IPv4Addr is a dotted-quad address.
+type IPv4Addr [4]byte
+
+// String formats the address in dotted-quad notation.
+func (a IPv4Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+}
+
+// IP4 builds an address from octets.
+func IP4(a, b, c, d byte) IPv4Addr { return IPv4Addr{a, b, c, d} }
+
+// EtherType values.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeARP  uint16 = 0x0806
+)
+
+// EthHeaderLen is the Ethernet II header size.
+const EthHeaderLen = 14
+
+// MTU is the Ethernet payload limit (no jumbo frames, like the paper's
+// 82576 setup).
+const MTU = 1500
+
+// EthHeader is an Ethernet II header.
+type EthHeader struct {
+	Dst  MACAddr
+	Src  MACAddr
+	Type uint16
+}
+
+// PutEthHeader marshals h into b (len >= EthHeaderLen).
+func PutEthHeader(b []byte, h EthHeader) {
+	copy(b[0:6], h.Dst[:])
+	copy(b[6:12], h.Src[:])
+	binary.BigEndian.PutUint16(b[12:14], h.Type)
+}
+
+// ParseEthHeader unmarshals an Ethernet II header.
+func ParseEthHeader(b []byte) (EthHeader, error) {
+	if len(b) < EthHeaderLen {
+		return EthHeader{}, fmt.Errorf("fstack: ethernet frame of %d bytes", len(b))
+	}
+	var h EthHeader
+	copy(h.Dst[:], b[0:6])
+	copy(h.Src[:], b[6:12])
+	h.Type = binary.BigEndian.Uint16(b[12:14])
+	return h, nil
+}

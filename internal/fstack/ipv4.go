@@ -1,0 +1,87 @@
+package fstack
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// IP protocol numbers.
+const (
+	ProtoICMP uint8 = 1
+	ProtoTCP  uint8 = 6
+	ProtoUDP  uint8 = 17
+)
+
+// IPv4HeaderLen is the header size without options (we emit none).
+const IPv4HeaderLen = 20
+
+// IPv4Header is an IPv4 header (options unsupported on output; ignored
+// on input).
+type IPv4Header struct {
+	TOS      uint8
+	TotalLen uint16
+	ID       uint16
+	Flags    uint8 // upper 3 bits of the fragment word
+	FragOff  uint16
+	TTL      uint8
+	Proto    uint8
+	Src      IPv4Addr
+	Dst      IPv4Addr
+}
+
+// flagDontFragment is the DF bit.
+const flagDontFragment = 0x2
+
+// PutIPv4Header marshals h into b (len >= IPv4HeaderLen) and writes the
+// header checksum.
+func PutIPv4Header(b []byte, h IPv4Header) {
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = h.TOS
+	binary.BigEndian.PutUint16(b[2:4], h.TotalLen)
+	binary.BigEndian.PutUint16(b[4:6], h.ID)
+	binary.BigEndian.PutUint16(b[6:8], uint16(h.Flags)<<13|h.FragOff&0x1FFF)
+	b[8] = h.TTL
+	b[9] = h.Proto
+	b[10], b[11] = 0, 0
+	copy(b[12:16], h.Src[:])
+	copy(b[16:20], h.Dst[:])
+	cs := Checksum(b[:IPv4HeaderLen])
+	binary.BigEndian.PutUint16(b[10:12], cs)
+}
+
+// ParseIPv4Header unmarshals and validates an IPv4 header, returning the
+// header, its length (IHL), and an error for malformed or corrupt
+// headers.
+func ParseIPv4Header(b []byte) (IPv4Header, int, error) {
+	if len(b) < IPv4HeaderLen {
+		return IPv4Header{}, 0, fmt.Errorf("fstack: short IPv4 header (%d bytes)", len(b))
+	}
+	if b[0]>>4 != 4 {
+		return IPv4Header{}, 0, fmt.Errorf("fstack: IP version %d", b[0]>>4)
+	}
+	ihl := int(b[0]&0xF) * 4
+	if ihl < IPv4HeaderLen || len(b) < ihl {
+		return IPv4Header{}, 0, fmt.Errorf("fstack: bad IHL %d", ihl)
+	}
+	if Checksum(b[:ihl]) != 0 {
+		return IPv4Header{}, 0, fmt.Errorf("fstack: IPv4 header checksum mismatch")
+	}
+	var h IPv4Header
+	h.TOS = b[1]
+	h.TotalLen = binary.BigEndian.Uint16(b[2:4])
+	h.ID = binary.BigEndian.Uint16(b[4:6])
+	frag := binary.BigEndian.Uint16(b[6:8])
+	h.Flags = uint8(frag >> 13)
+	h.FragOff = frag & 0x1FFF
+	h.TTL = b[8]
+	h.Proto = b[9]
+	copy(h.Src[:], b[12:16])
+	copy(h.Dst[:], b[16:20])
+	if int(h.TotalLen) < ihl || int(h.TotalLen) > len(b) {
+		return IPv4Header{}, 0, fmt.Errorf("fstack: IPv4 total length %d outside frame", h.TotalLen)
+	}
+	if h.FragOff != 0 || h.Flags&0x1 != 0 { // MF set or offset nonzero
+		return IPv4Header{}, 0, fmt.Errorf("fstack: fragmented packet unsupported")
+	}
+	return h, ihl, nil
+}

@@ -1,0 +1,72 @@
+package fstack
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Loop is the F-Stack main loop: after an initialization phase, a
+// poll-mode iteration runs forever — "(i) process the ring buffers of
+// the DPDK Ethernet driver; and (ii) execute a user-defined function
+// where calls to F-Stack API functions can be made" (§III-B).
+type Loop struct {
+	Stk *Stack
+	// OnLoop is the user-defined function, called every iteration while
+	// the stack mutex is held (the app and the stack share a compartment
+	// in Baseline and Scenario 1). It may call the *Locked API variants
+	// freely. Returning false stops Run.
+	OnLoop func(now int64) bool
+	// Yield inserts a scheduler yield between iterations. The paper's
+	// testbed pins each busy loop to its own core; on a smaller host the
+	// yield emulates that by letting the other compartments' loops run
+	// every iteration instead of every preemption quantum.
+	Yield bool
+
+	iterations atomic.Uint64
+	stopped    atomic.Bool
+}
+
+// RunOnce executes one locked iteration: drain RX rings, run protocol
+// input and timers, flush TX, then the user callback.
+func (l *Loop) RunOnce() bool {
+	s := l.Stk
+	s.mu.Lock()
+	s.poll()
+	cont := true
+	if l.OnLoop != nil {
+		cont = l.OnLoop(s.now())
+	}
+	s.mu.Unlock()
+	l.iterations.Add(1)
+	return cont
+}
+
+// Run spins until the callback returns false or Stop is called. This is
+// the busy-polling DPDK main loop — it never sleeps, by design ("DPDK
+// also operates in polling mode to reduce the latency caused by
+// interrupt-triggered context switches", §II-C).
+func (l *Loop) Run() {
+	l.stopped.Store(false)
+	for !l.stopped.Load() {
+		if !l.RunOnce() {
+			return
+		}
+		if l.Yield {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Stop makes Run return after the current iteration.
+func (l *Loop) Stop() { l.stopped.Store(true) }
+
+// Iterations reports completed loop iterations.
+func (l *Loop) Iterations() uint64 { return l.iterations.Load() }
+
+// LockedAPI exposes the *Locked API variants to code that already holds
+// the stack mutex (the OnLoop callback and Scenario 2's gate targets).
+// It exists to make call sites explicit about their locking context.
+type LockedAPI struct{ S *Stack }
+
+// Locked returns the in-loop API view.
+func (l *Loop) Locked() LockedAPI { return LockedAPI{S: l.Stk} }

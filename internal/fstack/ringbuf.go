@@ -1,0 +1,159 @@
+package fstack
+
+import (
+	"fmt"
+
+	"repro/internal/cheri"
+	"repro/internal/dpdk"
+)
+
+// sockBuf is a byte ring in stack segment memory, used for socket send
+// and receive buffers. Copies in and out go through the segment, so in
+// capability mode they are checked accesses — ff_write's measured work.
+//
+// Counters are absolute (never wrap in practice: uint64); for the send
+// buffer the read counter is advanced by ACKs while peek serves
+// (re)transmission, giving retention-until-acknowledged for free.
+type sockBuf struct {
+	seg  *dpdk.MemSeg
+	base uint64
+	size int // power of two
+	r, w uint64
+}
+
+// newSockBuf allocates a ring of the given power-of-two size.
+func newSockBuf(seg *dpdk.MemSeg, size int) (*sockBuf, error) {
+	if size <= 0 || size&(size-1) != 0 {
+		return nil, fmt.Errorf("fstack: socket buffer size %d not a power of two", size)
+	}
+	base, err := seg.Alloc(uint64(size), 64)
+	if err != nil {
+		return nil, err
+	}
+	return &sockBuf{seg: seg, base: base, size: size}, nil
+}
+
+// Len returns buffered bytes.
+func (b *sockBuf) Len() int { return int(b.w - b.r) }
+
+// Free returns remaining space.
+func (b *sockBuf) Free() int { return b.size - b.Len() }
+
+// writeFrom appends up to len(src) bytes from a plain slice, returning
+// the count stored.
+func (b *sockBuf) writeFrom(src []byte) (int, error) {
+	n := min(len(src), b.Free())
+	written := 0
+	for written < n {
+		off := int(b.w % uint64(b.size))
+		chunk := min(n-written, b.size-off)
+		dst, err := b.seg.Slice(b.base+uint64(off), chunk)
+		if err != nil {
+			return written, err
+		}
+		copy(dst, src[written:written+chunk])
+		b.w += uint64(chunk)
+		written += chunk
+	}
+	return written, nil
+}
+
+// writeFromCap appends up to n bytes loaded through the caller's
+// capability (the `const void * __capability buf` of ff_write). The
+// load is checked against cap; the store is checked against the
+// segment.
+func (b *sockBuf) writeFromCap(mem *cheri.TMem, cap cheri.Cap, n int) (int, error) {
+	n = min(n, b.Free())
+	written := 0
+	addr := cap.Addr()
+	for written < n {
+		off := int(b.w % uint64(b.size))
+		chunk := min(n-written, b.size-off)
+		src, err := mem.CheckedSliceRO(cap.SetAddr(addr+uint64(written)), addr+uint64(written), chunk)
+		if err != nil {
+			return written, err
+		}
+		dst, err := b.seg.Slice(b.base+uint64(off), chunk)
+		if err != nil {
+			return written, err
+		}
+		copy(dst, src)
+		b.w += uint64(chunk)
+		written += chunk
+	}
+	return written, nil
+}
+
+// readInto consumes up to len(dst) bytes into a plain slice.
+func (b *sockBuf) readInto(dst []byte) (int, error) {
+	n := min(len(dst), b.Len())
+	read := 0
+	for read < n {
+		off := int(b.r % uint64(b.size))
+		chunk := min(n-read, b.size-off)
+		src, err := b.seg.SliceRO(b.base+uint64(off), chunk)
+		if err != nil {
+			return read, err
+		}
+		copy(dst[read:read+chunk], src)
+		b.r += uint64(chunk)
+		read += chunk
+	}
+	return read, nil
+}
+
+// readIntoCap consumes up to n bytes, storing them through the caller's
+// capability (ff_read with a __capability buffer).
+func (b *sockBuf) readIntoCap(mem *cheri.TMem, cap cheri.Cap, n int) (int, error) {
+	n = min(n, b.Len())
+	read := 0
+	addr := cap.Addr()
+	for read < n {
+		off := int(b.r % uint64(b.size))
+		chunk := min(n-read, b.size-off)
+		src, err := b.seg.SliceRO(b.base+uint64(off), chunk)
+		if err != nil {
+			return read, err
+		}
+		dst, err := mem.CheckedSlice(cap.SetAddr(addr+uint64(read)), addr+uint64(read), chunk)
+		if err != nil {
+			return read, err
+		}
+		copy(dst, src)
+		b.r += uint64(chunk)
+		read += chunk
+	}
+	return read, nil
+}
+
+// peek copies up to len(dst) bytes starting at logical offset off past
+// the read point, without consuming (transmission and retransmission).
+func (b *sockBuf) peek(off int, dst []byte) (int, error) {
+	if off < 0 || off > b.Len() {
+		return 0, fmt.Errorf("fstack: peek offset %d outside buffer of %d", off, b.Len())
+	}
+	n := min(len(dst), b.Len()-off)
+	read := 0
+	pos := b.r + uint64(off)
+	for read < n {
+		o := int(pos % uint64(b.size))
+		chunk := min(n-read, b.size-o)
+		src, err := b.seg.SliceRO(b.base+uint64(o), chunk)
+		if err != nil {
+			return read, err
+		}
+		copy(dst[read:read+chunk], src)
+		pos += uint64(chunk)
+		read += chunk
+	}
+	return read, nil
+}
+
+// consume drops n bytes from the front (ACK advancing snd.una).
+func (b *sockBuf) consume(n int) error {
+	if n < 0 || n > b.Len() {
+		return fmt.Errorf("fstack: consume %d of %d buffered", n, b.Len())
+	}
+	b.r += uint64(n)
+	return nil
+}

@@ -1,0 +1,224 @@
+package fstack
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cheri"
+	"repro/internal/dpdk"
+)
+
+func testSeg(t *testing.T, capMode bool) (*dpdk.MemSeg, *cheri.TMem) {
+	t.Helper()
+	mem := cheri.NewTMem(4 << 20)
+	var c cheri.Cap
+	if capMode {
+		var err error
+		c, err = mem.Root().SetAddr(0x1000).SetBounds(2 << 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err = c.AndPerms(cheri.PermData)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg, err := dpdk.NewMemSeg(mem, 0x1000, 2<<20, c, capMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seg, mem
+}
+
+func TestSockBufBasics(t *testing.T) {
+	seg, _ := testSeg(t, false)
+	b, err := newSockBuf(seg, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 || b.Free() != 1024 {
+		t.Fatal("fresh buffer not empty")
+	}
+	n, err := b.writeFrom([]byte("hello world"))
+	if err != nil || n != 11 {
+		t.Fatalf("writeFrom: %d, %v", n, err)
+	}
+	dst := make([]byte, 5)
+	if n, _ := b.readInto(dst); n != 5 || string(dst) != "hello" {
+		t.Fatalf("readInto: %q", dst)
+	}
+	if b.Len() != 6 {
+		t.Fatalf("len after partial read: %d", b.Len())
+	}
+}
+
+func TestSockBufWrapAround(t *testing.T) {
+	seg, _ := testSeg(t, false)
+	b, _ := newSockBuf(seg, 64)
+	// Fill, drain, refill across the wrap point repeatedly.
+	pattern := []byte("0123456789abcdefghijklmnopqrstuv") // 32 bytes
+	for round := 0; round < 20; round++ {
+		n, err := b.writeFrom(pattern)
+		if err != nil || n != len(pattern) {
+			t.Fatalf("round %d write: %d %v", round, n, err)
+		}
+		got := make([]byte, len(pattern))
+		if n, _ := b.readInto(got); n != len(pattern) {
+			t.Fatalf("round %d read: %d", round, n)
+		}
+		if !bytes.Equal(got, pattern) {
+			t.Fatalf("round %d corrupted: %q", round, got)
+		}
+	}
+}
+
+func TestSockBufFillsExactly(t *testing.T) {
+	seg, _ := testSeg(t, false)
+	b, _ := newSockBuf(seg, 128)
+	big := make([]byte, 200)
+	n, err := b.writeFrom(big)
+	if err != nil || n != 128 {
+		t.Fatalf("overfill stored %d, %v", n, err)
+	}
+	if b.Free() != 0 {
+		t.Fatal("buffer should be full")
+	}
+	if n, _ := b.writeFrom([]byte{1}); n != 0 {
+		t.Fatal("write into full buffer must store nothing")
+	}
+}
+
+func TestSockBufPeekAndConsume(t *testing.T) {
+	seg, _ := testSeg(t, false)
+	b, _ := newSockBuf(seg, 256)
+	b.writeFrom([]byte("abcdefghij"))
+	dst := make([]byte, 4)
+	if n, err := b.peek(2, dst); err != nil || n != 4 || string(dst) != "cdef" {
+		t.Fatalf("peek: %q %v", dst[:n], err)
+	}
+	// Peek does not consume.
+	if b.Len() != 10 {
+		t.Fatal("peek consumed")
+	}
+	if err := b.consume(3); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := b.peek(0, dst); n != 4 || string(dst) != "defg" {
+		t.Fatalf("peek after consume: %q", dst)
+	}
+	if err := b.consume(100); err == nil {
+		t.Fatal("over-consume accepted")
+	}
+	if _, err := b.peek(100, dst); err == nil {
+		t.Fatal("peek beyond buffer accepted")
+	}
+}
+
+func TestSockBufRejectsBadSize(t *testing.T) {
+	seg, _ := testSeg(t, false)
+	if _, err := newSockBuf(seg, 1000); err == nil {
+		t.Fatal("non-power-of-two accepted")
+	}
+	if _, err := newSockBuf(seg, 0); err == nil {
+		t.Fatal("zero size accepted")
+	}
+}
+
+func TestSockBufCapCopies(t *testing.T) {
+	seg, mem := testSeg(t, true)
+	b, err := newSockBuf(seg, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An "application buffer" elsewhere in memory with its own capability.
+	const appBase = 0x300000
+	appCap, err := mem.Root().SetAddr(appBase).SetBounds(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appCap, _ = appCap.AndPerms(cheri.PermData)
+	msg := []byte("capability transfer!")
+	if err := mem.Store(mem.Root(), appBase, msg); err != nil {
+		t.Fatal(err)
+	}
+	n, err := b.writeFromCap(mem, appCap, len(msg))
+	if err != nil || n != len(msg) {
+		t.Fatalf("writeFromCap: %d %v", n, err)
+	}
+	// Read back through a second capability window.
+	outCap := appCap.SetAddr(appBase + 32)
+	if _, err := b.readIntoCap(mem, outCap, len(msg)); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if err := mem.Load(mem.Root(), appBase+32, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("cap round trip: %q", got)
+	}
+}
+
+func TestSockBufCapOutOfBoundsFaults(t *testing.T) {
+	seg, mem := testSeg(t, true)
+	b, _ := newSockBuf(seg, 1024)
+	small, err := mem.Root().SetAddr(0x300000).SetBounds(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, _ = small.AndPerms(cheri.PermData)
+	// Asking to write 16 bytes through an 8-byte capability faults after
+	// the in-bounds prefix.
+	if _, err := b.writeFromCap(mem, small, 16); err == nil {
+		t.Fatal("out-of-bounds capability load accepted")
+	}
+}
+
+// Property: interleaved writes and reads preserve the byte stream (FIFO
+// order, no loss, no duplication).
+func TestQuickSockBufStreamIntegrity(t *testing.T) {
+	seg, _ := testSeg(t, false)
+	b, err := newSockBuf(seg, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var expect []byte // modelled contents
+	next := byte(0)
+	f := func(ops []uint16) bool {
+		for _, op := range ops {
+			if op%2 == 0 { // write op%97 bytes
+				n := int(op % 97)
+				src := make([]byte, n)
+				for i := range src {
+					src[i] = next
+					next++
+				}
+				w, err := b.writeFrom(src)
+				if err != nil {
+					return false
+				}
+				expect = append(expect, src[:w]...)
+				// bytes beyond w are lost from the model: rewind next
+				next -= byte(n - w)
+			} else { // read op%73 bytes
+				dst := make([]byte, int(op%73))
+				r, err := b.readInto(dst)
+				if err != nil {
+					return false
+				}
+				if !bytes.Equal(dst[:r], expect[:r]) {
+					return false
+				}
+				expect = expect[r:]
+			}
+			if b.Len() != len(expect) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,513 @@
+package fstack
+
+import (
+	"repro/internal/cheri"
+	"repro/internal/hostos"
+)
+
+// Socket types (ff_socket's type argument).
+const (
+	SockStream = 1
+	SockDgram  = 2
+)
+
+// listener is a passive TCP socket's accept machinery.
+type listener struct {
+	ep       tcpEndpoint
+	backlog  int
+	halfOpen int
+	pending  []*tcpConn // established, awaiting Accept
+}
+
+// dgram is one queued UDP datagram.
+type dgram struct {
+	src  tcpEndpoint
+	data []byte
+}
+
+// udpQueueMax bounds the per-socket datagram queue.
+const udpQueueMax = 256
+
+// udpSock is a bound UDP endpoint.
+type udpSock struct {
+	ep tcpEndpoint
+	q  []dgram
+}
+
+// socket is one file descriptor.
+type socket struct {
+	fd  int
+	typ int
+	stk *Stack
+
+	bound tcpEndpoint
+	conn  *tcpConn  // stream, after connect/accept
+	lst   *listener // stream, after listen
+	udp   *udpSock  // dgram, after bind
+}
+
+// The ff_* API. All calls are non-blocking and must run under the stack
+// mutex; the exported wrappers lock it (per-call), mirroring F-Stack's
+// serialization against the main loop.
+
+// Socket creates a descriptor of the given type.
+func (s *Stack) Socket(typ int) (int, hostos.Errno) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.socketLocked(typ)
+}
+
+func (s *Stack) socketLocked(typ int) (int, hostos.Errno) {
+	if typ != SockStream && typ != SockDgram {
+		return -1, hostos.EINVAL
+	}
+	fd := s.nextFD
+	s.nextFD++
+	s.socks[fd] = &socket{fd: fd, typ: typ, stk: s}
+	return fd, hostos.OK
+}
+
+// Bind attaches a local address. A zero IP binds all interfaces.
+func (s *Stack) Bind(fd int, ip IPv4Addr, port uint16) hostos.Errno {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bindLocked(fd, ip, port)
+}
+
+func (s *Stack) bindLocked(fd int, ip IPv4Addr, port uint16) hostos.Errno {
+	sk, ok := s.socks[fd]
+	if !ok {
+		return hostos.EBADF
+	}
+	if sk.bound.Port != 0 {
+		return hostos.EINVAL
+	}
+	if ip != (IPv4Addr{}) && s.nifByIP(ip) == nil {
+		return hostos.EINVAL
+	}
+	ep := tcpEndpoint{IP: ip, Port: port}
+	switch sk.typ {
+	case SockStream:
+		if _, dup := s.listeners[ep]; dup {
+			return hostos.EADDRINUSE
+		}
+	case SockDgram:
+		if _, dup := s.udps[ep]; dup {
+			return hostos.EADDRINUSE
+		}
+		sk.udp = &udpSock{ep: ep}
+		s.udps[ep] = sk.udp
+	}
+	sk.bound = ep
+	return hostos.OK
+}
+
+// Listen makes a bound stream socket passive.
+func (s *Stack) Listen(fd, backlog int) hostos.Errno {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.listenLocked(fd, backlog)
+}
+
+func (s *Stack) listenLocked(fd, backlog int) hostos.Errno {
+	sk, ok := s.socks[fd]
+	if !ok {
+		return hostos.EBADF
+	}
+	if sk.typ != SockStream || sk.bound.Port == 0 || sk.lst != nil || sk.conn != nil {
+		return hostos.EINVAL
+	}
+	if backlog < 1 {
+		backlog = 1
+	}
+	sk.lst = &listener{ep: sk.bound, backlog: backlog}
+	s.listeners[sk.bound] = sk.lst
+	return hostos.OK
+}
+
+// Accept takes one established connection off the listen queue,
+// returning its new descriptor and the peer address. EAGAIN when none
+// is ready.
+func (s *Stack) Accept(fd int) (int, IPv4Addr, uint16, hostos.Errno) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.acceptLocked(fd)
+}
+
+func (s *Stack) acceptLocked(fd int) (int, IPv4Addr, uint16, hostos.Errno) {
+	sk, ok := s.socks[fd]
+	if !ok {
+		return -1, IPv4Addr{}, 0, hostos.EBADF
+	}
+	if sk.lst == nil {
+		return -1, IPv4Addr{}, 0, hostos.EINVAL
+	}
+	if len(sk.lst.pending) == 0 {
+		return -1, IPv4Addr{}, 0, hostos.EAGAIN
+	}
+	c := sk.lst.pending[0]
+	sk.lst.pending = sk.lst.pending[1:]
+	nfd := s.nextFD
+	s.nextFD++
+	s.socks[nfd] = &socket{fd: nfd, typ: SockStream, stk: s, conn: c, bound: c.tuple.local}
+	return nfd, c.tuple.remote.IP, c.tuple.remote.Port, hostos.OK
+}
+
+// Connect starts an active open. It returns EINPROGRESS; completion is
+// reported by epoll writability, as with a non-blocking BSD socket.
+func (s *Stack) Connect(fd int, ip IPv4Addr, port uint16) hostos.Errno {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.connectLocked(fd, ip, port)
+}
+
+func (s *Stack) connectLocked(fd int, ip IPv4Addr, port uint16) hostos.Errno {
+	sk, ok := s.socks[fd]
+	if !ok {
+		return hostos.EBADF
+	}
+	if sk.typ != SockStream || sk.conn != nil || sk.lst != nil {
+		return hostos.EISCONN
+	}
+	nif := s.nifForDst(ip)
+	if nif == nil {
+		return hostos.EINVAL
+	}
+	local := sk.bound
+	if local.IP == (IPv4Addr{}) {
+		local.IP = nif.IP
+	}
+	if local.Port == 0 {
+		local.Port = s.allocEphemeral()
+	}
+	tuple := fourTuple{local: local, remote: tcpEndpoint{IP: ip, Port: port}}
+	if _, dup := s.conns[tuple]; dup {
+		return hostos.EADDRINUSE
+	}
+	c, err := s.newTCPConn(nif, tuple)
+	if err != nil {
+		return hostos.ENOMEM
+	}
+	iss := s.iss()
+	c.sndUna, c.sndNxt, c.sndMax = iss, iss+1, iss+1
+	c.state = tcpSynSent
+	s.conns[tuple] = c
+	sk.conn = c
+	sk.bound = local
+	c.sendSegment(TCPSyn, iss, 0, true)
+	c.armRTO()
+	return hostos.EINPROGRESS
+}
+
+// allocEphemeral hands out local ports.
+func (s *Stack) allocEphemeral() uint16 {
+	for {
+		s.ephemeral++
+		if s.ephemeral < 32768 {
+			s.ephemeral = 32768
+		}
+		inUse := false
+		for t := range s.conns {
+			if t.local.Port == s.ephemeral {
+				inUse = true
+				break
+			}
+		}
+		if !inUse {
+			return s.ephemeral
+		}
+	}
+}
+
+// connFor returns the stream connection behind fd.
+func (s *Stack) connFor(fd int) (*socket, *tcpConn, hostos.Errno) {
+	sk, ok := s.socks[fd]
+	if !ok {
+		return nil, nil, hostos.EBADF
+	}
+	if sk.typ != SockStream || sk.conn == nil {
+		return sk, nil, hostos.ENOTCONN
+	}
+	return sk, sk.conn, hostos.OK
+}
+
+// Write copies from a plain byte slice into the socket send buffer
+// (the Baseline's ff_write). Partial writes return the stored count;
+// a full buffer returns EAGAIN.
+func (s *Stack) Write(fd int, src []byte) (int, hostos.Errno) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writeLocked(fd, src)
+}
+
+func (s *Stack) writeLocked(fd int, src []byte) (int, hostos.Errno) {
+	_, c, errno := s.connFor(fd)
+	if errno != hostos.OK {
+		return -1, errno
+	}
+	if errno := writableState(c); errno != hostos.OK {
+		return -1, errno
+	}
+	n, err := c.sndBuf.writeFrom(src)
+	if err != nil {
+		return -1, hostos.EFAULT
+	}
+	if n == 0 {
+		return -1, hostos.EAGAIN
+	}
+	c.output()
+	return n, hostos.OK
+}
+
+// WriteCap is the CHERI ff_write: the source buffer arrives as a
+// capability (`const void * __capability buf`, §III-B) and every load
+// from it is checked.
+func (s *Stack) WriteCap(fd int, mem *cheri.TMem, buf cheri.Cap, n int) (int, hostos.Errno) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writeCapLocked(fd, mem, buf, n)
+}
+
+func (s *Stack) writeCapLocked(fd int, mem *cheri.TMem, buf cheri.Cap, n int) (int, hostos.Errno) {
+	_, c, errno := s.connFor(fd)
+	if errno != hostos.OK {
+		return -1, errno
+	}
+	if errno := writableState(c); errno != hostos.OK {
+		return -1, errno
+	}
+	written, err := c.sndBuf.writeFromCap(mem, buf, n)
+	if err != nil {
+		return -1, hostos.EFAULT
+	}
+	if written == 0 {
+		return -1, hostos.EAGAIN
+	}
+	c.output()
+	return written, hostos.OK
+}
+
+// writableState maps connection state to a write errno.
+func writableState(c *tcpConn) hostos.Errno {
+	if c.sockErr != hostos.OK {
+		return c.sockErr
+	}
+	switch c.state {
+	case tcpEstablished, tcpCloseWait:
+		return hostos.OK
+	case tcpSynSent, tcpSynReceived:
+		return hostos.EAGAIN
+	default:
+		return hostos.EPIPE
+	}
+}
+
+// Read consumes received bytes into a plain slice. Returns 0 at EOF
+// (peer FIN drained), EAGAIN when no data is buffered.
+func (s *Stack) Read(fd int, dst []byte) (int, hostos.Errno) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readLocked(fd, dst)
+}
+
+func (s *Stack) readLocked(fd int, dst []byte) (int, hostos.Errno) {
+	_, c, errno := s.connFor(fd)
+	if errno != hostos.OK {
+		return -1, errno
+	}
+	if c.rcvBuf.Len() == 0 {
+		switch {
+		case c.sockErr != hostos.OK:
+			return -1, c.sockErr
+		case c.finRcvd:
+			return 0, hostos.OK // EOF
+		case c.state == tcpSynSent || c.state == tcpSynReceived:
+			return -1, hostos.EAGAIN
+		case c.state == tcpClosed:
+			return -1, hostos.ENOTCONN
+		default:
+			return -1, hostos.EAGAIN
+		}
+	}
+	n, err := c.rcvBuf.readInto(dst)
+	if err != nil {
+		return -1, hostos.EFAULT
+	}
+	return n, hostos.OK
+}
+
+// ReadCap is the CHERI ff_read: stores into the caller's capability
+// buffer are checked.
+func (s *Stack) ReadCap(fd int, mem *cheri.TMem, buf cheri.Cap, n int) (int, hostos.Errno) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readCapLocked(fd, mem, buf, n)
+}
+
+func (s *Stack) readCapLocked(fd int, mem *cheri.TMem, buf cheri.Cap, n int) (int, hostos.Errno) {
+	_, c, errno := s.connFor(fd)
+	if errno != hostos.OK {
+		return -1, errno
+	}
+	if c.rcvBuf.Len() == 0 {
+		switch {
+		case c.sockErr != hostos.OK:
+			return -1, c.sockErr
+		case c.finRcvd:
+			return 0, hostos.OK
+		default:
+			return -1, hostos.EAGAIN
+		}
+	}
+	read, err := c.rcvBuf.readIntoCap(mem, buf, n)
+	if err != nil {
+		return -1, hostos.EFAULT
+	}
+	return read, hostos.OK
+}
+
+// Close shuts a descriptor down: streams FIN, listeners stop, datagram
+// sockets unbind.
+func (s *Stack) Close(fd int) hostos.Errno {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closeLocked(fd)
+}
+
+func (s *Stack) closeLocked(fd int) hostos.Errno {
+	sk, ok := s.socks[fd]
+	if !ok {
+		return hostos.EBADF
+	}
+	delete(s.socks, fd)
+	for _, ep := range s.epolls {
+		delete(ep.interest, fd)
+	}
+	switch {
+	case sk.lst != nil:
+		delete(s.listeners, sk.bound)
+		for _, c := range sk.lst.pending {
+			c.sendRST()
+			c.abort(hostos.ECONNRESET)
+		}
+	case sk.conn != nil:
+		c := sk.conn
+		if c.state == tcpEstablished || c.state == tcpCloseWait || c.state == tcpSynReceived {
+			c.finQueued = true
+			c.output()
+		} else if c.state == tcpSynSent {
+			c.abort(hostos.ECONNRESET)
+		}
+	case sk.udp != nil:
+		delete(s.udps, sk.udp.ep)
+	}
+	return hostos.OK
+}
+
+// SendTo transmits one UDP datagram.
+func (s *Stack) SendTo(fd int, data []byte, ip IPv4Addr, port uint16) (int, hostos.Errno) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sendToLocked(fd, data, ip, port)
+}
+
+func (s *Stack) sendToLocked(fd int, data []byte, ip IPv4Addr, port uint16) (int, hostos.Errno) {
+	sk, ok := s.socks[fd]
+	if !ok {
+		return -1, hostos.EBADF
+	}
+	if sk.typ != SockDgram {
+		return -1, hostos.EINVAL
+	}
+	if len(data) > MTU-IPv4HeaderLen-UDPHeaderLen {
+		return -1, hostos.EMSGSIZE
+	}
+	if sk.udp == nil {
+		// Auto-bind an ephemeral port.
+		if errno := s.bindLocked(fd, IPv4Addr{}, s.allocEphemeral()); errno != hostos.OK {
+			return -1, errno
+		}
+	}
+	nif := s.nifForDst(ip)
+	if nif == nil {
+		return -1, hostos.EINVAL
+	}
+	segLen := UDPHeaderLen + len(data)
+	m, frame := s.txAlloc(nif, IPv4HeaderLen+segLen)
+	if m == nil {
+		return -1, hostos.EAGAIN
+	}
+	seg := frame[EthHeaderLen+IPv4HeaderLen:]
+	copy(seg[UDPHeaderLen:], data)
+	PutUDPHeader(seg, UDPHeader{
+		SrcPort: sk.bound.Port,
+		DstPort: port,
+		Length:  uint16(segLen),
+	}, nif.IP, ip)
+	if !s.sendIPv4(nif, m, frame, ip, ProtoUDP, segLen) {
+		return -1, hostos.EAGAIN
+	}
+	return len(data), hostos.OK
+}
+
+// RecvFrom pops one queued datagram.
+func (s *Stack) RecvFrom(fd int, dst []byte) (int, IPv4Addr, uint16, hostos.Errno) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recvFromLocked(fd, dst)
+}
+
+func (s *Stack) recvFromLocked(fd int, dst []byte) (int, IPv4Addr, uint16, hostos.Errno) {
+	sk, ok := s.socks[fd]
+	if !ok {
+		return -1, IPv4Addr{}, 0, hostos.EBADF
+	}
+	if sk.typ != SockDgram || sk.udp == nil {
+		return -1, IPv4Addr{}, 0, hostos.EINVAL
+	}
+	if len(sk.udp.q) == 0 {
+		return -1, IPv4Addr{}, 0, hostos.EAGAIN
+	}
+	d := sk.udp.q[0]
+	sk.udp.q = sk.udp.q[1:]
+	n := copy(dst, d.data)
+	return n, d.src.IP, d.src.Port, hostos.OK
+}
+
+// inputUDP queues a datagram on its bound socket.
+func (s *Stack) inputUDP(nif *NetIF, ip IPv4Header, seg []byte) {
+	h, err := ParseUDPHeader(seg, ip.Src, ip.Dst)
+	if err != nil {
+		s.stats.RxDropped++
+		return
+	}
+	u, ok := s.udps[tcpEndpoint{IP: ip.Dst, Port: h.DstPort}]
+	if !ok {
+		u, ok = s.udps[tcpEndpoint{Port: h.DstPort}]
+	}
+	if !ok {
+		s.stats.RxDropped++
+		return
+	}
+	if len(u.q) >= udpQueueMax {
+		s.stats.RxDropped++
+		return
+	}
+	data := make([]byte, int(h.Length)-UDPHeaderLen)
+	copy(data, seg[UDPHeaderLen:h.Length])
+	u.q = append(u.q, dgram{
+		src:  tcpEndpoint{IP: ip.Src, Port: h.SrcPort},
+		data: data,
+	})
+}
+
+// ConnState reports the TCP state name of fd's connection (diagnostics).
+func (s *Stack) ConnState(fd int) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sk, ok := s.socks[fd]
+	if !ok || sk.conn == nil {
+		return "NONE"
+	}
+	return sk.conn.state.String()
+}

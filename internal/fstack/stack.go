@@ -1,0 +1,502 @@
+package fstack
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dpdk"
+	"repro/internal/hostos"
+)
+
+// EthDevice is the packet I/O surface the stack drives — rte_ethdev in
+// DPDK terms. *dpdk.EthDev implements it directly (Baseline, Scenarios
+// 1-2: the driver lives in the same compartment as the stack); the
+// future-work Scenario 3 substitutes a gated proxy whose every burst
+// crosses into a separate DPDK compartment.
+type EthDevice interface {
+	RxBurst(out []*dpdk.Mbuf) int
+	TxBurst(bufs []*dpdk.Mbuf) int
+	Poll()
+	MAC() [6]byte
+	Stats() dpdk.Stats
+}
+
+// NetIF is a configured network interface: one Ethernet device plus its
+// IPv4 binding ("eth0"/"eth1" in the paper's scenarios).
+type NetIF struct {
+	Name string
+	IP   IPv4Addr
+	Mask IPv4Addr
+	MAC  MACAddr
+
+	dev EthDevice
+	arp *arpCache
+}
+
+// sameSubnet reports whether ip is on the interface's subnet.
+func (n *NetIF) sameSubnet(ip IPv4Addr) bool {
+	for i := 0; i < 4; i++ {
+		if (ip[i] & n.Mask[i]) != (n.IP[i] & n.Mask[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// StackStats counts stack-level events.
+type StackStats struct {
+	RxFrames   uint64
+	TxFrames   uint64
+	RxDropped  uint64 // parse errors, no socket, bad checksum
+	Retransmit uint64
+	ArpTx      uint64
+}
+
+// Stack is a user-space TCP/IP instance: interfaces, connection tables
+// and socket layer, owned by one poll loop and guarded by one mutex.
+type Stack struct {
+	seg  *dpdk.MemSeg
+	pool *dpdk.Mempool
+	clk  hostos.Clock
+
+	// mu is THE F-Stack mutex: it serializes API calls against the main
+	// loop (paper §III-A, Scenario 2). Loop.RunOnce holds it for the
+	// duration of an iteration; API entry points hold it per call.
+	mu sync.Mutex
+
+	nifs      []*NetIF
+	conns     map[fourTuple]*tcpConn
+	listeners map[tcpEndpoint]*listener
+	udps      map[tcpEndpoint]*udpSock
+	socks     map[int]*socket
+	epolls    map[int]*epollInstance
+	nextFD    int
+
+	issCounter uint32
+	ipID       uint16
+	ephemeral  uint16
+
+	tap   Tap
+	stats StackStats
+}
+
+// NewStack builds a stack over the given segment, buffer pool and clock.
+func NewStack(seg *dpdk.MemSeg, pool *dpdk.Mempool, clk hostos.Clock) *Stack {
+	return &Stack{
+		seg:       seg,
+		pool:      pool,
+		clk:       clk,
+		conns:     make(map[fourTuple]*tcpConn),
+		listeners: make(map[tcpEndpoint]*listener),
+		udps:      make(map[tcpEndpoint]*udpSock),
+		socks:     make(map[int]*socket),
+		epolls:    make(map[int]*epollInstance),
+		nextFD:    3,
+		ephemeral: 32768,
+	}
+}
+
+// AddNetIF attaches a started ethdev with its IPv4 configuration.
+func (s *Stack) AddNetIF(name string, dev EthDevice, ip, mask IPv4Addr) *NetIF {
+	nif := &NetIF{
+		Name: name,
+		IP:   ip,
+		Mask: mask,
+		MAC:  MACAddr(dev.MAC()),
+		dev:  dev,
+		arp:  newARPCache(),
+	}
+	s.nifs = append(s.nifs, nif)
+	return nif
+}
+
+// Lock acquires the F-Stack API mutex.
+func (s *Stack) Lock() { s.mu.Lock() }
+
+// Unlock releases the F-Stack API mutex.
+func (s *Stack) Unlock() { s.mu.Unlock() }
+
+// now reads the stack clock.
+func (s *Stack) now() int64 { return s.clk.Now() }
+
+// Stats returns a copy of the counters (callers hold the lock via API or
+// call between loop iterations).
+func (s *Stack) Stats() StackStats {
+	st := s.stats
+	for _, c := range s.conns {
+		st.Retransmit += c.retransSegs
+	}
+	return st
+}
+
+// nifForDst picks the outgoing interface for a destination.
+func (s *Stack) nifForDst(ip IPv4Addr) *NetIF {
+	for _, n := range s.nifs {
+		if n.sameSubnet(ip) {
+			return n
+		}
+	}
+	if len(s.nifs) > 0 {
+		return s.nifs[0]
+	}
+	return nil
+}
+
+// nifByIP finds the interface owning the local address (zero = first).
+func (s *Stack) nifByIP(ip IPv4Addr) *NetIF {
+	if ip == (IPv4Addr{}) {
+		if len(s.nifs) > 0 {
+			return s.nifs[0]
+		}
+		return nil
+	}
+	for _, n := range s.nifs {
+		if n.IP == ip {
+			return n
+		}
+	}
+	return nil
+}
+
+// --- transmit path ---
+
+// txAlloc grabs an mbuf and reserves a frame of EthHeaderLen+ipLen
+// bytes, returning the writable frame slice.
+func (s *Stack) txAlloc(nif *NetIF, ipLen int) (*dpdk.Mbuf, []byte) {
+	m, ok := s.pool.Get()
+	if !ok {
+		return nil, nil
+	}
+	frame, err := m.Append(EthHeaderLen + ipLen)
+	if err != nil {
+		m.Free()
+		return nil, nil
+	}
+	return m, frame
+}
+
+// sendIPv4 finishes an outgoing packet: the transport wrote its segment
+// at frame[EthHeaderLen+IPv4HeaderLen:]; this fills the IP and Ethernet
+// headers, resolves the next hop and transmits. Returns false when the
+// frame could not be queued (caller retries later); ARP-parked packets
+// count as sent.
+func (s *Stack) sendIPv4(nif *NetIF, m *dpdk.Mbuf, frame []byte, dst IPv4Addr, proto uint8, segLen int) bool {
+	s.ipID++
+	PutIPv4Header(frame[EthHeaderLen:], IPv4Header{
+		TotalLen: uint16(IPv4HeaderLen + segLen),
+		ID:       s.ipID,
+		Flags:    flagDontFragment,
+		TTL:      64,
+		Proto:    proto,
+		Src:      nif.IP,
+		Dst:      dst,
+	})
+	mac, ok := nif.arp.lookup(dst, s.now())
+	if !ok {
+		// Park the IP packet and ask for the binding.
+		nif.arp.park(dst, frame[EthHeaderLen:], EtherTypeIPv4)
+		m.Free()
+		s.sendARPRequest(nif, dst)
+		return true
+	}
+	PutEthHeader(frame, EthHeader{Dst: mac, Src: nif.MAC, Type: EtherTypeIPv4})
+	return s.txSubmit(nif, m, frame)
+}
+
+// txSubmit hands a finished frame to the device, maintaining statistics
+// and the capture tap. It frees the mbuf on refusal.
+func (s *Stack) txSubmit(nif *NetIF, m *dpdk.Mbuf, frame []byte) bool {
+	if nif.dev.TxBurst([]*dpdk.Mbuf{m}) != 1 {
+		m.Free()
+		return false
+	}
+	s.stats.TxFrames++
+	if s.tap != nil {
+		s.tap.Frame(TapTx, s.now(), frame)
+	}
+	return true
+}
+
+// sendARPRequest broadcasts a who-has query.
+func (s *Stack) sendARPRequest(nif *NetIF, target IPv4Addr) {
+	m, frame := s.txAlloc(nif, ARPPacketLen)
+	if m == nil {
+		return
+	}
+	PutEthHeader(frame, EthHeader{Dst: BroadcastMAC, Src: nif.MAC, Type: EtherTypeARP})
+	PutARPPacket(frame[EthHeaderLen:], ARPPacket{
+		Op:        ARPRequest,
+		SenderMAC: nif.MAC,
+		SenderIP:  nif.IP,
+		TargetIP:  target,
+	})
+	if s.txSubmit(nif, m, frame) {
+		s.stats.ArpTx++
+	}
+}
+
+// replayPending retransmits a packet that was parked on an ARP miss.
+func (s *Stack) replayPending(nif *NetIF, dst IPv4Addr, mac MACAddr, p *pendingPacket) {
+	m, frame := s.txAlloc(nif, len(p.payload))
+	if m == nil {
+		return
+	}
+	PutEthHeader(frame, EthHeader{Dst: mac, Src: nif.MAC, Type: p.proto})
+	copy(frame[EthHeaderLen:], p.payload)
+	s.txSubmit(nif, m, frame)
+}
+
+// --- receive path ---
+
+// input demultiplexes one received frame. The mbuf is freed here.
+func (s *Stack) input(nif *NetIF, m *dpdk.Mbuf) {
+	defer m.Free()
+	frame, err := m.BytesRO()
+	if err != nil {
+		s.stats.RxDropped++
+		return
+	}
+	eth, err := ParseEthHeader(frame)
+	if err != nil {
+		s.stats.RxDropped++
+		return
+	}
+	if eth.Dst != nif.MAC && eth.Dst != BroadcastMAC {
+		s.stats.RxDropped++
+		return
+	}
+	s.stats.RxFrames++
+	if s.tap != nil {
+		s.tap.Frame(TapRx, s.now(), frame)
+	}
+	payload := frame[EthHeaderLen:]
+	switch eth.Type {
+	case EtherTypeARP:
+		s.inputARP(nif, payload)
+	case EtherTypeIPv4:
+		s.inputIPv4(nif, payload)
+	default:
+		s.stats.RxDropped++
+	}
+}
+
+// inputARP handles requests (reply if we are the target) and replies
+// (cache insert + pending replay).
+func (s *Stack) inputARP(nif *NetIF, b []byte) {
+	p, err := ParseARPPacket(b)
+	if err != nil {
+		s.stats.RxDropped++
+		return
+	}
+	switch p.Op {
+	case ARPRequest:
+		// Opportunistically learn the sender, then answer.
+		nif.arp.insert(p.SenderIP, p.SenderMAC, s.now())
+		if p.TargetIP != nif.IP {
+			return
+		}
+		m, frame := s.txAlloc(nif, ARPPacketLen)
+		if m == nil {
+			return
+		}
+		PutEthHeader(frame, EthHeader{Dst: p.SenderMAC, Src: nif.MAC, Type: EtherTypeARP})
+		PutARPPacket(frame[EthHeaderLen:], ARPPacket{
+			Op:        ARPReply,
+			SenderMAC: nif.MAC,
+			SenderIP:  nif.IP,
+			TargetMAC: p.SenderMAC,
+			TargetIP:  p.SenderIP,
+		})
+		s.txSubmit(nif, m, frame)
+	case ARPReply:
+		for _, pend := range nif.arp.insert(p.SenderIP, p.SenderMAC, s.now()) {
+			s.replayPending(nif, p.SenderIP, p.SenderMAC, pend)
+		}
+	}
+}
+
+// inputIPv4 dispatches to the transport protocols.
+func (s *Stack) inputIPv4(nif *NetIF, b []byte) {
+	h, ihl, err := ParseIPv4Header(b)
+	if err != nil || h.Dst != nif.IP {
+		s.stats.RxDropped++
+		return
+	}
+	seg := b[ihl:h.TotalLen]
+	switch h.Proto {
+	case ProtoICMP:
+		s.inputICMP(nif, h, seg)
+	case ProtoTCP:
+		s.inputTCP(nif, h, seg)
+	case ProtoUDP:
+		s.inputUDP(nif, h, seg)
+	default:
+		s.stats.RxDropped++
+	}
+}
+
+// inputICMP answers echo requests.
+func (s *Stack) inputICMP(nif *NetIF, ip IPv4Header, seg []byte) {
+	echo, err := ParseICMPEcho(seg)
+	if err != nil || echo.Type != ICMPEchoRequest {
+		s.stats.RxDropped++
+		return
+	}
+	m, frame := s.txAlloc(nif, IPv4HeaderLen+len(seg))
+	if m == nil {
+		return
+	}
+	reply := frame[EthHeaderLen+IPv4HeaderLen:]
+	copy(reply, seg)
+	PutICMPEcho(reply, ICMPEcho{Type: ICMPEchoReply, ID: echo.ID, Seq: echo.Seq})
+	s.sendIPv4(nif, m, frame, ip.Src, ProtoICMP, len(seg))
+}
+
+// inputTCP finds or creates the connection for a segment.
+func (s *Stack) inputTCP(nif *NetIF, ip IPv4Header, seg []byte) {
+	h, hl, err := ParseTCPHeader(seg, ip.Src, ip.Dst)
+	if err != nil {
+		s.stats.RxDropped++
+		return
+	}
+	tuple := fourTuple{
+		local:  tcpEndpoint{IP: ip.Dst, Port: h.DstPort},
+		remote: tcpEndpoint{IP: ip.Src, Port: h.SrcPort},
+	}
+	payload := seg[hl:]
+	if c, ok := s.conns[tuple]; ok {
+		c.input(h, payload)
+		return
+	}
+	// New flow: only a SYN to a listener is welcome.
+	if h.Flags&TCPSyn != 0 && h.Flags&TCPAck == 0 {
+		if l := s.findListener(tuple.local); l != nil {
+			s.acceptSyn(nif, l, tuple, h)
+			return
+		}
+	}
+	if h.Flags&TCPRst == 0 {
+		s.sendRSTFor(nif, ip, h, len(payload))
+	}
+	s.stats.RxDropped++
+}
+
+// findListener matches exact binding first, then wildcard IP.
+func (s *Stack) findListener(ep tcpEndpoint) *listener {
+	if l, ok := s.listeners[ep]; ok {
+		return l
+	}
+	if l, ok := s.listeners[tcpEndpoint{Port: ep.Port}]; ok {
+		return l
+	}
+	return nil
+}
+
+// acceptSyn creates the half-open connection and answers SYN|ACK.
+func (s *Stack) acceptSyn(nif *NetIF, l *listener, tuple fourTuple, h TCPHeader) {
+	if len(l.pending)+l.halfOpen >= l.backlog {
+		return // silently drop: peer retries
+	}
+	c, err := s.newTCPConn(nif, tuple)
+	if err != nil {
+		return
+	}
+	c.state = tcpSynReceived
+	c.rcvNxt = h.Seq + 1
+	if h.HasTS {
+		c.tsRecent = h.TSVal
+	}
+	if h.MSS != 0 {
+		c.sndMSS = min(int(h.MSS)-tsOptionLen, MaxSegData)
+	}
+	iss := s.iss()
+	c.sndUna, c.sndNxt, c.sndMax = iss, iss+1, iss+1
+	c.sndWnd = uint32(h.Window)
+	s.conns[tuple] = c
+	l.halfOpen++
+	c.sendSegment(TCPSyn|TCPAck, iss, 0, true)
+	c.armRTO()
+}
+
+// notifyAccept queues a completed connection on its listener.
+func (s *Stack) notifyAccept(c *tcpConn) {
+	l := s.findListener(c.tuple.local)
+	if l == nil {
+		c.sendRST()
+		c.abort(hostos.ECONNRESET)
+		return
+	}
+	if l.halfOpen > 0 {
+		l.halfOpen--
+	}
+	l.pending = append(l.pending, c)
+}
+
+// sendRSTFor answers an unexpected segment with a reset.
+func (s *Stack) sendRSTFor(nif *NetIF, ip IPv4Header, h TCPHeader, payloadLen int) {
+	rst := TCPHeader{
+		SrcPort: h.DstPort,
+		DstPort: h.SrcPort,
+		Flags:   TCPRst | TCPAck,
+		Ack:     h.Seq + uint32(payloadLen),
+	}
+	if h.Flags&TCPSyn != 0 {
+		rst.Ack++
+	}
+	if h.Flags&TCPAck != 0 {
+		rst.Seq = h.Ack
+		rst.Flags = TCPRst
+	}
+	hl := rst.encodedLen()
+	m, frame := s.txAlloc(nif, IPv4HeaderLen+hl)
+	if m == nil {
+		return
+	}
+	PutTCPHeader(frame[EthHeaderLen+IPv4HeaderLen:], rst, ip.Dst, ip.Src, hl)
+	s.sendIPv4(nif, m, frame, ip.Src, ProtoTCP, hl)
+}
+
+// removeConn drops the connection from the table.
+func (s *Stack) removeConn(c *tcpConn) {
+	s.stats.Retransmit += c.retransSegs
+	c.retransSegs = 0
+	delete(s.conns, c.tuple)
+}
+
+// poll is one stack iteration: drain RX, run timers, flush output.
+// Callers hold the stack mutex.
+func (s *Stack) poll() {
+	var burst [32]*dpdk.Mbuf
+	for _, nif := range s.nifs {
+		for {
+			n := nif.dev.RxBurst(burst[:])
+			for i := 0; i < n; i++ {
+				s.input(nif, burst[i])
+			}
+			if n < len(burst) {
+				break
+			}
+		}
+	}
+	now := s.now()
+	for _, c := range s.conns {
+		c.onTimers(now)
+		c.output()
+	}
+	for _, nif := range s.nifs {
+		nif.dev.Poll()
+	}
+}
+
+// PollOnce runs one locked stack iteration (exported for tests and the
+// Loop).
+func (s *Stack) PollOnce() {
+	s.mu.Lock()
+	s.poll()
+	s.mu.Unlock()
+}
+
+// String summarizes the stack.
+func (s *Stack) String() string {
+	return fmt.Sprintf("fstack{%d nifs, %d conns, %d socks}", len(s.nifs), len(s.conns), len(s.socks))
+}

@@ -1,0 +1,692 @@
+package fstack
+
+import (
+	"repro/internal/hostos"
+)
+
+// tcpState is the RFC 793 connection state.
+type tcpState int
+
+const (
+	tcpClosed tcpState = iota
+	tcpSynSent
+	tcpSynReceived
+	tcpEstablished
+	tcpFinWait1
+	tcpFinWait2
+	tcpCloseWait
+	tcpClosing
+	tcpLastAck
+	tcpTimeWait
+)
+
+var tcpStateNames = map[tcpState]string{
+	tcpClosed: "CLOSED", tcpSynSent: "SYN_SENT", tcpSynReceived: "SYN_RCVD",
+	tcpEstablished: "ESTABLISHED", tcpFinWait1: "FIN_WAIT_1", tcpFinWait2: "FIN_WAIT_2",
+	tcpCloseWait: "CLOSE_WAIT", tcpClosing: "CLOSING", tcpLastAck: "LAST_ACK",
+	tcpTimeWait: "TIME_WAIT",
+}
+
+func (s tcpState) String() string { return tcpStateNames[s] }
+
+// Timer constants (ns).
+const (
+	rtoMin        = 2e6   // 2 ms: far above the simulated RTT, fast enough for tests
+	rtoMax        = 1e9   // 1 s
+	rtoInitial    = 100e6 // 100 ms before the first RTT sample
+	delackTimeout = 500e3 // 500 µs, scaled to the simulated RTTs
+	timeWaitDur   = 50e6  // 50 ms (2MSL stand-in)
+	synRetries    = 5
+)
+
+// Buffer sizes (bytes, powers of two). 512 KiB send / 256 KiB receive
+// mirror F-Stack's defaults closely enough; the receive window is capped
+// at 64 KiB anyway (no window scaling).
+const (
+	sndBufSize = 512 * 1024
+	rcvBufSize = 256 * 1024
+	// maxRcvWnd is just below the port's 64 KiB RX packet buffer: the
+	// in-flight cap then regulates the bus-limited case by queueing
+	// rather than by tail drops (F-Stack tunes the window the same way
+	// on window-scaling-less paths).
+	maxRcvWnd = 56 * 1024
+)
+
+// tcpEndpoint is one side of a connection.
+type tcpEndpoint struct {
+	IP   IPv4Addr
+	Port uint16
+}
+
+// fourTuple keys the connection table.
+type fourTuple struct {
+	local  tcpEndpoint
+	remote tcpEndpoint
+}
+
+// tcpConn is a TCP connection.
+type tcpConn struct {
+	stk   *Stack
+	nif   *NetIF
+	tuple fourTuple
+	state tcpState
+
+	// send state
+	sndBuf    *sockBuf // buf.r position corresponds to sequence sndUna
+	sndUna    uint32
+	sndNxt    uint32
+	sndMax    uint32 // highest sequence ever sent (survives go-back-N rewinds)
+	sndWnd    uint32 // peer's advertised window
+	sndMSS    int    // payload bytes per segment (after options)
+	finQueued bool   // Close called: FIN after all buffered data
+	finSent   bool   // FIN is currently in flight (cleared by a rewind)
+	finEver   bool   // FIN has been transmitted at least once
+	finSeq    uint32 // sequence number the FIN occupies (valid when finEver)
+	finAcked  bool
+
+	// receive state
+	rcvBuf    *sockBuf
+	rcvOOO    []oooSeg // out-of-order reassembly queue (sorted by seq)
+	rcvNxt    uint32
+	finRcvd   bool   // peer's FIN has been sequenced into rcvNxt
+	advWnd    uint32 // last advertised window
+	tsRecent  uint32 // latest peer TSVal (echoed in TSEcr)
+	delackCnt int
+	delackAt  int64 // 0 = no pending delayed ack
+
+	// congestion control (RFC 5681 style)
+	cwnd     int
+	ssthresh int
+	dupAcks  int
+
+	// RTT estimation (RFC 6298 via timestamps)
+	srtt   int64
+	rttvar int64
+	rto    int64
+	rtxAt  int64 // retransmission deadline; 0 = off
+	rtxN   int   // consecutive backoffs
+
+	// lifecycle
+	timeWaitAt int64
+	sockErr    hostos.Errno // sticky error (ECONNRESET etc.)
+
+	// counters (exposed via stack stats)
+	retransSegs uint64
+}
+
+// newTCPConn builds a connection in the given state with buffers from
+// the stack's segment.
+func (s *Stack) newTCPConn(nif *NetIF, tuple fourTuple) (*tcpConn, error) {
+	snd, err := newSockBuf(s.seg, sndBufSize)
+	if err != nil {
+		return nil, err
+	}
+	rcv, err := newSockBuf(s.seg, rcvBufSize)
+	if err != nil {
+		return nil, err
+	}
+	c := &tcpConn{
+		stk:      s,
+		nif:      nif,
+		tuple:    tuple,
+		state:    tcpClosed,
+		sndBuf:   snd,
+		rcvBuf:   rcv,
+		sndMSS:   MaxSegData,
+		cwnd:     10 * MaxSegData,
+		ssthresh: 256 * 1024,
+		rto:      rtoInitial,
+	}
+	return c, nil
+}
+
+// iss generates the initial send sequence number.
+func (s *Stack) iss() uint32 {
+	s.issCounter += 64009 // arbitrary odd stride
+	return s.issCounter
+}
+
+// nowUS is the timestamp-option clock (µs, truncated).
+func (c *tcpConn) nowUS() uint32 { return uint32(c.stk.now() / 1e3) }
+
+// rcvWnd computes the window to advertise.
+func (c *tcpConn) rcvWnd() uint32 {
+	w := c.rcvBuf.Free()
+	if w > maxRcvWnd {
+		w = maxRcvWnd
+	}
+	return uint32(w)
+}
+
+// --- output ---
+
+// sendSegment emits one segment with the given flags and payload taken
+// from sndBuf at sequence seq.
+func (c *tcpConn) sendSegment(flags uint8, seq uint32, payloadLen int, withMSS bool) bool {
+	h := TCPHeader{
+		SrcPort: c.tuple.local.Port,
+		DstPort: c.tuple.remote.Port,
+		Seq:     seq,
+		Ack:     c.rcvNxt,
+		Flags:   flags,
+		Window:  uint16(c.rcvWnd()),
+		HasTS:   true,
+		TSVal:   c.nowUS(),
+		TSEcr:   c.tsRecent,
+	}
+	if withMSS {
+		h.MSS = MSSDefault
+	}
+	hl := h.encodedLen()
+	total := hl + payloadLen
+	m, frame := c.stk.txAlloc(c.nif, IPv4HeaderLen+total)
+	if m == nil {
+		return false // pool or ring exhausted; retry next loop
+	}
+	tcpSeg := frame[EthHeaderLen+IPv4HeaderLen:]
+	if payloadLen > 0 {
+		off := int(seq - c.sndUna)
+		if _, err := c.sndBuf.peek(off, tcpSeg[hl:hl+payloadLen]); err != nil {
+			m.Free()
+			return false
+		}
+	}
+	PutTCPHeader(tcpSeg, h, c.tuple.local.IP, c.tuple.remote.IP, total)
+	ok := c.stk.sendIPv4(c.nif, m, frame, c.tuple.remote.IP, ProtoTCP, total)
+	if ok {
+		c.advWnd = uint32(h.Window)
+	}
+	return ok
+}
+
+// sendAckNow emits a bare ACK.
+func (c *tcpConn) sendAckNow() {
+	c.delackCnt = 0
+	c.delackAt = 0
+	c.sendSegment(TCPAck, c.sndNxt, 0, false)
+}
+
+// armRTO (re)arms the retransmission timer.
+func (c *tcpConn) armRTO() {
+	c.rtxAt = c.stk.now() + c.rto
+}
+
+// inflight returns un-acknowledged bytes.
+func (c *tcpConn) inflight() int { return int(c.sndNxt - c.sndUna) }
+
+// output transmits whatever the windows allow. Called from the loop and
+// after API writes.
+func (c *tcpConn) output() {
+	switch c.state {
+	case tcpEstablished, tcpCloseWait, tcpFinWait1, tcpClosing, tcpLastAck:
+	default:
+		return
+	}
+	wnd := min(int(c.sndWnd), c.cwnd)
+	for {
+		avail := c.sndBuf.Len() - int(c.sndNxt-c.sndUna) // bytes not yet sent
+		if c.finSent && !c.finAcked {
+			avail = 0
+		}
+		space := wnd - c.inflight()
+		n := min(min(avail, space), c.sndMSS)
+		if n <= 0 {
+			break
+		}
+		flags := TCPAck
+		if avail == n { // last segment of what we have: push
+			flags |= TCPPsh
+		}
+		if !c.sendSegment(flags, c.sndNxt, n, false) {
+			break
+		}
+		c.sndNxt += uint32(n)
+		c.sndMax = seqMax(c.sndMax, c.sndNxt)
+		c.delackCnt = 0
+		c.delackAt = 0
+		if c.rtxAt == 0 {
+			c.armRTO()
+		}
+	}
+	// FIN, once all data is out.
+	if c.finQueued && !c.finSent &&
+		int(c.sndNxt-c.sndUna) == c.sndBuf.Len() &&
+		c.inflight() <= wnd {
+		if c.sendSegment(TCPFin|TCPAck, c.sndNxt, 0, false) {
+			if !c.finEver {
+				c.finEver = true
+				c.finSeq = c.sndNxt
+			}
+			c.sndNxt++
+			c.sndMax = seqMax(c.sndMax, c.sndNxt)
+			c.finSent = true
+			if c.rtxAt == 0 {
+				c.armRTO()
+			}
+			switch c.state {
+			case tcpEstablished:
+				c.state = tcpFinWait1
+			case tcpCloseWait:
+				c.state = tcpLastAck
+			}
+		}
+	}
+}
+
+// --- input ---
+
+// rttSample updates SRTT/RTTVAR/RTO from a sample (ns).
+func (c *tcpConn) rttSample(sample int64) {
+	if sample <= 0 {
+		return
+	}
+	if c.srtt == 0 {
+		c.srtt = sample
+		c.rttvar = sample / 2
+	} else {
+		d := c.srtt - sample
+		if d < 0 {
+			d = -d
+		}
+		c.rttvar = (3*c.rttvar + d) / 4
+		c.srtt = (7*c.srtt + sample) / 8
+	}
+	c.rto = c.srtt + 4*c.rttvar
+	if c.rto < rtoMin {
+		c.rto = rtoMin
+	}
+	if c.rto > rtoMax {
+		c.rto = rtoMax
+	}
+}
+
+// handleAck processes an acceptable ACK.
+func (c *tcpConn) handleAck(h TCPHeader) {
+	ack := h.Ack
+	if seqLE(ack, c.sndUna) {
+		if ack == c.sndUna && c.inflight() > 0 && h.Window == uint16(c.sndWnd) {
+			c.dupAcks++
+			if c.dupAcks == 3 {
+				c.fastRetransmit()
+			}
+		}
+		if seqGE(ack, c.sndUna) {
+			c.sndWnd = uint32(h.Window)
+		}
+		return
+	}
+	if seqGT(ack, c.sndMax) {
+		c.sendAckNow() // acking data we never sent: tell them where we are
+		return
+	}
+	// New data acknowledged.
+	acked := int(ack - c.sndUna)
+	dataAcked := acked
+	if c.finEver && seqGT(ack, c.finSeq) {
+		// The FIN consumed one sequence number.
+		dataAcked--
+		c.finAcked = true
+		c.finSent = true
+	}
+	if dataAcked > 0 {
+		if err := c.sndBuf.consume(dataAcked); err != nil {
+			c.abort(hostos.EINVAL)
+			return
+		}
+	}
+	c.sndUna = ack
+	// After a go-back-N rewind the peer may acknowledge past sndNxt:
+	// skip ahead rather than resending what it already has.
+	if seqGT(ack, c.sndNxt) {
+		c.sndNxt = ack
+	}
+	c.sndWnd = uint32(h.Window)
+	c.dupAcks = 0
+	c.rtxN = 0
+	if h.HasTS && h.TSEcr != 0 {
+		c.rttSample((int64(c.nowUS()) - int64(h.TSEcr)) * 1e3)
+	}
+	// Congestion control.
+	if c.cwnd < c.ssthresh {
+		c.cwnd += min(dataAcked, c.sndMSS) // slow start
+	} else {
+		c.cwnd += max(1, c.sndMSS*c.sndMSS/c.cwnd) // AIMD
+	}
+	if c.inflight() == 0 {
+		c.rtxAt = 0
+	} else {
+		c.armRTO()
+	}
+	// State transitions driven by our FIN being acked.
+	if c.finAcked {
+		switch c.state {
+		case tcpFinWait1:
+			c.state = tcpFinWait2
+		case tcpClosing:
+			c.enterTimeWait()
+		case tcpLastAck:
+			c.setState(tcpClosed)
+			c.stk.removeConn(c)
+		}
+	}
+}
+
+// fastRetransmit resends the first unacked segment and halves the
+// window.
+func (c *tcpConn) fastRetransmit() {
+	c.ssthresh = max(c.inflight()/2, 2*c.sndMSS)
+	c.cwnd = c.ssthresh + 3*c.sndMSS
+	n := min(min(c.sndBuf.Len(), c.sndMSS), int(c.sndNxt-c.sndUna))
+	if n > 0 {
+		c.sendSegment(TCPAck, c.sndUna, n, false)
+		c.retransSegs++
+	}
+	c.armRTO()
+}
+
+// onRTO fires when the retransmission timer expires: go-back-N.
+func (c *tcpConn) onRTO() {
+	if c.state == tcpSynSent || c.state == tcpSynReceived {
+		c.rtxN++
+		if c.rtxN > synRetries {
+			c.abort(hostos.ETIMEDOUT)
+			return
+		}
+		flags := TCPSyn
+		if c.state == tcpSynReceived {
+			flags |= TCPAck
+		}
+		c.sendSegment(flags, c.sndUna, 0, true)
+		c.rto = min(c.rto*2, int64(rtoMax))
+		c.armRTO()
+		return
+	}
+	if c.inflight() == 0 && !(c.finSent && !c.finAcked) {
+		c.rtxAt = 0
+		return
+	}
+	c.ssthresh = max(c.inflight()/2, 2*c.sndMSS)
+	c.cwnd = c.sndMSS
+	c.dupAcks = 0
+	// Go-back-N: rewind and let output() resend.
+	c.sndNxt = c.sndUna
+	if c.finSent && !c.finAcked {
+		c.finSent = false // FIN will be requeued by output()
+	}
+	c.retransSegs++
+	c.rto = min(c.rto*2, int64(rtoMax))
+	c.rtxN++
+	c.armRTO()
+	c.output()
+}
+
+// oooSeg is one out-of-order segment held for reassembly.
+type oooSeg struct {
+	seq  uint32
+	data []byte
+}
+
+// Reassembly bounds (FreeBSD's net.inet.tcp.reass analog): at most this
+// many segments / bytes parked per connection.
+const (
+	oooMaxSegs  = 128
+	oooMaxBytes = 192 * 1024
+)
+
+// oooBytes returns the bytes parked in the reassembly queue.
+func (c *tcpConn) oooBytes() int {
+	t := 0
+	for _, s := range c.rcvOOO {
+		t += len(s.data)
+	}
+	return t
+}
+
+// oooInsert parks an out-of-order segment, keeping the queue sorted and
+// non-overlapping (new data loses on overlap — the copy we already hold
+// is as good).
+func (c *tcpConn) oooInsert(seq uint32, payload []byte) {
+	if len(c.rcvOOO) >= oooMaxSegs || c.oooBytes()+len(payload) > oooMaxBytes {
+		return // reassembly budget exhausted: drop, sender retransmits
+	}
+	// Beyond what we could ever buffer: drop.
+	if seqGT(seq+uint32(len(payload)), c.rcvNxt+uint32(c.rcvBuf.Free())) {
+		return
+	}
+	pos := 0
+	for pos < len(c.rcvOOO) && seqLT(c.rcvOOO[pos].seq, seq) {
+		pos++
+	}
+	// Trim against predecessor.
+	if pos > 0 {
+		prev := c.rcvOOO[pos-1]
+		prevEnd := prev.seq + uint32(len(prev.data))
+		if seqGE(prevEnd, seq+uint32(len(payload))) {
+			return // fully contained
+		}
+		if seqGT(prevEnd, seq) {
+			payload = payload[prevEnd-seq:]
+			seq = prevEnd
+		}
+	}
+	// Trim against successor.
+	if pos < len(c.rcvOOO) {
+		next := c.rcvOOO[pos]
+		if seqLE(next.seq, seq) {
+			return
+		}
+		if seqGT(seq+uint32(len(payload)), next.seq) {
+			payload = payload[:next.seq-seq]
+		}
+	}
+	if len(payload) == 0 {
+		return
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	c.rcvOOO = append(c.rcvOOO, oooSeg{})
+	copy(c.rcvOOO[pos+1:], c.rcvOOO[pos:])
+	c.rcvOOO[pos] = oooSeg{seq: seq, data: cp}
+}
+
+// oooDrain moves now-in-order segments from the reassembly queue into
+// the receive buffer.
+func (c *tcpConn) oooDrain() {
+	for len(c.rcvOOO) > 0 {
+		s := c.rcvOOO[0]
+		end := s.seq + uint32(len(s.data))
+		if seqGT(s.seq, c.rcvNxt) {
+			return // still a hole
+		}
+		if seqLE(end, c.rcvNxt) {
+			c.rcvOOO = c.rcvOOO[1:] // stale
+			continue
+		}
+		data := s.data[c.rcvNxt-s.seq:]
+		if len(data) > c.rcvBuf.Free() {
+			return // no room; keep parked
+		}
+		if _, err := c.rcvBuf.writeFrom(data); err != nil {
+			c.abort(hostos.ENOMEM)
+			return
+		}
+		c.rcvNxt = end
+		c.rcvOOO = c.rcvOOO[1:]
+	}
+}
+
+// acceptData sequences payload into the receive buffer, parking
+// out-of-order segments for reassembly.
+func (c *tcpConn) acceptData(h TCPHeader, payload []byte) {
+	if len(payload) == 0 {
+		return
+	}
+	if h.Seq != c.rcvNxt {
+		if seqGT(h.Seq, c.rcvNxt) {
+			c.oooInsert(h.Seq, payload)
+		} else if seqGT(h.Seq+uint32(len(payload)), c.rcvNxt) {
+			// Partial overlap with delivered data: take the new tail.
+			tail := payload[c.rcvNxt-h.Seq:]
+			n := min(len(tail), c.rcvBuf.Free())
+			if n > 0 {
+				if _, err := c.rcvBuf.writeFrom(tail[:n]); err != nil {
+					c.abort(hostos.ENOMEM)
+					return
+				}
+				c.rcvNxt += uint32(n)
+				c.oooDrain()
+			}
+		}
+		// A gap (or duplicate) demands an immediate dup-ack.
+		c.sendAckNow()
+		return
+	}
+	n := min(len(payload), c.rcvBuf.Free())
+	if n > 0 {
+		if _, err := c.rcvBuf.writeFrom(payload[:n]); err != nil {
+			c.abort(hostos.ENOMEM)
+			return
+		}
+		c.rcvNxt += uint32(n)
+	}
+	if n < len(payload) {
+		// Window overrun: ack what fit.
+		c.sendAckNow()
+		return
+	}
+	filled := len(c.rcvOOO) > 0
+	c.oooDrain()
+	if filled {
+		// Filling a hole: ack immediately so the sender exits recovery.
+		c.sendAckNow()
+		return
+	}
+	// Delayed ACK: every second segment, or on timeout.
+	c.delackCnt++
+	if c.delackCnt >= 2 {
+		c.sendAckNow()
+	} else if c.delackAt == 0 {
+		c.delackAt = c.stk.now() + delackTimeout
+	}
+}
+
+// enterTimeWait parks the connection for 2MSL.
+func (c *tcpConn) enterTimeWait() {
+	c.setState(tcpTimeWait)
+	c.timeWaitAt = c.stk.now() + timeWaitDur
+	c.rtxAt = 0
+}
+
+// setState transitions the connection.
+func (c *tcpConn) setState(s tcpState) { c.state = s }
+
+// abort kills the connection with a sticky error.
+func (c *tcpConn) abort(errno hostos.Errno) {
+	c.sockErr = errno
+	c.setState(tcpClosed)
+	c.rtxAt = 0
+	c.stk.removeConn(c)
+}
+
+// sendRST emits a reset for this connection.
+func (c *tcpConn) sendRST() {
+	c.sendSegment(TCPRst|TCPAck, c.sndNxt, 0, false)
+}
+
+// input processes one inbound segment for this connection.
+func (c *tcpConn) input(h TCPHeader, payload []byte) {
+	if h.HasTS {
+		c.tsRecent = h.TSVal
+	}
+	if h.Flags&TCPRst != 0 {
+		if c.state == tcpSynSent && (h.Flags&TCPAck == 0 || h.Ack != c.sndNxt) {
+			return // RST not for our SYN
+		}
+		c.abort(hostos.ECONNRESET)
+		return
+	}
+	switch c.state {
+	case tcpSynSent:
+		if h.Flags&TCPSyn == 0 || h.Flags&TCPAck == 0 || h.Ack != c.sndNxt {
+			return
+		}
+		c.rcvNxt = h.Seq + 1
+		c.sndUna = h.Ack
+		c.sndWnd = uint32(h.Window)
+		if h.MSS != 0 {
+			c.sndMSS = min(int(h.MSS)-tsOptionLen, MaxSegData)
+		}
+		c.setState(tcpEstablished)
+		c.rtxAt = 0
+		c.rtxN = 0
+		c.sendAckNow()
+		c.output()
+		return
+
+	case tcpSynReceived:
+		if h.Flags&TCPAck != 0 && h.Ack == c.sndNxt {
+			c.sndUna = h.Ack
+			c.sndWnd = uint32(h.Window)
+			c.setState(tcpEstablished)
+			c.rtxAt = 0
+			c.rtxN = 0
+			c.stk.notifyAccept(c)
+			// Fall through to normal processing of any payload.
+		} else if h.Flags&TCPSyn != 0 {
+			// Duplicate SYN: re-ack.
+			c.sendSegment(TCPSyn|TCPAck, c.sndUna, 0, true)
+			return
+		} else {
+			return
+		}
+	}
+
+	// Established-and-later processing.
+	if h.Flags&TCPAck != 0 {
+		c.handleAck(h)
+		if c.state == tcpClosed {
+			return
+		}
+	}
+	c.acceptData(h, payload)
+	if h.Flags&TCPFin != 0 && h.Seq+uint32(len(payload)) == c.rcvNxt && !c.finRcvd {
+		c.finRcvd = true
+		c.rcvNxt++
+		c.sendAckNow()
+		switch c.state {
+		case tcpEstablished, tcpSynReceived:
+			c.setState(tcpCloseWait)
+		case tcpFinWait1:
+			if c.finAcked {
+				c.enterTimeWait()
+			} else {
+				c.setState(tcpClosing)
+			}
+		case tcpFinWait2:
+			c.enterTimeWait()
+		}
+	}
+	// Push out anything the new window allows.
+	c.output()
+}
+
+// onTimers runs the connection's timers; called from the loop.
+func (c *tcpConn) onTimers(now int64) {
+	if c.rtxAt != 0 && now >= c.rtxAt {
+		c.onRTO()
+	}
+	if c.delackAt != 0 && now >= c.delackAt {
+		c.sendAckNow()
+	}
+	if c.state == tcpTimeWait && now >= c.timeWaitAt {
+		c.setState(tcpClosed)
+		c.stk.removeConn(c)
+	}
+	// Window update: if we advertised (near) zero and space opened, tell
+	// the peer.
+	if c.state == tcpEstablished || c.state == tcpFinWait1 || c.state == tcpFinWait2 {
+		if c.advWnd < uint32(c.sndMSS) && c.rcvWnd() >= uint32(2*c.sndMSS) {
+			c.sendAckNow()
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package hostos
+
+import "time"
+
+// Clock identifiers (FreeBSD numbering for the ones we implement).
+const (
+	// ClockMonotonic is CLOCK_MONOTONIC.
+	ClockMonotonic = 4
+	// ClockMonotonicRaw is the evaluation's CLOCK_MONOTONIC_RAW
+	// (non-adjusted monotonic time).
+	ClockMonotonicRaw = 11
+)
+
+// Clock provides monotonic time in nanoseconds since boot. The network
+// simulator substitutes a virtual clock in deterministic tests; the
+// evaluation binaries use the real clock so latency figures are genuine
+// measurements.
+type Clock interface {
+	Now() int64
+}
+
+// RealClock reads the host's monotonic clock.
+type RealClock struct {
+	boot time.Time
+}
+
+// NewRealClock boots a monotonic clock at the current instant.
+func NewRealClock() *RealClock { return &RealClock{boot: time.Now()} }
+
+// Now returns nanoseconds since boot.
+func (c *RealClock) Now() int64 { return int64(time.Since(c.boot)) }

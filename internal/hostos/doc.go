@@ -1,0 +1,21 @@
+// Package hostos is a minimal CheriBSD-like host kernel substrate.
+//
+// The paper runs its compartmentalized stack on CheriBSD: the Intravisor
+// is a host process, cVMs are its threads, and every cVM syscall is
+// proxied by the Intravisor to the host kernel. This package provides the
+// kernel services that data path actually touches:
+//
+//   - a CLOCK_MONOTONIC_RAW clock (used by the evaluation's
+//     clock_gettime timing probes),
+//   - umtx, FreeBSD's user-space synchronization primitive (the paper's
+//     Intravisor translates musl's futex calls into umtx, §III-B),
+//   - page-granular memory reservations carved from the machine's tagged
+//     memory (the hugepage-like segments DPDK allocates at boot),
+//   - a PCI registry with kernel-driver unbind, which is how DPDK
+//     detaches the NIC from the kernel and maps its registers into user
+//     space.
+//
+// The kernel is deliberately small — DPDK and F-Stack run entirely in
+// user space and interact with the kernel "only at boot time" (§III-B),
+// so boot-time services plus clock/umtx are the whole required surface.
+package hostos

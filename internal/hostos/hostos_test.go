@@ -1,0 +1,262 @@
+package hostos
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestClockMonotonic(t *testing.T) {
+	c := NewRealClock()
+	a := c.Now()
+	b := c.Now()
+	if b < a {
+		t.Fatalf("clock went backwards: %d then %d", a, b)
+	}
+}
+
+func TestKernelClockGettime(t *testing.T) {
+	k, err := NewKernel(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, n0, errno := k.Syscall(SysClockGettime, Args{ClockMonotonicRaw})
+	if errno != OK {
+		t.Fatalf("clock_gettime: %v", errno)
+	}
+	if n0 >= 1e9 {
+		t.Fatalf("nsec field out of range: %d", n0)
+	}
+	time.Sleep(2 * time.Millisecond)
+	s1, n1, errno := k.Syscall(SysClockGettime, Args{ClockMonotonicRaw})
+	if errno != OK {
+		t.Fatal(errno)
+	}
+	t0 := int64(s0)*1e9 + int64(n0)
+	t1 := int64(s1)*1e9 + int64(n1)
+	if t1 <= t0 {
+		t.Fatalf("time did not advance: %d -> %d", t0, t1)
+	}
+	if _, _, errno := k.Syscall(SysClockGettime, Args{999}); errno != EINVAL {
+		t.Fatalf("bad clock id: got %v, want EINVAL", errno)
+	}
+}
+
+func TestKernelUnknownSyscall(t *testing.T) {
+	k, _ := NewKernel(1 << 20)
+	if _, _, errno := k.Syscall(SysNo(123456), Args{}); errno != ENOSYS {
+		t.Fatalf("unknown syscall: got %v, want ENOSYS", errno)
+	}
+}
+
+func TestPageAllocBasic(t *testing.T) {
+	p, err := NewPageAlloc(PageSize, 16*PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, errno := p.Alloc(100) // rounds to one page
+	if errno != OK {
+		t.Fatal(errno)
+	}
+	if a%PageSize != 0 {
+		t.Fatalf("unaligned allocation %#x", a)
+	}
+	b, errno := p.Alloc(PageSize * 2)
+	if errno != OK {
+		t.Fatal(errno)
+	}
+	if b == a {
+		t.Fatal("overlapping allocations")
+	}
+	if errno := p.Free(a, PageSize); errno != OK {
+		t.Fatal(errno)
+	}
+	if errno := p.Free(a, PageSize); errno != EINVAL {
+		t.Fatalf("double free: got %v, want EINVAL", errno)
+	}
+	if errno := p.Free(b, 2*PageSize); errno != OK {
+		t.Fatal(errno)
+	}
+	if got := p.FreeBytes(); got != 16*PageSize {
+		t.Fatalf("free bytes after full release = %d, want %d", got, 16*PageSize)
+	}
+}
+
+func TestPageAllocExhaustion(t *testing.T) {
+	p, err := NewPageAlloc(PageSize, 4*PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, errno := p.Alloc(5 * PageSize); errno != ENOMEM {
+		t.Fatalf("oversized alloc: got %v, want ENOMEM", errno)
+	}
+	for i := 0; i < 4; i++ {
+		if _, errno := p.Alloc(PageSize); errno != OK {
+			t.Fatalf("alloc %d: %v", i, errno)
+		}
+	}
+	if _, errno := p.Alloc(PageSize); errno != ENOMEM {
+		t.Fatalf("exhausted alloc: got %v, want ENOMEM", errno)
+	}
+}
+
+func TestPageAllocCoalesce(t *testing.T) {
+	p, _ := NewPageAlloc(PageSize, 8*PageSize)
+	a, _ := p.Alloc(2 * PageSize)
+	b, _ := p.Alloc(2 * PageSize)
+	c, _ := p.Alloc(2 * PageSize)
+	_ = c
+	// Free in an order that requires coalescing a..b.
+	if errno := p.Free(b, 2*PageSize); errno != OK {
+		t.Fatal(errno)
+	}
+	if errno := p.Free(a, 2*PageSize); errno != OK {
+		t.Fatal(errno)
+	}
+	// A 4-page allocation must now fit in the coalesced hole.
+	d, errno := p.Alloc(4 * PageSize)
+	if errno != OK {
+		t.Fatalf("coalesced alloc: %v", errno)
+	}
+	if d != a {
+		t.Fatalf("coalesced alloc at %#x, want %#x", d, a)
+	}
+}
+
+func TestUmtxWaitValueMismatchReturnsImmediately(t *testing.T) {
+	k, _ := NewKernel(1 << 20)
+	addr := uint64(PageSize)
+	s, _ := k.Mem.RawSlice(addr, 4)
+	s[0] = 1 // *addr = 1
+	if errno := k.Umtx.WaitUint(addr, 0, 0); errno != OK {
+		t.Fatalf("mismatched wait: got %v, want immediate OK", errno)
+	}
+}
+
+func TestUmtxWaitWake(t *testing.T) {
+	k, _ := NewKernel(1 << 20)
+	addr := uint64(PageSize)
+	var wg sync.WaitGroup
+	woken := make(chan Errno, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		woken <- k.Umtx.WaitUint(addr, 0, 0)
+	}()
+	// Give the waiter time to park, then wake it.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := k.Umtx.Wake(addr, 1); n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never parked")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	wg.Wait()
+	if errno := <-woken; errno != OK {
+		t.Fatalf("woken waiter: got %v, want OK", errno)
+	}
+}
+
+func TestUmtxTimeout(t *testing.T) {
+	k, _ := NewKernel(1 << 20)
+	addr := uint64(PageSize)
+	start := time.Now()
+	errno := k.Umtx.WaitUint(addr, 0, 5*time.Millisecond)
+	if errno != ETIMEDOUT {
+		t.Fatalf("timed wait: got %v, want ETIMEDOUT", errno)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatal("returned before timeout")
+	}
+}
+
+func TestUmtxWakeWithoutWaiters(t *testing.T) {
+	k, _ := NewKernel(1 << 20)
+	if n := k.Umtx.Wake(PageSize, 10); n != 0 {
+		t.Fatalf("wake with no waiters woke %d", n)
+	}
+}
+
+func TestUmtxViaSyscall(t *testing.T) {
+	k, _ := NewKernel(1 << 20)
+	addr := uint64(PageSize)
+	done := make(chan struct{})
+	go func() {
+		k.Syscall(SysUmtxOp, Args{addr, UmtxOpWaitUint, 0, 0})
+		close(done)
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		n, _, errno := k.Syscall(SysUmtxOp, Args{addr, UmtxOpWake, 1})
+		if errno != OK {
+			t.Fatal(errno)
+		}
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("syscall waiter never parked")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	<-done
+	if _, _, errno := k.Syscall(SysUmtxOp, Args{addr, 999, 0}); errno != EINVAL {
+		t.Fatalf("bad umtx op: got %v, want EINVAL", errno)
+	}
+}
+
+type fakeDev struct{ bdf string }
+
+func (d *fakeDev) BDF() string               { return d.bdf }
+func (d *fakeDev) VendorID() uint16          { return 0x8086 }
+func (d *fakeDev) DeviceID() uint16          { return 0x10C9 }
+func (d *fakeDev) RegRead32(uint64) uint32   { return 0 }
+func (d *fakeDev) RegWrite32(uint64, uint32) {}
+
+func TestPCIRegisterUnbindClaim(t *testing.T) {
+	p := NewPCI()
+	dev := &fakeDev{bdf: "0000:03:00.0"}
+	if err := p.Register(dev); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Register(dev); err == nil {
+		t.Fatal("duplicate register must fail")
+	}
+	// Claiming while kernel-bound fails.
+	if _, errno := p.Claim(dev.BDF()); errno != EBUSY {
+		t.Fatalf("claim while bound: got %v, want EBUSY", errno)
+	}
+	if errno := p.Unbind(dev.BDF()); errno != OK {
+		t.Fatal(errno)
+	}
+	if errno := p.Unbind(dev.BDF()); errno != EBUSY {
+		t.Fatalf("double unbind: got %v, want EBUSY", errno)
+	}
+	got, errno := p.Claim(dev.BDF())
+	if errno != OK || got != dev {
+		t.Fatalf("claim: %v, %v", got, errno)
+	}
+	if errno := p.Unbind("nope"); errno != ENOENT {
+		t.Fatalf("unbind unknown: got %v, want ENOENT", errno)
+	}
+	if len(p.Devices()) != 1 {
+		t.Fatalf("devices = %v", p.Devices())
+	}
+}
+
+func TestMmapSyscall(t *testing.T) {
+	k, _ := NewKernel(1 << 20)
+	addr, _, errno := k.Syscall(SysMmap, Args{3 * PageSize})
+	if errno != OK {
+		t.Fatal(errno)
+	}
+	if addr%PageSize != 0 || addr == 0 {
+		t.Fatalf("mmap addr %#x", addr)
+	}
+	if _, _, errno := k.Syscall(SysMunmap, Args{addr, 3 * PageSize}); errno != OK {
+		t.Fatal(errno)
+	}
+}

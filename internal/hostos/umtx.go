@@ -1,0 +1,113 @@
+package hostos
+
+import (
+	"encoding/binary"
+	"sync"
+	"time"
+
+	"repro/internal/cheri"
+)
+
+// umtx operation codes (subset of FreeBSD's _umtx_op).
+const (
+	// UmtxOpWake wakes up to val waiters blocked on obj.
+	UmtxOpWake = 3
+	// UmtxOpWaitUint blocks while *obj == val.
+	UmtxOpWaitUint = 11
+)
+
+// Umtx implements FreeBSD's address-based sleep/wake primitive. musl's
+// futex calls are translated onto it by the Intravisor proxy, exactly as
+// the paper's modified Intravisor does (§III-B).
+type Umtx struct {
+	mem *cheri.TMem
+
+	mu      sync.Mutex
+	waiters map[uint64][]chan struct{}
+}
+
+// NewUmtx creates the umtx table over the machine's memory.
+func NewUmtx(mem *cheri.TMem) *Umtx {
+	return &Umtx{mem: mem, waiters: make(map[uint64][]chan struct{})}
+}
+
+// loadU32 reads the word at addr with kernel privilege.
+func (u *Umtx) loadU32(addr uint64) (uint32, Errno) {
+	s, err := u.mem.RawSlice(addr, 4)
+	if err != nil {
+		return 0, EFAULT
+	}
+	return binary.LittleEndian.Uint32(s), OK
+}
+
+// WaitUint blocks the caller while the uint32 at addr equals expected.
+// timeout <= 0 waits forever. Returns ETIMEDOUT on expiry, OK on wake or
+// when the value already differs.
+func (u *Umtx) WaitUint(addr uint64, expected uint32, timeout time.Duration) Errno {
+	u.mu.Lock()
+	v, errno := u.loadU32(addr)
+	if errno != OK {
+		u.mu.Unlock()
+		return errno
+	}
+	if v != expected {
+		u.mu.Unlock()
+		return OK
+	}
+	ch := make(chan struct{})
+	u.waiters[addr] = append(u.waiters[addr], ch)
+	u.mu.Unlock()
+
+	if timeout <= 0 {
+		<-ch
+		return OK
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-ch:
+		return OK
+	case <-t.C:
+		u.remove(addr, ch)
+		return ETIMEDOUT
+	}
+}
+
+// remove deletes ch from addr's wait queue if a wake has not already
+// consumed it.
+func (u *Umtx) remove(addr uint64, ch chan struct{}) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	q := u.waiters[addr]
+	for i, c := range q {
+		if c == ch {
+			u.waiters[addr] = append(q[:i], q[i+1:]...)
+			return
+		}
+	}
+	// Already woken: drain the signal so the waker's close is harmless.
+	select {
+	case <-ch:
+	default:
+	}
+}
+
+// Wake releases up to n waiters blocked on addr and returns how many it
+// released.
+func (u *Umtx) Wake(addr uint64, n int) int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	q := u.waiters[addr]
+	woken := 0
+	for woken < n && len(q) > 0 {
+		close(q[0])
+		q = q[1:]
+		woken++
+	}
+	if len(q) == 0 {
+		delete(u.waiters, addr)
+	} else {
+		u.waiters[addr] = q
+	}
+	return woken
+}

@@ -1,0 +1,156 @@
+package intravisor
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cheri"
+)
+
+// State is a cVM lifecycle state.
+type State int
+
+const (
+	// StateCreated: configured but not yet started.
+	StateCreated State = iota
+	// StateRunning: executing as a thread of the Intravisor.
+	StateRunning
+	// StateTrapped: terminated by a capability fault (paper Fig. 3).
+	StateTrapped
+	// StateStopped: shut down cleanly.
+	StateStopped
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateCreated:
+		return "created"
+	case StateRunning:
+		return "running"
+	case StateTrapped:
+		return "trapped"
+	case StateStopped:
+		return "stopped"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// CVM is a capability-VM: an isolated component running as a thread of
+// the Intravisor, confined to the DDC window it was granted.
+type CVM struct {
+	Name string
+	ID   int
+
+	iv    *Intravisor
+	base  uint64
+	size  uint64
+	ddc   cheri.Cap
+	entry cheri.EntryPair // sealed entry into the Intravisor
+	ctx   cheri.Context
+
+	mu    sync.Mutex
+	state State
+	trap  *cheri.Fault
+}
+
+// Base returns the base address of the cVM's memory window.
+func (c *CVM) Base() uint64 { return c.base }
+
+// Size returns the size of the cVM's memory window.
+func (c *CVM) Size() uint64 { return c.size }
+
+// DDC returns the cVM's default data capability.
+func (c *CVM) DDC() cheri.Cap { return c.ddc }
+
+// State returns the lifecycle state.
+func (c *CVM) State() State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// Start marks the cVM running.
+func (c *CVM) Start() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state == StateCreated || c.state == StateStopped {
+		c.state = StateRunning
+	}
+}
+
+// Stop marks the cVM cleanly stopped.
+func (c *CVM) Stop() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state == StateRunning {
+		c.state = StateStopped
+	}
+}
+
+// Trap records a capability fault and terminates the cVM, as CheriBSD's
+// SIGPROT delivery does for the paper's Fig. 3 experiment.
+func (c *CVM) Trap(f *cheri.Fault) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.state = StateTrapped
+	c.trap = f
+}
+
+// TrapFault returns the fault that terminated the cVM, if any.
+func (c *CVM) TrapFault() *cheri.Fault {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.trap
+}
+
+// faultOf converts an error to *cheri.Fault when it is one.
+func faultOf(err error) (*cheri.Fault, bool) {
+	f, ok := err.(*cheri.Fault)
+	return f, ok
+}
+
+// Load performs a hybrid-mode load through the cVM's DDC. A capability
+// violation traps the cVM (the access is the compartment's own code
+// touching memory it should not).
+func (c *CVM) Load(addr uint64, dst []byte) error {
+	if err := c.iv.K.Mem.Load(c.ddc, addr, dst); err != nil {
+		if f, ok := faultOf(err); ok {
+			c.Trap(f)
+		}
+		return err
+	}
+	return nil
+}
+
+// Store performs a hybrid-mode store through the cVM's DDC, trapping the
+// cVM on a capability violation.
+func (c *CVM) Store(addr uint64, src []byte) error {
+	if err := c.iv.K.Mem.Store(c.ddc, addr, src); err != nil {
+		if f, ok := faultOf(err); ok {
+			c.Trap(f)
+		}
+		return err
+	}
+	return nil
+}
+
+// DeriveBuf derives a bounded capability over [addr, addr+n) of the
+// cVM's window, the way pure-capability code materializes a buffer
+// argument before passing it to an API that takes a `void * __capability`.
+func (c *CVM) DeriveBuf(addr uint64, n uint64) (cheri.Cap, error) {
+	b, err := c.ddc.SetAddr(addr).SetBounds(n)
+	if err != nil {
+		if f, ok := faultOf(err); ok {
+			c.Trap(f)
+		}
+		return cheri.NullCap, err
+	}
+	return b, nil
+}
+
+// Mem gives the cVM's view of machine memory. All checked accesses the
+// network stack performs inside this cVM go through capabilities derived
+// from the DDC.
+func (c *CVM) Mem() *cheri.TMem { return c.iv.K.Mem }

@@ -1,0 +1,26 @@
+// Package intravisor implements the CAP-VM Intravisor of Sartakov et
+// al. (OSDI'22) as adapted by the paper (§II-B, §III-B): a privileged
+// manager that creates capability-VMs (cVMs), distributes memory
+// capabilities to them, and mediates every interaction between a cVM and
+// the host OS.
+//
+// A cVM is an isolated software component confined to a DDC window of
+// the machine's tagged memory. cVMs cannot issue host syscalls: their
+// (modified musl) libc replaces each svc instruction with a trampoline
+// that saves the register state, clears volatile capability registers,
+// and enters the Intravisor through a sealed entry pair (CInvoke / blrs
+// on Morello). The Intravisor proxy translates musl-flavoured syscalls
+// to their CheriBSD equivalents (futex -> umtx, Linux clock ids ->
+// FreeBSD clock ids), validates that every address the cVM passed lies
+// inside that cVM's DDC, performs the host syscall, and returns through
+// the saved frame.
+//
+// The same mechanism implements the cross-compartment call gates used by
+// Scenario 2, where an application cVM invokes F-Stack API wrappers that
+// jump into the network-stack cVM.
+//
+// The per-crossing cost — two frame copies, register clearing, the
+// sealed-pair CInvoke checks — is the overhead the paper measures at
+// ~125 ns (Fig. 4); it is a genuine cost of this implementation too,
+// not a modelled constant.
+package intravisor

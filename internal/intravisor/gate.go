@@ -1,0 +1,75 @@
+package intravisor
+
+import (
+	"repro/internal/cheri"
+	"repro/internal/hostos"
+)
+
+// GateFunc is the target of a cross-compartment call: code that runs
+// inside the owning cVM's world. args carries scalar arguments (fd,
+// lengths, flags); buf carries at most one capability argument — the
+// `void * __capability` buffer of the modified F-Stack API (§III-B).
+type GateFunc func(caller *CVM, args hostos.Args, buf cheri.Cap) (r0 uint64, errno hostos.Errno)
+
+// Gate is a sealed entry point into a cVM. Scenario 2 registers one gate
+// per wrapped F-Stack API function (ff_write, ff_read, ...); application
+// cVMs hold only the sealed pair, so they can reach exactly the exported
+// entry points of the stack compartment and nothing else.
+type Gate struct {
+	iv    *Intravisor
+	owner *CVM
+	pair  cheri.EntryPair
+	fn    GateFunc
+}
+
+// NewGate exports fn from the owner cVM as a callable gate.
+func (iv *Intravisor) NewGate(owner *CVM, fn GateFunc) (*Gate, error) {
+	iv.mu.Lock()
+	defer iv.mu.Unlock()
+	pair, err := iv.sealPair(owner.ddc)
+	if err != nil {
+		return nil, err
+	}
+	return &Gate{iv: iv, owner: owner, pair: pair, fn: fn}, nil
+}
+
+// Owner returns the cVM the gate enters.
+func (g *Gate) Owner() *CVM { return g.owner }
+
+// Call performs the cross-compartment invocation from caller into the
+// gate's owner: validate the capability argument, save and scrub the
+// caller's register state, CInvoke through the sealed pair, run the
+// target, and cross back. This is the jump the paper's Scenario 2
+// wrappers execute around every F-Stack API call.
+func (g *Gate) Call(caller *CVM, args hostos.Args, buf cheri.Cap) (uint64, hostos.Errno) {
+	// The buffer capability the caller passes must be derived from the
+	// caller's own authority: re-validate it against the caller's DDC
+	// (CBuildCap), so a forged or stolen capability cannot cross.
+	if buf.Tag() {
+		checked, err := cheri.BuildCap(caller.ddc, buf)
+		if err != nil {
+			if f, ok := faultOf(err); ok {
+				caller.Trap(f)
+			}
+			return 0, hostos.EFAULT
+		}
+		buf = checked
+	}
+	// Per-thread register file, seeded from the caller's template (the
+	// same rule as the syscall trampoline).
+	ctx := caller.ctx
+	frame := ctx.Save()
+	ctx.ClearVolatile()
+	if err := ctx.CInvoke(g.pair); err != nil {
+		if f, ok := faultOf(err); ok {
+			caller.Trap(f)
+		}
+		ctx.Restore(frame)
+		return 0, hostos.EFAULT
+	}
+	r0, errno := g.fn(caller, args, buf)
+	ctx.ClearVolatile()
+	ctx.Restore(frame)
+	g.iv.Crossings.Add(1)
+	return r0, errno
+}

@@ -1,0 +1,166 @@
+package intravisor
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cheri"
+	"repro/internal/hostos"
+)
+
+// Intravisor manages cVMs on one host kernel. It holds the memory root
+// capability (received at boot) and the sealing authority from which all
+// entry pairs are derived.
+type Intravisor struct {
+	K *hostos.Kernel
+
+	root    cheri.Cap // full-memory root (Intravisor privilege)
+	sealer  cheri.Cap // sealing authority, cursor selects otype
+	codeCap cheri.Cap // executable window for entry points
+
+	mu        sync.Mutex
+	cvms      map[string]*CVM
+	nextOType uint64
+	nextID    int
+
+	// Crossings counts completed domain crossings (trampolines + gates).
+	Crossings atomic.Uint64
+}
+
+// codeWindow is the size of the synthetic executable region entry points
+// live in. The model does not interpret instructions; the window exists
+// so PCC capabilities have real bounds.
+const codeWindow = 1 << 20
+
+// New boots an Intravisor on the kernel. It mints the memory root, a
+// sealing root, and the executable window for entry points.
+func New(k *hostos.Kernel) (*Intravisor, error) {
+	codeBase, errno := k.Pages.Alloc(codeWindow)
+	if errno != hostos.OK {
+		return nil, fmt.Errorf("intravisor: allocating code window: %v", errno)
+	}
+	root := k.Mem.Root()
+	sealer, err := root.SetAddr(uint64(cheri.OTypeFirst)).SetBounds(uint64(cheri.OTypeLast))
+	if err != nil {
+		return nil, fmt.Errorf("intravisor: deriving sealer: %v", err)
+	}
+	sealer, err = sealer.AndPerms(cheri.PermSeal | cheri.PermUnseal)
+	if err != nil {
+		return nil, err
+	}
+	codeCap, err := root.SetAddr(codeBase).SetBounds(codeWindow)
+	if err != nil {
+		return nil, err
+	}
+	codeCap, err = codeCap.AndPerms(cheri.PermCode | cheri.PermInvoke)
+	if err != nil {
+		return nil, err
+	}
+	return &Intravisor{
+		K:         k,
+		root:      root,
+		sealer:    sealer,
+		codeCap:   codeCap,
+		cvms:      make(map[string]*CVM),
+		nextOType: uint64(cheri.OTypeFirst),
+	}, nil
+}
+
+// allocOType reserves a fresh object type.
+func (iv *Intravisor) allocOType() uint64 {
+	ot := iv.nextOType
+	iv.nextOType++
+	return ot
+}
+
+// sealPair builds a sealed entry pair targeting the given data window
+// with a fresh otype. Callers hold iv.mu.
+func (iv *Intravisor) sealPair(data cheri.Cap) (cheri.EntryPair, error) {
+	if !data.Perms().Has(cheri.PermInvoke) {
+		// Re-derive over the same window with PermInvoke added; the
+		// Intravisor has the authority (monotone w.r.t. the root).
+		d, err := iv.root.SetAddr(data.Base()).SetBounds(data.Len())
+		if err != nil {
+			return cheri.EntryPair{}, err
+		}
+		d, err = d.AndPerms(data.Perms() | cheri.PermInvoke)
+		if err != nil {
+			return cheri.EntryPair{}, err
+		}
+		data = d
+	}
+	ot := iv.allocOType()
+	return cheri.SealEntryPair(iv.codeCap, data, iv.sealer.SetAddr(ot))
+}
+
+// CreateCVM allocates a memory window of size bytes and constructs an
+// isolated cVM around it. The cVM receives a DDC confined to its window
+// (without system, seal or unseal rights) and a sealed entry pair into
+// the Intravisor for syscall proxying.
+func (iv *Intravisor) CreateCVM(name string, size uint64) (*CVM, error) {
+	iv.mu.Lock()
+	defer iv.mu.Unlock()
+	if _, dup := iv.cvms[name]; dup {
+		return nil, fmt.Errorf("intravisor: cVM %q already exists", name)
+	}
+	base, errno := iv.K.Pages.Alloc(size)
+	if errno != hostos.OK {
+		return nil, fmt.Errorf("intravisor: allocating %d bytes for cVM %q: %v", size, name, errno)
+	}
+	ddc, err := iv.root.SetAddr(base).SetBounds(size)
+	if err != nil {
+		return nil, err
+	}
+	ddc, err = ddc.AndPerms(cheri.PermData)
+	if err != nil {
+		return nil, err
+	}
+	// Entry pair into the Intravisor: the data half covers all memory
+	// (the Intravisor "has access to all cVM memory regions", §II-B).
+	ivData, err := iv.root.AndPerms(cheri.PermData | cheri.PermInvoke | cheri.PermSystem)
+	if err != nil {
+		return nil, err
+	}
+	entry, err := iv.sealPair(ivData)
+	if err != nil {
+		return nil, err
+	}
+	c := &CVM{
+		Name:  name,
+		ID:    iv.nextID,
+		iv:    iv,
+		base:  base,
+		size:  size,
+		ddc:   ddc,
+		entry: entry,
+		state: StateCreated,
+	}
+	c.ctx.DDC = ddc
+	pcc, err := iv.codeCap.AndPerms(cheri.PermCode)
+	if err != nil {
+		return nil, err
+	}
+	c.ctx.PCC = pcc
+	iv.nextID++
+	iv.cvms[name] = c
+	return c, nil
+}
+
+// CVMs returns the cVMs by name.
+func (iv *Intravisor) CVMs() map[string]*CVM {
+	iv.mu.Lock()
+	defer iv.mu.Unlock()
+	out := make(map[string]*CVM, len(iv.cvms))
+	for k, v := range iv.cvms {
+		out[k] = v
+	}
+	return out
+}
+
+// Mem returns the machine's tagged memory (Intravisor privilege).
+func (iv *Intravisor) Mem() *cheri.TMem { return iv.K.Mem }
+
+// Root returns the Intravisor's memory root capability. Only the
+// scenario builder uses it, to hand device queues their DMA windows.
+func (iv *Intravisor) Root() cheri.Cap { return iv.root }

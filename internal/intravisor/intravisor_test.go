@@ -1,0 +1,301 @@
+package intravisor
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cheri"
+	"repro/internal/hostos"
+)
+
+func newIV(t *testing.T) *Intravisor {
+	t.Helper()
+	k, err := hostos.NewKernel(16 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, err := New(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return iv
+}
+
+func TestCreateCVMWindows(t *testing.T) {
+	iv := newIV(t)
+	a, err := iv.CreateCVM("cvm1", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := iv.CreateCVM("cvm2", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := iv.CreateCVM("cvm1", 1<<20); err == nil {
+		t.Fatal("duplicate cVM name must fail")
+	}
+	// Windows must be disjoint.
+	if a.Base() < b.Base()+b.Size() && b.Base() < a.Base()+a.Size() {
+		t.Fatalf("overlapping windows: [%#x,+%#x) and [%#x,+%#x)",
+			a.Base(), a.Size(), b.Base(), b.Size())
+	}
+	// DDC confined to the window, without privileged permissions.
+	if a.DDC().Base() != a.Base() || a.DDC().Len() != a.Size() {
+		t.Fatalf("DDC %v does not match window", a.DDC())
+	}
+	for _, p := range []cheri.Perm{cheri.PermSystem, cheri.PermSeal, cheri.PermUnseal, cheri.PermExecute} {
+		if a.DDC().Perms().Has(p) {
+			t.Fatalf("cVM DDC carries privileged perm %v", p)
+		}
+	}
+	if len(iv.CVMs()) != 2 {
+		t.Fatalf("CVMs() = %d entries", len(iv.CVMs()))
+	}
+}
+
+func TestCVMIsolation(t *testing.T) {
+	iv := newIV(t)
+	a, _ := iv.CreateCVM("a", 1<<20)
+	b, _ := iv.CreateCVM("b", 1<<20)
+
+	// a writes inside its own window: fine.
+	if err := a.Store(a.Base()+64, []byte("mine")); err != nil {
+		t.Fatalf("own-window store: %v", err)
+	}
+	// a reaches into b's window: capability out-of-bounds, a traps.
+	err := a.Store(b.Base()+64, []byte("attack"))
+	if !cheri.IsFault(err, cheri.FaultBounds) {
+		t.Fatalf("cross-window store: got %v, want bounds fault", err)
+	}
+	if a.State() != StateTrapped {
+		t.Fatalf("attacker state = %v, want trapped", a.State())
+	}
+	if a.TrapFault() == nil || a.TrapFault().Kind != cheri.FaultBounds {
+		t.Fatalf("trap fault = %v", a.TrapFault())
+	}
+	// The victim is unaffected (paper Fig. 3: other cVMs keep running).
+	if b.State() == StateTrapped {
+		t.Fatal("victim cVM must be unaffected")
+	}
+	got := make([]byte, 6)
+	if err := b.Load(b.Base()+64, got); err != nil {
+		t.Fatalf("victim load: %v", err)
+	}
+	if string(got) == "attack" {
+		t.Fatal("attacker's bytes landed in the victim window")
+	}
+}
+
+func TestCVMLifecycle(t *testing.T) {
+	iv := newIV(t)
+	c, _ := iv.CreateCVM("c", 1<<20)
+	if c.State() != StateCreated {
+		t.Fatalf("fresh state = %v", c.State())
+	}
+	c.Start()
+	if c.State() != StateRunning {
+		t.Fatalf("after Start: %v", c.State())
+	}
+	c.Stop()
+	if c.State() != StateStopped {
+		t.Fatalf("after Stop: %v", c.State())
+	}
+	if s := c.State().String(); s != "stopped" {
+		t.Fatalf("state string = %q", s)
+	}
+}
+
+func TestTrampolineClockGettime(t *testing.T) {
+	iv := newIV(t)
+	c, _ := iv.CreateCVM("c", 1<<20)
+	t0 := c.NowNS()
+	if t0 < 0 {
+		t.Fatal("NowNS failed")
+	}
+	time.Sleep(time.Millisecond)
+	t1 := c.NowNS()
+	if t1 <= t0 {
+		t.Fatalf("cVM clock did not advance: %d -> %d", t0, t1)
+	}
+	if iv.Crossings.Load() < 2 {
+		t.Fatalf("crossings = %d, want >= 2", iv.Crossings.Load())
+	}
+	// Unknown clock id propagates EINVAL.
+	if _, _, errno := c.Syscall(MuslClockGettime, hostos.Args{77}); errno != hostos.EINVAL {
+		t.Fatalf("bad clock: got %v, want EINVAL", errno)
+	}
+}
+
+func TestTrampolineUnknownSyscall(t *testing.T) {
+	iv := newIV(t)
+	c, _ := iv.CreateCVM("c", 1<<20)
+	if _, _, errno := c.Syscall(MuslSysNo(9999), hostos.Args{}); errno != hostos.ENOSYS {
+		t.Fatalf("unknown musl syscall: got %v, want ENOSYS", errno)
+	}
+}
+
+func TestTrampolinePreservesContext(t *testing.T) {
+	iv := newIV(t)
+	c, _ := iv.CreateCVM("c", 1<<20)
+	before := c.ctx.DDC
+	c.ctx.Regs[7], _ = c.DDC().SetAddr(c.Base()).SetBounds(64)
+	reg := c.ctx.Regs[7]
+	c.NowNS()
+	if c.ctx.DDC != before {
+		t.Fatalf("DDC changed across trampoline: %v -> %v", before, c.ctx.DDC)
+	}
+	if c.ctx.Regs[7] != reg {
+		t.Fatalf("register state changed across trampoline")
+	}
+}
+
+func TestFutexTranslation(t *testing.T) {
+	iv := newIV(t)
+	c, _ := iv.CreateCVM("c", 1<<20)
+	word := c.Base() // first word of the window
+	if err := c.Store(word, []byte{0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan hostos.Errno, 1)
+	go func() { done <- c.FutexWait(word, 0) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := c.FutexWake(word, 1); n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("futex waiter never parked")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if errno := <-done; errno != hostos.OK {
+		t.Fatalf("futex wait: %v", errno)
+	}
+}
+
+func TestFutexAddressValidation(t *testing.T) {
+	iv := newIV(t)
+	a, _ := iv.CreateCVM("a", 1<<20)
+	b, _ := iv.CreateCVM("b", 1<<20)
+	// a tries to futex-wait on a word inside b's window: the proxy must
+	// refuse (EFAULT), not touch the foreign memory.
+	if errno := a.FutexWait(b.Base(), 0); errno != hostos.EFAULT {
+		t.Fatalf("foreign futex: got %v, want EFAULT", errno)
+	}
+	// The private flag is masked, not rejected.
+	_, _, errno := a.Syscall(MuslFutex,
+		hostos.Args{a.Base(), LinuxFutexWake | linuxFutexPrivateFlag, 1})
+	if errno != hostos.OK {
+		t.Fatalf("private-flag wake: %v", errno)
+	}
+	// Unknown futex op.
+	if _, _, errno := a.Syscall(MuslFutex, hostos.Args{a.Base(), 42, 0}); errno != hostos.EINVAL {
+		t.Fatalf("bad futex op: got %v, want EINVAL", errno)
+	}
+}
+
+func TestGateCrossCompartmentCall(t *testing.T) {
+	iv := newIV(t)
+	stack, _ := iv.CreateCVM("stack", 1<<20)
+	app, _ := iv.CreateCVM("app", 1<<20)
+
+	var gotLen uint64
+	gate, err := iv.NewGate(stack, func(caller *CVM, args hostos.Args, buf cheri.Cap) (uint64, hostos.Errno) {
+		// The stack compartment reads the app's buffer through the
+		// passed capability.
+		data := make([]byte, args[1])
+		if err := iv.K.Mem.Load(buf, buf.Addr(), data); err != nil {
+			return 0, hostos.EFAULT
+		}
+		gotLen = uint64(len(data))
+		return uint64(len(data)), hostos.OK
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The app derives a buffer capability over its own data.
+	msg := []byte("telemetry")
+	if err := app.Store(app.Base()+128, msg); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := app.DeriveBuf(app.Base()+128, uint64(len(msg)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, errno := gate.Call(app, hostos.Args{3, uint64(len(msg))}, buf)
+	if errno != hostos.OK || n != uint64(len(msg)) {
+		t.Fatalf("gate call: n=%d errno=%v", n, errno)
+	}
+	if gotLen != uint64(len(msg)) {
+		t.Fatalf("gate target saw %d bytes", gotLen)
+	}
+	if gate.Owner() != stack {
+		t.Fatal("gate owner wrong")
+	}
+}
+
+func TestGateRejectsForgedCapability(t *testing.T) {
+	iv := newIV(t)
+	stack, _ := iv.CreateCVM("stack", 1<<20)
+	app, _ := iv.CreateCVM("app", 1<<20)
+	victim, _ := iv.CreateCVM("victim", 1<<20)
+
+	gate, err := iv.NewGate(stack, func(caller *CVM, args hostos.Args, buf cheri.Cap) (uint64, hostos.Errno) {
+		return 1, hostos.OK
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A "forged" capability over the victim's window: the gate must
+	// refuse it, because it is not derivable from the app's DDC.
+	forged := cheri.NewRoot(victim.Base(), 64, cheri.PermData)
+	if _, errno := gate.Call(app, hostos.Args{}, forged); errno != hostos.EFAULT {
+		t.Fatalf("forged capability: got %v, want EFAULT", errno)
+	}
+	if app.State() != StateTrapped {
+		t.Fatalf("caller state = %v, want trapped", app.State())
+	}
+}
+
+func TestGateNullBufferAllowed(t *testing.T) {
+	iv := newIV(t)
+	stack, _ := iv.CreateCVM("stack", 1<<20)
+	app, _ := iv.CreateCVM("app", 1<<20)
+	gate, err := iv.NewGate(stack, func(caller *CVM, args hostos.Args, buf cheri.Cap) (uint64, hostos.Errno) {
+		if buf.Tag() {
+			return 0, hostos.EINVAL
+		}
+		return args[0] + 1, hostos.OK
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, errno := gate.Call(app, hostos.Args{41}, cheri.NullCap)
+	if errno != hostos.OK || r != 42 {
+		t.Fatalf("null-buffer call: r=%d errno=%v", r, errno)
+	}
+}
+
+func TestDeriveBufOutOfWindowTraps(t *testing.T) {
+	iv := newIV(t)
+	app, _ := iv.CreateCVM("app", 1<<20)
+	if _, err := app.DeriveBuf(app.Base()+app.Size(), 16); err == nil {
+		t.Fatal("deriving beyond the window must fail")
+	}
+	if app.State() != StateTrapped {
+		t.Fatalf("state = %v, want trapped", app.State())
+	}
+}
+
+func TestMmapThroughProxy(t *testing.T) {
+	iv := newIV(t)
+	c, _ := iv.CreateCVM("c", 1<<20)
+	addr, _, errno := c.Syscall(MuslMmap, hostos.Args{hostos.PageSize * 2})
+	if errno != hostos.OK || addr == 0 {
+		t.Fatalf("mmap: addr=%#x errno=%v", addr, errno)
+	}
+	if _, _, errno := c.Syscall(MuslMunmap, hostos.Args{addr, hostos.PageSize * 2}); errno != hostos.OK {
+		t.Fatalf("munmap: %v", errno)
+	}
+}

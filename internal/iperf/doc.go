@@ -1,0 +1,16 @@
+// Package iperf is an iperf3 analog over the fstack ff_* API: the
+// network benchmark application of the paper's evaluation ("we selected
+// iperf3 [31] as an application ... iperf3 allows to define a
+// server-client connection to measure the maximum bandwidth achievable",
+// §II-C).
+//
+// Like the paper's port, the application is epoll-driven (the original
+// select() call was replaced, §III-B) and runs in poll mode: Step() is
+// called from the stack's main-loop callback (Baseline / Scenario 1) or
+// from an application compartment through cross-cVM gates (Scenario 2).
+//
+// A Client saturates one TCP connection toward a Server and reports the
+// achieved goodput in Mbit/s, measured on the receiver and the sender
+// sides exactly as Table II does ("both server (receiver) and client
+// (sender) modes").
+package iperf

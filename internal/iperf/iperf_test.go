@@ -1,0 +1,120 @@
+package iperf_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fstack"
+	"repro/internal/hostos"
+	"repro/internal/iperf"
+	"repro/internal/sim"
+)
+
+func TestIntervalMath(t *testing.T) {
+	iv := iperf.Interval{StartNS: 0, EndNS: 1e9, Bytes: 125_000_000}
+	if got := iv.Mbps(); got < 999 || got > 1001 {
+		t.Fatalf("1 Gbit/s interval computed as %.1f", got)
+	}
+	if (iperf.Interval{}).Mbps() != 0 {
+		t.Fatal("degenerate interval")
+	}
+}
+
+func TestReportMath(t *testing.T) {
+	r := iperf.Report{Bytes: 125_000_000, StartNS: 0, EndNS: 2e9}
+	if got := r.Mbps(); got < 499 || got > 501 {
+		t.Fatalf("rate %.1f", got)
+	}
+	if e := r.Efficiency(1000); e < 0.499 || e > 0.501 {
+		t.Fatalf("efficiency %.3f", e)
+	}
+	if r.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+// TestClientServerOverStack runs a full iperf pair over the simulated
+// network in virtual time with interval reporting.
+func TestClientServerOverStack(t *testing.T) {
+	clk := sim.NewVClock()
+	s, err := core.NewBaselineSingle(clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := iperf.NewServer(fstack.IPv4Addr{}, 5201)
+	// Server runs on the peer, client on the local box.
+	papi := s.Peers[0].Env.Loop.Locked()
+	s.Peers[0].Env.Loop.OnLoop = func(now int64) bool {
+		srv.Step(papi, now)
+		return true
+	}
+	cli := iperf.NewClient(fstack.IP4(10, 0, 0, 2), 5201, 100e6 /* 100 ms */)
+	cli.IntervalNS = 20e6 // 20 ms windows
+	lapi := s.Envs[0].Loop.Locked()
+	s.Envs[0].Loop.OnLoop = func(now int64) bool {
+		cli.Step(lapi, now)
+		return true
+	}
+	loops := s.Loops()
+	for i := 0; i < 200_000 && !(cli.Done() && srv.Done()); i++ {
+		for _, l := range loops {
+			l.RunOnce()
+		}
+		clk.Advance(5000)
+	}
+	if !cli.Done() || !srv.Done() {
+		t.Fatal("run did not converge")
+	}
+	if cli.Err() != hostos.OK || srv.Err() != hostos.OK {
+		t.Fatalf("errors: cli=%v srv=%v", cli.Err(), srv.Err())
+	}
+	cr, sr := cli.Report(), srv.Report()
+	if sr.Bytes == 0 || cr.Bytes < sr.Bytes {
+		t.Fatalf("byte accounting: client %d server %d", cr.Bytes, sr.Bytes)
+	}
+	if sr.Mbps() < 850 || sr.Mbps() > 950 {
+		t.Fatalf("server rate %.0f Mbit/s, want near line rate", sr.Mbps())
+	}
+	if len(cr.Intervals) < 3 {
+		t.Fatalf("interval reports: %d", len(cr.Intervals))
+	}
+	var ivBytes uint64
+	for _, iv := range cr.Intervals {
+		ivBytes += iv.Bytes
+		if iv.EndNS <= iv.StartNS {
+			t.Fatal("inverted interval")
+		}
+	}
+	if ivBytes != cr.Bytes {
+		t.Fatalf("interval bytes %d != total %d", ivBytes, cr.Bytes)
+	}
+}
+
+// TestClientConnectionRefused checks failure reporting when no server
+// listens.
+func TestClientConnectionRefused(t *testing.T) {
+	clk := sim.NewVClock()
+	s, err := core.NewBaselineSingle(clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := iperf.NewClient(fstack.IP4(10, 0, 0, 2), 9999, 50e6)
+	lapi := s.Envs[0].Loop.Locked()
+	s.Envs[0].Loop.OnLoop = func(now int64) bool {
+		cli.Step(lapi, now)
+		return true
+	}
+	loops := s.Loops()
+	for i := 0; i < 100_000 && !cli.Done(); i++ {
+		for _, l := range loops {
+			l.RunOnce()
+		}
+		clk.Advance(5000)
+	}
+	if !cli.Done() {
+		t.Fatal("client never finished")
+	}
+	if cli.Err() == hostos.OK {
+		t.Fatal("client should have failed against a closed port")
+	}
+}

@@ -1,0 +1,356 @@
+package nic
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"repro/internal/cheri"
+	"repro/internal/hostos"
+	"repro/internal/sim"
+)
+
+// wireOverhead is the per-frame on-the-wire overhead beyond the frame
+// bytes handed to the device: preamble+SFD (8) + FCS (4) + inter-frame
+// gap (12). With 1538 wire bytes per 1448-byte TCP payload this yields
+// the canonical 941 Mbit/s GbE goodput ceiling.
+const wireOverhead = 24
+
+// maxBurst bounds ring processing per Step call.
+const maxBurst = 64
+
+// maxFrame is the largest frame the device accepts (MTU 1500 plus
+// Ethernet header; no jumbo support, like the paper's setup).
+const maxFrame = 1514
+
+// Port is one Ethernet port (one PCI function) of a card. It implements
+// hostos.PCIDevice.
+type Port struct {
+	card *Card
+	idx  int
+	bdf  string
+	mac  [6]byte
+	clk  hostos.Clock
+	mem  *cheri.TMem
+	line *sim.Serializer
+	fifo rxFifo
+
+	wire    *Wire
+	wireEnd int
+
+	capDMA bool
+	dmaCap cheri.Cap
+
+	mu   sync.Mutex
+	regs portRegs
+
+	// statistics (guarded by mu)
+	gprc, gptc uint64 // good packets
+	gorc, gotc uint64 // good octets
+}
+
+// portRegs is the software-visible register file.
+type portRegs struct {
+	ctrl, status uint32
+	rctl, tctl   uint32
+
+	rdbal, rdbah, rdlen, rdh, rdt uint32
+	tdbal, tdbah, tdlen, tdh, tdt uint32
+}
+
+// attach connects the port to a wire endpoint and raises link-up.
+func (p *Port) attach(w *Wire, end int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.wire = w
+	p.wireEnd = end
+	p.regs.status |= StatusLU
+}
+
+// BDF returns the port's PCI address.
+func (p *Port) BDF() string { return p.bdf }
+
+// VendorID returns Intel's PCI vendor id.
+func (p *Port) VendorID() uint16 { return 0x8086 }
+
+// DeviceID returns the 82576 device id.
+func (p *Port) DeviceID() uint16 { return 0x10C9 }
+
+// MAC returns the port's hardware address.
+func (p *Port) MAC() [6]byte { return p.mac }
+
+// SetDMACap grants the port its DMA window (IOMMU programming). Only
+// meaningful in capability-DMA mode.
+func (p *Port) SetDMACap(c cheri.Cap) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dmaCap = c
+}
+
+// RegRead32 implements MMIO reads.
+func (p *Port) RegRead32(off uint64) uint32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch off {
+	case RegCTRL:
+		return p.regs.ctrl
+	case RegSTATUS:
+		return p.regs.status
+	case RegRCTL:
+		return p.regs.rctl
+	case RegTCTL:
+		return p.regs.tctl
+	case RegRDBAL:
+		return p.regs.rdbal
+	case RegRDBAH:
+		return p.regs.rdbah
+	case RegRDLEN:
+		return p.regs.rdlen
+	case RegRDH:
+		return p.regs.rdh
+	case RegRDT:
+		return p.regs.rdt
+	case RegTDBAL:
+		return p.regs.tdbal
+	case RegTDBAH:
+		return p.regs.tdbah
+	case RegTDLEN:
+		return p.regs.tdlen
+	case RegTDH:
+		return p.regs.tdh
+	case RegTDT:
+		return p.regs.tdt
+	case RegMPC:
+		return uint32(p.fifo.missedCount())
+	case RegGPRC:
+		return uint32(p.gprc)
+	case RegGPTC:
+		return uint32(p.gptc)
+	case RegGORCL:
+		return uint32(p.gorc)
+	case RegGORCH:
+		return uint32(p.gorc >> 32)
+	case RegGOTCL:
+		return uint32(p.gotc)
+	case RegGOTCH:
+		return uint32(p.gotc >> 32)
+	case RegRAL0:
+		return uint32(p.mac[0]) | uint32(p.mac[1])<<8 | uint32(p.mac[2])<<16 | uint32(p.mac[3])<<24
+	case RegRAH0:
+		return uint32(p.mac[4]) | uint32(p.mac[5])<<8 | 1<<31 // AV bit
+	default:
+		return 0
+	}
+}
+
+// RegWrite32 implements MMIO writes.
+func (p *Port) RegWrite32(off uint64, v uint32) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch off {
+	case RegCTRL:
+		if v&CtrlRST != 0 {
+			p.resetLocked()
+			return
+		}
+		p.regs.ctrl = v
+	case RegRCTL:
+		p.regs.rctl = v
+	case RegTCTL:
+		p.regs.tctl = v
+	case RegRDBAL:
+		p.regs.rdbal = v
+	case RegRDBAH:
+		p.regs.rdbah = v
+	case RegRDLEN:
+		p.regs.rdlen = v
+	case RegRDH:
+		p.regs.rdh = v
+	case RegRDT:
+		p.regs.rdt = v
+	case RegTDBAL:
+		p.regs.tdbal = v
+	case RegTDBAH:
+		p.regs.tdbah = v
+	case RegTDLEN:
+		p.regs.tdlen = v
+	case RegTDH:
+		p.regs.tdh = v
+	case RegTDT:
+		p.regs.tdt = v
+	}
+}
+
+// resetLocked clears device state (CTRL.RST).
+func (p *Port) resetLocked() {
+	lu := p.regs.status & StatusLU
+	p.regs = portRegs{status: lu}
+	p.gprc, p.gptc, p.gorc, p.gotc = 0, 0, 0, 0
+}
+
+// dmaRO maps [addr, addr+n) of host memory for a device read.
+func (p *Port) dmaRO(addr uint64, n int) ([]byte, bool) {
+	if p.capDMA {
+		s, err := p.mem.CheckedSliceRO(p.dmaCap.SetAddr(addr), addr, n)
+		return s, err == nil
+	}
+	s, err := p.mem.RawSlice(addr, n)
+	return s, err == nil
+}
+
+// dmaRW maps [addr, addr+n) for a device write, invalidating tags.
+func (p *Port) dmaRW(addr uint64, n int) ([]byte, bool) {
+	if p.capDMA {
+		s, err := p.mem.CheckedSlice(p.dmaCap.SetAddr(addr), addr, n)
+		return s, err == nil
+	}
+	s, err := p.mem.RawSlice(addr, n)
+	if err != nil {
+		return nil, false
+	}
+	p.mem.RawInvalidate(addr, n)
+	return s, true
+}
+
+// Step advances the device: it drains the TX ring onto the wire and
+// fills the RX ring from the FIFO, under line-rate and bus-budget
+// admission. The DPDK poll-mode driver calls it from every burst.
+func (p *Port) Step() {
+	p.stepTX()
+	p.stepRX()
+}
+
+// stepTX transmits descriptors [TDH, TDT).
+func (p *Port) stepTX() {
+	p.mu.Lock()
+	if p.regs.tctl&TctlEN == 0 || p.wire == nil {
+		p.mu.Unlock()
+		return
+	}
+	base := uint64(p.regs.tdbal) | uint64(p.regs.tdbah)<<32
+	n := p.regs.tdlen / DescSize
+	head, tail := p.regs.tdh, p.regs.tdt
+	p.mu.Unlock()
+	if n == 0 {
+		return
+	}
+
+	for burst := 0; burst < maxBurst && head != tail; burst++ {
+		descAddr := base + uint64(head)*DescSize
+		desc, ok := p.dmaRO(descAddr, DescSize)
+		if !ok {
+			return // DMA fault: silently stop, like a master abort
+		}
+		bufAddr := binary.LittleEndian.Uint64(desc[0:8])
+		length := int(binary.LittleEndian.Uint16(desc[8:10]))
+		cmd := desc[11]
+		if length == 0 || length > maxFrame || cmd&TxCmdEOP == 0 {
+			// Malformed descriptor: consume it without transmitting.
+			p.writeBackStatus(descAddr, StatDD)
+			head = (head + 1) % n
+			continue
+		}
+		// Admission: the line must have room AND the bus must have
+		// budget for the DMA read.
+		if !p.line.CanAdmit() || !p.card.busCanAdmit(p.idx) {
+			break
+		}
+		buf, ok := p.dmaRO(bufAddr, length)
+		if !ok {
+			p.writeBackStatus(descAddr, StatDD)
+			head = (head + 1) % n
+			continue
+		}
+		doneAt, _ := p.line.Admit(length + wireOverhead)
+		p.card.busAdmit(p.idx, int(p.card.cfg.BusCostTX*float64(length+wireOverhead)))
+		data := make([]byte, length)
+		copy(data, buf)
+		p.wire.send(p.wireEnd, frame{data: data, readyAt: doneAt + PropagationDelayNS})
+
+		p.writeBackStatus(descAddr, StatDD)
+		head = (head + 1) % n
+
+		p.mu.Lock()
+		p.gptc++
+		p.gotc += uint64(length)
+		p.mu.Unlock()
+	}
+	p.mu.Lock()
+	p.regs.tdh = head
+	p.mu.Unlock()
+}
+
+// stepRX moves fully arrived frames into descriptors [RDH, RDT).
+func (p *Port) stepRX() {
+	p.mu.Lock()
+	if p.regs.rctl&RctlEN == 0 {
+		p.mu.Unlock()
+		return
+	}
+	base := uint64(p.regs.rdbal) | uint64(p.regs.rdbah)<<32
+	n := p.regs.rdlen / DescSize
+	head, tail := p.regs.rdh, p.regs.rdt
+	p.mu.Unlock()
+	if n == 0 {
+		return
+	}
+
+	now := p.clk.Now()
+	for burst := 0; burst < maxBurst && head != tail; burst++ {
+		// Bus budget gate BEFORE popping, so refused frames stay queued.
+		if !p.card.busCanAdmit(p.idx) {
+			break
+		}
+		fr, ok := p.fifo.pop(now)
+		if !ok {
+			break
+		}
+		descAddr := base + uint64(head)*DescSize
+		desc, ok := p.dmaRO(descAddr, DescSize)
+		if !ok {
+			break
+		}
+		bufAddr := binary.LittleEndian.Uint64(desc[0:8])
+		dst, ok := p.dmaRW(bufAddr, len(fr.data))
+		if !ok {
+			// Bad buffer: drop the frame, consume the descriptor.
+			p.writeBackRX(descAddr, 0)
+			head = (head + 1) % n
+			continue
+		}
+		copy(dst, fr.data)
+		p.card.busAdmit(p.idx, int(p.card.cfg.BusCostRX*float64(len(fr.data)+wireOverhead)))
+		p.writeBackRX(descAddr, uint16(len(fr.data)))
+		head = (head + 1) % n
+
+		p.mu.Lock()
+		p.gprc++
+		p.gorc += uint64(len(fr.data))
+		p.mu.Unlock()
+	}
+	p.mu.Lock()
+	p.regs.rdh = head
+	p.mu.Unlock()
+}
+
+// writeBackStatus sets the status byte of a TX descriptor.
+func (p *Port) writeBackStatus(descAddr uint64, status byte) {
+	if s, ok := p.dmaRW(descAddr+12, 1); ok {
+		s[0] = status
+	}
+}
+
+// writeBackRX completes an RX descriptor: length + DD|EOP status.
+func (p *Port) writeBackRX(descAddr uint64, length uint16) {
+	if s, ok := p.dmaRW(descAddr+8, 8); ok {
+		binary.LittleEndian.PutUint16(s[0:2], length)
+		s[2], s[3] = 0, 0 // checksum (unused)
+		s[4] = StatDD | StatEOP
+		s[5] = 0 // errors
+	}
+}
+
+// Missed returns the RX FIFO tail-drop count (MPC).
+func (p *Port) Missed() uint64 { return p.fifo.missedCount() }
+
+// PendingRX reports frames waiting in the RX FIFO (testing hook).
+func (p *Port) PendingRX() int { return p.fifo.pending() }

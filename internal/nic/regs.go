@@ -1,0 +1,65 @@
+package nic
+
+// MMIO register offsets (e1000/82576 legacy layout, BAR0).
+const (
+	RegCTRL   = 0x0000
+	RegSTATUS = 0x0008
+	RegRCTL   = 0x0100
+	RegTCTL   = 0x0400
+
+	RegRDBAL = 0x2800
+	RegRDBAH = 0x2804
+	RegRDLEN = 0x2808
+	RegRDH   = 0x2810
+	RegRDT   = 0x2818
+
+	RegTDBAL = 0x3800
+	RegTDBAH = 0x3804
+	RegTDLEN = 0x3808
+	RegTDH   = 0x3810
+	RegTDT   = 0x3818
+
+	// Statistics (read-only; clear-on-read is NOT modelled).
+	RegMPC   = 0x4010 // missed packets (RX ring full)
+	RegGPRC  = 0x4074 // good packets received
+	RegGPTC  = 0x4080 // good packets transmitted
+	RegGORCL = 0x4088 // good octets received, low
+	RegGORCH = 0x408C // good octets received, high
+	RegGOTCL = 0x4090 // good octets transmitted, low
+	RegGOTCH = 0x4094 // good octets transmitted, high
+
+	// Receive-address registers (MAC address of the port).
+	RegRAL0 = 0x5400
+	RegRAH0 = 0x5404
+)
+
+// CTRL bits.
+const (
+	CtrlSLU = 1 << 6  // set link up
+	CtrlRST = 1 << 26 // device reset
+)
+
+// STATUS bits.
+const (
+	StatusLU = 1 << 1 // link up
+)
+
+// RCTL/TCTL bits.
+const (
+	RctlEN = 1 << 1
+	TctlEN = 1 << 1
+)
+
+// Descriptor layout constants (legacy descriptors).
+const (
+	// DescSize is the size of one RX or TX descriptor.
+	DescSize = 16
+
+	// TX command bits.
+	TxCmdEOP = 1 << 0 // end of packet
+	TxCmdRS  = 1 << 3 // report status (write DD back)
+
+	// Status bits (both rings).
+	StatDD  = 1 << 0 // descriptor done
+	StatEOP = 1 << 1 // end of packet (RX)
+)

@@ -1,0 +1,89 @@
+package nic
+
+import "sync"
+
+// PropagationDelayNS is the cable's one-way latency. A metre of copper
+// plus PHY latency is well under a microsecond; 500 ns is representative.
+const PropagationDelayNS = 500
+
+// RxFifoBytes is the per-port receive packet buffer. The 82576 has a
+// 64 KiB RX packet buffer per port; arrivals beyond it are tail-dropped
+// and counted in MPC, which is what gives TCP its congestion signal when
+// the PCI bus (not the line) is the bottleneck.
+const RxFifoBytes = 64 * 1024
+
+// frame is a packet in flight: the bytes plus the virtual instant the
+// last bit arrives at the receiver.
+type frame struct {
+	data    []byte
+	readyAt int64
+}
+
+// rxFifo is a port's receive packet buffer.
+type rxFifo struct {
+	mu     sync.Mutex
+	frames []frame
+	bytes  int
+	limit  int
+	missed uint64
+}
+
+// push stores an arriving frame, tail-dropping when the buffer is full.
+func (f *rxFifo) push(fr frame) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.bytes+len(fr.data) > f.limit {
+		f.missed++
+		return
+	}
+	f.frames = append(f.frames, fr)
+	f.bytes += len(fr.data)
+}
+
+// pop removes the next fully arrived frame, if any.
+func (f *rxFifo) pop(now int64) (frame, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.frames) == 0 || f.frames[0].readyAt > now {
+		return frame{}, false
+	}
+	fr := f.frames[0]
+	copy(f.frames, f.frames[1:])
+	f.frames = f.frames[:len(f.frames)-1]
+	f.bytes -= len(fr.data)
+	return fr, true
+}
+
+// missedCount returns the tail-drop counter.
+func (f *rxFifo) missedCount() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.missed
+}
+
+// pending reports queued frames (testing hook).
+func (f *rxFifo) pending() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.frames)
+}
+
+// Wire is a full-duplex point-to-point Ethernet cable: frames sent by
+// one port land in the other port's RX FIFO after the propagation delay
+// (already folded into frame.readyAt by the sender).
+type Wire struct {
+	ends [2]*Port
+}
+
+// Connect wires two ports back to back and raises link-up on both.
+func Connect(a, b *Port) *Wire {
+	w := &Wire{ends: [2]*Port{a, b}}
+	a.attach(w, 0)
+	b.attach(w, 1)
+	return w
+}
+
+// send forwards a frame from endpoint `from` into the peer's RX FIFO.
+func (w *Wire) send(from int, f frame) {
+	w.ends[1-from].fifo.push(f)
+}

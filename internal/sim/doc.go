@@ -1,0 +1,12 @@
+// Package sim provides the timing machinery for the simulated hardware:
+// a virtual clock for deterministic, host-speed-independent experiments,
+// and byte-time serializers (token buckets) that impose link and bus
+// rates on the simulated NIC.
+//
+// Bandwidth experiments (paper Table II) run the whole machine pair in
+// virtual time: a single driver thread steps the poll-mode loops and
+// advances the clock in fixed quanta, so the achieved throughput depends
+// only on the modelled rates (1 Gbit/s links, shared PCI bus), never on
+// host CPU speed. Latency experiments (Figs. 4-6) use the real clock —
+// they measure the genuine cost of the capability machinery.
+package sim

@@ -1,0 +1,114 @@
+// Package stats provides the summary statistics the paper's evaluation
+// uses: IQR outlier removal ("outliers (≈10% of the iterations) are
+// removed with a standard IQR strategy", §IV) and box-plot summaries
+// (averages, standard deviations, quartiles) for Figs. 4-6.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Box is a box-plot summary of a sample set.
+type Box struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Q1     float64
+	Median float64
+	Q3     float64
+	Max    float64
+}
+
+// quantile returns the q-th quantile (0..1) of sorted data by linear
+// interpolation.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Summarize computes the box statistics of data (not modified).
+func Summarize(data []float64) Box {
+	if len(data) == 0 {
+		return Box{}
+	}
+	s := append([]float64(nil), data...)
+	sort.Float64s(s)
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	mean := sum / float64(len(s))
+	var varsum float64
+	for _, v := range s {
+		d := v - mean
+		varsum += d * d
+	}
+	std := 0.0
+	if len(s) > 1 {
+		std = math.Sqrt(varsum / float64(len(s)-1))
+	}
+	return Box{
+		N:      len(s),
+		Mean:   mean,
+		Std:    std,
+		Min:    s[0],
+		Q1:     quantile(s, 0.25),
+		Median: quantile(s, 0.5),
+		Q3:     quantile(s, 0.75),
+		Max:    s[len(s)-1],
+	}
+}
+
+// RemoveOutliersIQR drops values outside [Q1-k*IQR, Q3+k*IQR] (k=1.5 is
+// the standard strategy the paper cites) and returns the kept values.
+func RemoveOutliersIQR(data []float64, k float64) []float64 {
+	if len(data) == 0 {
+		return nil
+	}
+	s := append([]float64(nil), data...)
+	sort.Float64s(s)
+	q1 := quantile(s, 0.25)
+	q3 := quantile(s, 0.75)
+	iqr := q3 - q1
+	lo, hi := q1-k*iqr, q3+k*iqr
+	out := make([]float64, 0, len(data))
+	for _, v := range data {
+		if v >= lo && v <= hi {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// FromInt64 converts integer samples (ns) to float64.
+func FromInt64(xs []int64) []float64 {
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// CleanBox applies the paper's pipeline to raw ns samples: IQR(1.5)
+// outlier removal, then the box summary.
+func CleanBox(samples []int64) Box {
+	return Summarize(RemoveOutliersIQR(FromInt64(samples), 1.5))
+}
+
+// String renders the box in one line (ns-oriented but unit-free).
+func (b Box) String() string {
+	return fmt.Sprintf("n=%d mean=%.0f std=%.0f min=%.0f q1=%.0f med=%.0f q3=%.0f max=%.0f",
+		b.N, b.Mean, b.Std, b.Min, b.Q1, b.Median, b.Q3, b.Max)
+}

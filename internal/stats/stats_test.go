@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnownValues(t *testing.T) {
+	b := Summarize([]float64{1, 2, 3, 4, 5})
+	if b.N != 5 || b.Mean != 3 || b.Median != 3 || b.Min != 1 || b.Max != 5 {
+		t.Fatalf("box: %+v", b)
+	}
+	if b.Q1 != 2 || b.Q3 != 4 {
+		t.Fatalf("quartiles: %+v", b)
+	}
+	if math.Abs(b.Std-math.Sqrt(2.5)) > 1e-9 {
+		t.Fatalf("std = %v", b.Std)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if b := Summarize(nil); b.N != 0 {
+		t.Fatal("empty box")
+	}
+	b := Summarize([]float64{7})
+	if b.N != 1 || b.Mean != 7 || b.Median != 7 || b.Std != 0 {
+		t.Fatalf("singleton box: %+v", b)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	data := []float64{3, 1, 2}
+	Summarize(data)
+	if data[0] != 3 || data[1] != 1 || data[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestRemoveOutliersIQR(t *testing.T) {
+	data := []float64{10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 1000}
+	kept := RemoveOutliersIQR(data, 1.5)
+	for _, v := range kept {
+		if v == 1000 {
+			t.Fatal("outlier survived")
+		}
+	}
+	if len(kept) != len(data)-1 {
+		t.Fatalf("kept %d of %d", len(kept), len(data))
+	}
+}
+
+func TestRemoveOutliersKeepsCleanData(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	if kept := RemoveOutliersIQR(data, 1.5); len(kept) != len(data) {
+		t.Fatalf("clean data lost values: %d", len(kept))
+	}
+	if RemoveOutliersIQR(nil, 1.5) != nil {
+		t.Fatal("empty input")
+	}
+}
+
+func TestCleanBoxPipeline(t *testing.T) {
+	// 1000 samples around 500 ns plus 10% huge outliers — the paper's
+	// situation ("outliers (≈10% of the iterations) are removed").
+	r := rand.New(rand.NewSource(42))
+	var samples []int64
+	for i := 0; i < 900; i++ {
+		samples = append(samples, 500+int64(r.Intn(21))-10)
+	}
+	for i := 0; i < 100; i++ {
+		samples = append(samples, 20000+int64(r.Intn(1000)))
+	}
+	b := CleanBox(samples)
+	if b.Mean < 480 || b.Mean > 520 {
+		t.Fatalf("outliers polluted the mean: %+v", b)
+	}
+	if b.N > 920 {
+		t.Fatalf("outliers kept: n=%d", b.N)
+	}
+}
+
+// Property: quartiles are ordered and bounded by min/max.
+func TestQuickBoxInvariants(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		data := make([]float64, len(raw))
+		for i, v := range raw {
+			data[i] = float64(v)
+		}
+		b := Summarize(data)
+		return b.Min <= b.Q1 && b.Q1 <= b.Median &&
+			b.Median <= b.Q3 && b.Q3 <= b.Max &&
+			b.Mean >= b.Min && b.Mean <= b.Max && b.N == len(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RemoveOutliersIQR is idempotent-ish — output is a subset
+// preserving order.
+func TestQuickIQRSubset(t *testing.T) {
+	f := func(raw []int16) bool {
+		data := make([]float64, len(raw))
+		for i, v := range raw {
+			data[i] = float64(v)
+		}
+		kept := RemoveOutliersIQR(data, 1.5)
+		if len(kept) > len(data) {
+			return false
+		}
+		// kept must appear in data in order
+		j := 0
+		for _, v := range data {
+			if j < len(kept) && kept[j] == v {
+				j++
+			}
+		}
+		return j == len(kept)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoxString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3}).String()
+	if s == "" {
+		t.Fatal("empty string")
+	}
+}
