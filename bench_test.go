@@ -159,6 +159,28 @@ func BenchmarkScenario3Bandwidth(b *testing.B) {
 	b.ReportMetric(last[0].Mbps, "Mbit/s")
 }
 
+// BenchmarkScenario4Scaling measures the multi-core layout: aggregate
+// goodput of 8 concurrent flows over a sharded stack, per shard count.
+// The Mbit/s metric should scale near-linearly until the 4 Gbit/s port
+// (not any lock) limits it.
+func BenchmarkScenario4Scaling(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			var last core.Scenario4Result
+			for i := 0; i < b.N; i++ {
+				r, err := core.RunScenario4(core.Scenario4Config{Shards: shards},
+					core.LocalIsClient, 8, core.DefaultScenario4Duration)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+			b.ReportMetric(last.Mbps, "Mbit/s")
+		})
+	}
+}
+
 // --- Ablations (design choices called out in DESIGN.md) ---
 
 // BenchmarkAblationCapChecks compares the datapath memory access with

@@ -10,6 +10,8 @@
 //	cherinet fig5 [-iters N]   # ff_write(): Scenario 2 (uncontended) vs Baseline
 //	cherinet fig6 [-iters N]   # ff_write(): Scenario 2 uncontended vs contended
 //	cherinet table1            # capability-integration LoC of the F-Stack port
+//	cherinet scenario4 [-shards K -flows M]
+//	                           # multi-core scaling: sharded stack over RSS queues
 //	cherinet all               # everything above
 package main
 
@@ -23,7 +25,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: cherinet {table1|table2|fig3|fig4|fig5|fig6|all} [-iters N] [-interval NS] [-payload B]\n")
+	fmt.Fprintf(os.Stderr, "usage: cherinet {table1|table2|fig3|fig4|fig5|fig6|scenario4|all} [-iters N] [-interval NS] [-payload B] [-shards K] [-flows M] [-duration NS]\n")
 	os.Exit(2)
 }
 
@@ -36,6 +38,9 @@ func main() {
 	iters := fs.Int("iters", 100_000, "timed ff_write iterations (paper: 1e6)")
 	interval := fs.Int64("interval", 20_000, "ns between timed writes")
 	payload := fs.Int("payload", 1448, "ff_write payload bytes")
+	shards := fs.Int("shards", 4, "max stack shards for scenario4 (swept in powers of two)")
+	flows := fs.Int("flows", 8, "concurrent iperf flows for scenario4")
+	duration := fs.Int64("duration", core.DefaultScenario4Duration, "scenario4 traffic time (virtual ns)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		usage()
 	}
@@ -81,6 +86,19 @@ func main() {
 				return err
 			}
 			printBoxes("FIG 6 — ff_write() execution time: Scenario 2 uncontended vs contended (ns)", sets)
+		case "scenario4":
+			if *shards < 1 {
+				return fmt.Errorf("-shards must be at least 1")
+			}
+			var counts []int
+			for k := 1; k <= *shards; k *= 2 {
+				counts = append(counts, k)
+			}
+			results, err := core.RunScenario4Sweep(counts, *flows, *duration)
+			if err != nil {
+				return err
+			}
+			fmt.Print(core.FormatScenario4(results))
 		default:
 			usage()
 		}
@@ -89,7 +107,7 @@ func main() {
 
 	names := []string{cmd}
 	if cmd == "all" {
-		names = []string{"fig3", "table1", "table2", "fig4", "fig5", "fig6"}
+		names = []string{"fig3", "table1", "table2", "fig4", "fig5", "fig6", "scenario4"}
 	}
 	for _, n := range names {
 		if err := run(n); err != nil {

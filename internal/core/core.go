@@ -12,6 +12,12 @@
 //     two (contended) application cVMs call the F-Stack API through
 //     cross-compartment gates, serialized by the stack mutex.
 //
+// Past the paper, two forward-looking layouts ride on the same
+// substrates: Scenario 3 (§VI's future work — DPDK separated into its
+// own cVM, gates on the datapath) and Scenario 4 (multi-core scaling —
+// a multi-queue RSS port with one CPU-budgeted stack shard per queue
+// pair, scenario4.go).
+//
 // The package also carries the experiment drivers that regenerate every
 // table and figure of the evaluation (bandwidth.go, latency.go,
 // fig3.go, table1.go).
@@ -35,6 +41,11 @@ const (
 	segSize    = 8 << 20  // DPDK segment inside a process/cVM
 	poolBufs   = 2048     // mbufs per pool
 	ringSize   = 512      // RX/TX descriptors
+
+	// Fast link partners (Scenario 4) carry many flows at once; their
+	// environment is sized up so the peer is never the bottleneck.
+	peerFastSegSize  = 24 << 20
+	peerFastPoolBufs = 3072
 )
 
 // Machine is one simulated computer: tagged memory + kernel + one NIC.
@@ -52,6 +63,13 @@ type MachineConfig struct {
 	Clk  hostos.Clock
 	// Ports on the machine's NIC.
 	Ports int
+	// LineRateBps overrides the per-port line rate; 0 means the paper's
+	// 1 GbE. Scenario 4 uses a faster port so a single stack shard (not
+	// the line) is the bottleneck.
+	LineRateBps float64
+	// RxFifoBytes overrides the per-queue RX packet buffer; 0 keeps the
+	// 82576's 64 KiB.
+	RxFifoBytes int
 	// BusLimited installs the calibrated 82576 shared-bus model; false
 	// gives an ideal bus (used for the remote link partners, which stand
 	// in for "the other end of the cable" and must never be the
@@ -69,10 +87,15 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	lineRate := cfg.LineRateBps
+	if lineRate <= 0 {
+		lineRate = 1e9
+	}
 	ncfg := nic.Config{
 		BDFBase:     fmt.Sprintf("0000:03:%02x", cfg.MACLast),
 		Ports:       cfg.Ports,
-		LineRateBps: 1e9,
+		LineRateBps: lineRate,
+		RxFifoBytes: cfg.RxFifoBytes,
 		MAC:         [6]byte{0x02, 0x82, 0x57, 0x60, 0x00, cfg.MACLast},
 		Clk:         cfg.Clk,
 		Mem:         k.Mem,
@@ -101,6 +124,12 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 // NewCVM creates a cVM on this machine (boots the Intravisor on first
 // use).
 func (m *Machine) NewCVM(name string) (*intravisor.CVM, error) {
+	return m.NewCVMSized(name, cvmMem)
+}
+
+// NewCVMSized creates a cVM with a non-default window (Scenario 4's
+// sharded stack needs room for many connections' socket buffers).
+func (m *Machine) NewCVMSized(name string, size uint64) (*intravisor.CVM, error) {
 	if m.IV == nil {
 		iv, err := intravisor.New(m.K)
 		if err != nil {
@@ -108,7 +137,7 @@ func (m *Machine) NewCVM(name string) (*intravisor.CVM, error) {
 		}
 		m.IV = iv
 	}
-	c, err := m.IV.CreateCVM(name, cvmMem)
+	c, err := m.IV.CreateCVM(name, size)
 	if err != nil {
 		return nil, err
 	}
@@ -154,15 +183,22 @@ type IfCfg struct {
 // NewBaselineEnv builds a non-CHERI process environment: its segment is
 // plain kernel memory, accesses are raw, DMA is raw.
 func (m *Machine) NewBaselineEnv(name string, ifs []IfCfg) (*Env, error) {
-	base, errno := m.K.Pages.Alloc(segSize)
+	return m.NewBaselineEnvSized(name, ifs, segSize, poolBufs)
+}
+
+// NewBaselineEnvSized is NewBaselineEnv with explicit segment and
+// buffer-pool sizing, for workloads with many concurrent connections
+// (each costs its socket buffers from the segment).
+func (m *Machine) NewBaselineEnvSized(name string, ifs []IfCfg, segBytes uint64, pool int) (*Env, error) {
+	base, errno := m.K.Pages.Alloc(segBytes)
 	if errno != hostos.OK {
 		return nil, fmt.Errorf("core: allocating segment for %s: %v", name, errno)
 	}
-	seg, err := dpdk.NewMemSeg(m.K.Mem, base, segSize, cheri.NullCap, false)
+	seg, err := dpdk.NewMemSeg(m.K.Mem, base, segBytes, cheri.NullCap, false)
 	if err != nil {
 		return nil, err
 	}
-	return m.finishEnv(name, nil, seg, ifs)
+	return m.finishEnv(name, nil, seg, ifs, pool)
 }
 
 // NewCVMEnv builds a CHERI cVM environment: the segment lives inside
@@ -188,12 +224,12 @@ func (m *Machine) NewCVMEnvOn(cvm *intravisor.CVM, ifs []IfCfg) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
-	return m.finishEnv(cvm.Name, cvm, seg, ifs)
+	return m.finishEnv(cvm.Name, cvm, seg, ifs, poolBufs)
 }
 
 // finishEnv probes the ports, builds the pool, stack and loop.
-func (m *Machine) finishEnv(name string, cvm *intravisor.CVM, seg *dpdk.MemSeg, ifs []IfCfg) (*Env, error) {
-	pool, err := dpdk.NewMempool(seg, name+"-pkt", poolBufs, dpdk.DefaultDataroom)
+func (m *Machine) finishEnv(name string, cvm *intravisor.CVM, seg *dpdk.MemSeg, ifs []IfCfg, poolN int) (*Env, error) {
+	pool, err := dpdk.NewMempool(seg, name+"-pkt", poolN, dpdk.DefaultDataroom)
 	if err != nil {
 		return nil, err
 	}
@@ -226,13 +262,27 @@ type Peer struct {
 
 // NewPeer builds a link partner for localPort with the given address.
 func NewPeer(name string, clk hostos.Clock, localPort *nic.Port, ip, mask fstack.IPv4Addr, macLast byte) (*Peer, error) {
+	return NewPeerAtRate(name, clk, localPort, ip, mask, macLast, 0)
+}
+
+// NewPeerAtRate is NewPeer with an explicit line rate, for testbeds
+// whose local port is faster than the paper's 1 GbE (both ends of a
+// cable must serialize at the same rate). Fast peers also get a larger
+// environment: they carry many concurrent flows, and each connection's
+// socket buffers come out of the segment.
+func NewPeerAtRate(name string, clk hostos.Clock, localPort *nic.Port, ip, mask fstack.IPv4Addr, macLast byte, lineRateBps float64) (*Peer, error) {
 	m, err := NewMachine(MachineConfig{
 		Name: name, Clk: clk, Ports: 1, BusLimited: false, MACLast: macLast,
+		LineRateBps: lineRateBps,
 	})
 	if err != nil {
 		return nil, err
 	}
-	env, err := m.NewBaselineEnv(name, []IfCfg{{Port: 0, Name: "eth0", IP: ip, Mask: mask}})
+	segBytes, pool := uint64(segSize), poolBufs
+	if lineRateBps > 1e9 {
+		segBytes, pool = peerFastSegSize, peerFastPoolBufs
+	}
+	env, err := m.NewBaselineEnvSized(name, []IfCfg{{Port: 0, Name: "eth0", IP: ip, Mask: mask}}, segBytes, pool)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,424 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cheri"
+	"repro/internal/dpdk"
+	"repro/internal/fstack"
+	"repro/internal/hostos"
+	"repro/internal/intravisor"
+	"repro/internal/iperf"
+	"repro/internal/sim"
+)
+
+// Scenario 4 — multi-core scaling. The paper's port (and Scenarios
+// 1-3) runs one poll loop over one RX/TX queue pair, so a single stack
+// mutex serializes all protocol work; Scenario 2 shows that mutex
+// becoming the bottleneck under contention. This scenario applies the
+// standard DPDK remedy: the NIC is configured with K RX/TX queue pairs
+// and symmetric-RSS flow steering, and a fstack.ShardedStack runs one
+// independent stack shard (own loop, own mutex, own connection table)
+// per queue pair. Each shard models one CPU core with a fixed
+// packet-processing budget; the port is faster than one core, so
+// aggregate goodput across M concurrent iperf flows scales with the
+// shard count until the line, not any lock, is the limit.
+
+const (
+	// s4LineRate is the port speed: multi-gigabit, so one shard's core
+	// cannot saturate it (a 1 GbE port would cap every shard count at
+	// the same 941 Mbit/s and hide the scaling).
+	s4LineRate = 4e9
+	// s4CPUBps is one shard's packet-processing budget in bits of frame
+	// data per second — one simulated core keeps up with roughly the
+	// paper's 1 GbE figure, which is what the Morello box measured.
+	s4CPUBps = 1e9
+	// s4CPUWindow is how far ahead a core may be booked (a few
+	// full-size frame times, like the device serializers).
+	s4CPUWindow = 3 * 12304
+	// s4RxFifoBytes is the per-queue RX packet buffer: multi-gigabit
+	// parts ship hundreds of KiB (e.g. 512 KiB on the X550), which is
+	// what lets TCP find a fair share when the line outruns the cores
+	// instead of collapsing into tail-drop retransmit storms.
+	s4RxFifoBytes = 512 << 10
+
+	// Sized up from the default environment: K shards × 256-descriptor
+	// rings plus M flows × (512+256) KiB socket buffers.
+	s4SegSize  = 16 << 20
+	s4CVMMem   = 24 << 20
+	s4PoolBufs = 3072
+	s4RingSize = 256
+
+	// s4BasePort is the first iperf port; flow f uses s4BasePort+f.
+	s4BasePort = uint16(5301)
+
+	// s4RTOMin is the retransmission-timer floor on both ends.
+	// Overloaded shards buffer several ms of frames (512 KiB draining
+	// at ~1 Gbit/s ≈ 4 ms), so the simulator's default 2 ms floor would
+	// make every sender time out spuriously; 20 ms keeps loss recovery
+	// on the dup-ACK fast path, as FreeBSD's 30 ms rexmit_min does on
+	// real buffered paths.
+	s4RTOMin = int64(20e6)
+)
+
+// cpuDev models one core's packet-processing budget in front of a
+// shard's queue pair: every frame byte moved in or out of the stack is
+// charged against a serializer, and when the core is booked out the
+// burst returns empty — ring backpressure, exactly how an overloaded
+// poll loop behaves. (The existing scenarios model layouts where the
+// line or the bus is the bottleneck; here the core must be, or shard
+// counts could not matter.)
+type cpuDev struct {
+	dev fstack.EthDevice
+	cpu *sim.Serializer
+}
+
+// cpuChunk bounds how many frames are harvested per admission check,
+// keeping the overshoot past the booking window small (a booked-out
+// core must come back quickly — the stack's ACKs ride the same budget,
+// and coarse gating would drop them for hundreds of µs at a time).
+const cpuChunk = 4
+
+func (d cpuDev) RxBurst(out []*dpdk.Mbuf) int {
+	total := 0
+	for total < len(out) {
+		if !d.cpu.CanAdmit() {
+			break
+		}
+		k := min(cpuChunk, len(out)-total)
+		n := d.dev.RxBurst(out[total : total+k])
+		for i := 0; i < n; i++ {
+			d.cpu.Book(out[total+i].Len())
+		}
+		total += n
+		if n < k {
+			break
+		}
+	}
+	return total
+}
+
+// TxBurst charges the core for every byte it transmits but never
+// refuses on CPU grounds: by the time the stack hands a frame over, the
+// work has been done, and the TX descriptor ring — not a dropped frame
+// — is where a busy core's output waits. (Refusing here would silently
+// discard bare ACKs, which have no retransmit path; the throttle on the
+// send side is that every booked byte delays the core's own RX
+// processing, inflating the flow's RTT against its 64 KiB window.)
+func (d cpuDev) TxBurst(bufs []*dpdk.Mbuf) int {
+	// Capture lengths first: accepted mbufs pass to the driver and may
+	// be recycled before we charge for them.
+	lens := make([]int, len(bufs))
+	for i, m := range bufs {
+		lens[i] = m.Len()
+	}
+	n := d.dev.TxBurst(bufs)
+	for i := 0; i < n; i++ {
+		d.cpu.Book(lens[i])
+	}
+	return n
+}
+
+func (d cpuDev) Poll()             { d.dev.Poll() }
+func (d cpuDev) MAC() [6]byte      { return d.dev.MAC() }
+func (d cpuDev) Stats() dpdk.Stats { return d.dev.Stats() }
+
+// Scenario4Config parameterizes the multi-core scaling testbed.
+type Scenario4Config struct {
+	// Shards is the stack shard / NIC queue-pair count (1 disables RSS
+	// and reproduces the single-queue layout over the same hardware).
+	Shards int
+	// CapMode runs the sharded stack inside a cVM with capability DMA
+	// (the CHERI port); false is the Baseline process layout.
+	CapMode bool
+}
+
+// Setup4 is a wired Scenario 4 topology.
+type Setup4 struct {
+	Clk     hostos.Clock
+	Local   *Machine
+	CVM     *intravisor.CVM // non-nil in capability mode
+	Seg     *dpdk.MemSeg
+	Pool    *dpdk.Mempool
+	Dev     *dpdk.EthDev
+	Sharded *fstack.ShardedStack
+	Peer    *Peer
+}
+
+// Loops lists every main loop (shards first, then the peer).
+func (s *Setup4) Loops() []*fstack.Loop {
+	return append(append([]*fstack.Loop{}, s.Sharded.Loops()...), s.Peer.Env.Loop)
+}
+
+// NewScenario4 builds the multi-core layout: one fast port with
+// cfg.Shards RSS-steered queue pairs, a ShardedStack with one
+// CPU-budgeted shard per pair, and one link partner.
+func NewScenario4(clk hostos.Clock, cfg Scenario4Config) (*Setup4, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("core: scenario 4 needs at least one shard")
+	}
+	local, err := NewMachine(MachineConfig{
+		Name: "morello", Clk: clk, Ports: 1, LineRateBps: s4LineRate,
+		RxFifoBytes: s4RxFifoBytes, CapDMA: cfg.CapMode, MACLast: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Setup4{Clk: clk, Local: local}
+
+	if cfg.CapMode {
+		cvm, err := local.NewCVMSized("cvm1", s4CVMMem)
+		if err != nil {
+			return nil, err
+		}
+		segBase := cvm.Base() + cvm.Size() - s4SegSize
+		segCap, err := cvm.DDC().SetAddr(segBase).SetBounds(s4SegSize)
+		if err != nil {
+			return nil, err
+		}
+		seg, err := dpdk.NewMemSeg(local.K.Mem, segBase, s4SegSize, segCap, true)
+		if err != nil {
+			return nil, err
+		}
+		s.CVM, s.Seg = cvm, seg
+	} else {
+		base, errno := local.K.Pages.Alloc(s4SegSize)
+		if errno != hostos.OK {
+			return nil, fmt.Errorf("core: allocating scenario 4 segment: %v", errno)
+		}
+		seg, err := dpdk.NewMemSeg(local.K.Mem, base, s4SegSize, cheri.NullCap, false)
+		if err != nil {
+			return nil, err
+		}
+		s.Seg = seg
+	}
+
+	pool, err := dpdk.NewMempool(s.Seg, "s4-pkt", s4PoolBufs, dpdk.DefaultDataroom)
+	if err != nil {
+		return nil, err
+	}
+	s.Pool = pool
+	dev, err := dpdk.Probe(local.K.PCI, local.Card.Port(0).BDF(), s.Seg)
+	if err != nil {
+		return nil, err
+	}
+	if err := dev.ConfigureQueues(cfg.Shards, s4RingSize, s4RingSize, pool); err != nil {
+		return nil, err
+	}
+	if err := dev.Start(); err != nil {
+		return nil, err
+	}
+	s.Dev = dev
+
+	ss, err := fstack.NewShardedStack(cfg.Shards, s.Seg, pool, clk)
+	if err != nil {
+		return nil, err
+	}
+	if err := ss.AddNetIF("eth0", dev, localIP(0), mask24, func(shard int, d fstack.EthDevice) fstack.EthDevice {
+		return cpuDev{dev: d, cpu: sim.NewSerializer(clk, s4CPUBps, s4CPUWindow)}
+	}); err != nil {
+		return nil, err
+	}
+	s.Sharded = ss
+
+	peer, err := NewPeerAtRate("peer0", clk, local.Card.Port(0), peerIP(0), mask24, 0x80, s4LineRate)
+	if err != nil {
+		return nil, err
+	}
+	s.Peer = peer
+	for i := 0; i < ss.NumShards(); i++ {
+		ss.Shard(i).SetRTOMin(s4RTOMin)
+	}
+	peer.Env.Stk.SetRTOMin(s4RTOMin)
+	return s, nil
+}
+
+// engineerCport picks a source port for inbound flow f toward dport so
+// that its tuple hashes to shard f modulo the shard count.
+func (s *Setup4) engineerCport(f int, dport uint16) uint16 {
+	want := f % s.Sharded.NumShards()
+	p := uint16(42000 + 97*f)
+	for try := 0; try < 2048; try++ {
+		if s.Dev.RxQueueOf(peerIP(0), localIP(0), fstack.ProtoTCP, p, dport) == want {
+			return p
+		}
+		p++
+	}
+	return uint16(42000 + 97*f)
+}
+
+// Scenario4Result is one measured (shard count, direction) point.
+// (Per-shard load shows up in ShardedStack.ShardStats and the device's
+// QueueStats, which is what examples/multicore prints.)
+type Scenario4Result struct {
+	Shards  int
+	Flows   int
+	CapMode bool
+	Dir     Direction
+	Mbps    float64   // aggregate goodput over all flows
+	PerFlow []float64 // per-flow goodput
+}
+
+// Scenario4Bandwidth runs flows concurrent iperf flows for durationNS
+// of virtual time and returns the aggregate local goodput. In
+// LocalIsClient mode the local shards send (the steering oracle places
+// each connection on the shard its ACK stream will hit); in
+// LocalIsServer mode the local shards receive on listeners cloned
+// across every shard, each SYN accepted wherever RSS lands it.
+func Scenario4Bandwidth(s *Setup4, dir Direction, flows int, durationNS int64) (Scenario4Result, error) {
+	clk, ok := s.Clk.(*sim.VClock)
+	if !ok {
+		return Scenario4Result{}, fmt.Errorf("core: scenario 4 runs need the virtual clock")
+	}
+	if flows < 1 {
+		return Scenario4Result{}, fmt.Errorf("core: scenario 4 needs at least one flow")
+	}
+	res := Scenario4Result{Shards: s.Sharded.NumShards(), Flows: flows, CapMode: s.CVM != nil, Dir: dir}
+
+	api := s.Sharded.API()
+	var appSteppers []func(now int64)
+	var localCli []*iperf.Client
+	var localSrv []*iperf.Server
+	for f := 0; f < flows; f++ {
+		port := s4BasePort + uint16(f)
+		if dir == LocalIsClient {
+			cli := iperf.NewClient(peerIP(0), port, durationNS)
+			localCli = append(localCli, cli)
+			appSteppers = append(appSteppers, func(now int64) { cli.Step(api, now) })
+		} else {
+			srv := iperf.NewServer(fstack.IPv4Addr{}, port)
+			localSrv = append(localSrv, srv)
+			appSteppers = append(appSteppers, func(now int64) { srv.Step(api, now) })
+		}
+	}
+
+	// The peer carries the far end of every flow on its single stack.
+	var peerCli []*iperf.Client
+	var peerSrv []*iperf.Server
+	papi := s.Peer.Env.Loop.Locked()
+	for f := 0; f < flows; f++ {
+		port := s4BasePort + uint16(f)
+		if dir == LocalIsClient {
+			peerSrv = append(peerSrv, iperf.NewServer(fstack.IPv4Addr{}, port))
+		} else {
+			cli := iperf.NewClient(localIP(0), port, durationNS)
+			// The load generator engineers its source ports so the
+			// flows round-robin the receiver's RSS queues, as hardware
+			// traffic generators (and RSS-aware client fleets) do;
+			// unengineered ports land wherever the hash scatters them.
+			cli.LocalPort = s.engineerCport(f, port)
+			peerCli = append(peerCli, cli)
+		}
+	}
+	s.Peer.Env.Loop.OnLoop = func(now int64) bool {
+		for _, c := range peerCli {
+			c.Step(papi, now)
+		}
+		for _, sv := range peerSrv {
+			sv.Step(papi, now)
+		}
+		return true
+	}
+
+	done := func() bool {
+		for _, c := range localCli {
+			if !c.Done() {
+				return false
+			}
+		}
+		for _, sv := range localSrv {
+			if !sv.Done() {
+				return false
+			}
+		}
+		for _, c := range peerCli {
+			if !c.Done() {
+				return false
+			}
+		}
+		for _, sv := range peerSrv {
+			if !sv.Done() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := runVirtual(clk, s.Loops(), appSteppers, done); err != nil {
+		return res, err
+	}
+
+	for f := 0; f < flows; f++ {
+		var rep iperf.Report
+		if dir == LocalIsClient {
+			if localCli[f].Err() != 0 {
+				return res, fmt.Errorf("core: scenario 4 client %d failed: %v", f, localCli[f].Err())
+			}
+			rep = localCli[f].Report()
+		} else {
+			if localSrv[f].Err() != 0 {
+				return res, fmt.Errorf("core: scenario 4 server %d failed: %v", f, localSrv[f].Err())
+			}
+			rep = localSrv[f].Report()
+		}
+		res.PerFlow = append(res.PerFlow, rep.Mbps())
+		res.Mbps += rep.Mbps()
+	}
+	return res, nil
+}
+
+// DefaultScenario4Duration is the per-measurement traffic time.
+const DefaultScenario4Duration = int64(300e6)
+
+// RunScenario4 measures one configuration end to end on a fresh
+// virtual-time testbed.
+func RunScenario4(cfg Scenario4Config, dir Direction, flows int, durationNS int64) (Scenario4Result, error) {
+	s, err := NewScenario4(sim.NewVClock(), cfg)
+	if err != nil {
+		return Scenario4Result{}, err
+	}
+	return Scenario4Bandwidth(s, dir, flows, durationNS)
+}
+
+// RunScenario4Sweep measures aggregate goodput for every shard count in
+// shardCounts, in both Baseline and capability mode.
+func RunScenario4Sweep(shardCounts []int, flows int, durationNS int64) ([]Scenario4Result, error) {
+	var out []Scenario4Result
+	for _, capMode := range []bool{false, true} {
+		for _, k := range shardCounts {
+			r, err := RunScenario4(Scenario4Config{Shards: k, CapMode: capMode}, LocalIsClient, flows, durationNS)
+			if err != nil {
+				return nil, fmt.Errorf("shards=%d cap=%v: %w", k, capMode, err)
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// FormatScenario4 renders a sweep as a scaling table.
+func FormatScenario4(results []Scenario4Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SCENARIO 4 — multi-core scaling: aggregate goodput vs stack shards\n")
+	fmt.Fprintf(&b, "(port %.0f Gbit/s, one core ≈ %.0f Gbit/s of stack work, %s mode flows)\n",
+		s4LineRate/1e9, s4CPUBps/1e9, LocalIsClient)
+	base := map[bool]float64{}
+	for _, r := range results {
+		if r.Shards == 1 {
+			base[r.CapMode] = r.Mbps
+		}
+	}
+	fmt.Fprintf(&b, "  %-10s %8s %8s %14s %9s\n", "Mode", "Shards", "Flows", "Mbit/s", "Speedup")
+	for _, r := range results {
+		mode := "baseline"
+		if r.CapMode {
+			mode = "cheri"
+		}
+		speedup := "-"
+		if b1 := base[r.CapMode]; b1 > 0 {
+			speedup = fmt.Sprintf("%.2fx", r.Mbps/b1)
+		}
+		fmt.Fprintf(&b, "  %-10s %8d %8d %14.0f %9s\n", mode, r.Shards, r.Flows, r.Mbps, speedup)
+	}
+	return b.String()
+}

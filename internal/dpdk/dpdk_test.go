@@ -26,6 +26,13 @@ type rig struct {
 
 func newRig(t *testing.T, capMode bool) *rig {
 	t.Helper()
+	return newRigQueues(t, capMode, 1)
+}
+
+// newRigQueues builds the rig with nq RX/TX queue pairs on devA (the
+// device under test); devB stays single-queue.
+func newRigQueues(t *testing.T, capMode bool, nq int) *rig {
+	t.Helper()
 	mem := cheri.NewTMem(8 << 20)
 	clk := sim.NewVClock()
 	pci := hostos.NewPCI()
@@ -90,16 +97,17 @@ func newRig(t *testing.T, capMode bool) *rig {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, dp := range []struct {
-		d *EthDev
-		p *Mempool
-	}{{r.devA, r.popA}, {r.devB, r.popB}} {
-		if err := dp.d.Configure(64, 64, dp.p); err != nil {
-			t.Fatal(err)
-		}
-		if err := dp.d.Start(); err != nil {
-			t.Fatal(err)
-		}
+	if err := r.devA.ConfigureQueues(nq, 64, 64, r.popA); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.devA.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.devB.Configure(64, 64, r.popB); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.devB.Start(); err != nil {
+		t.Fatal(err)
 	}
 	return r
 }

@@ -21,8 +21,40 @@ type Stats struct {
 	IMissed  uint64 // RX drops at the device (ring/FIFO full)
 }
 
+// add accumulates other into s.
+func (s *Stats) add(other Stats) {
+	s.IPackets += other.IPackets
+	s.OPackets += other.OPackets
+	s.IBytes += other.IBytes
+	s.OBytes += other.OBytes
+	s.IMissed += other.IMissed
+}
+
+// rxQueue is one RX descriptor ring and its software state.
+type rxQueue struct {
+	base  uint64
+	n     uint32
+	mbufs []*Mbuf
+	next  uint32 // next descriptor to harvest
+	tail  uint32 // software copy of RDT
+	stats Stats  // software per-queue counters (harvested frames)
+}
+
+// txQueue is one TX descriptor ring and its software state.
+type txQueue struct {
+	base    uint64
+	n       uint32
+	mbufs   []*Mbuf
+	next    uint32 // next descriptor to program
+	reclaim uint32 // next descriptor to reclaim
+	free    uint32 // free descriptors
+	stats   Stats  // software per-queue counters (accepted frames)
+}
+
 // EthDev is one bound Ethernet port driven in user space (rte_ethdev +
-// igb PMD in one type).
+// igb PMD in one type). It exposes up to nic.MaxQueues RX/TX queue
+// pairs; the queue-less API (Configure/RxBurst/TxBurst/Poll) is the
+// single-queue view over queue 0, so existing callers are unchanged.
 type EthDev struct {
 	dev  hostos.PCIDevice
 	step func()
@@ -30,16 +62,12 @@ type EthDev struct {
 	pool *Mempool
 	mac  [6]byte
 
-	nRX, nTX  uint32
-	rxBase    uint64
-	txBase    uint64
-	rxMbufs   []*Mbuf
-	txMbufs   []*Mbuf
-	rxNext    uint32 // next RX descriptor to harvest
-	rxTail    uint32 // software copy of RDT
-	txNext    uint32 // next TX descriptor to program
-	txReclaim uint32 // next TX descriptor to reclaim
-	txFree    uint32 // free TX descriptors
+	rxqs []rxQueue
+	txqs []txQueue
+
+	rssKey [nic.RSSKeyLen]byte
+	reta   [nic.RetaEntries]byte
+	rssOn  bool
 
 	configured bool
 	started    bool
@@ -74,43 +102,59 @@ func Probe(pci *hostos.PCI, bdf string, seg *MemSeg) (*EthDev, error) {
 // MAC returns the port's hardware address.
 func (d *EthDev) MAC() [6]byte { return d.mac }
 
-// Configure allocates nrx/ntx descriptor rings from the segment and
-// programs the device. pool supplies RX buffers.
+// Configure allocates one nrx/ntx descriptor ring pair from the segment
+// and programs the device — the single-queue setup every pre-RSS caller
+// uses. pool supplies RX buffers.
 func (d *EthDev) Configure(nrx, ntx uint32, pool *Mempool) error {
+	return d.ConfigureQueues(1, nrx, ntx, pool)
+}
+
+// ConfigureQueues allocates nq RX/TX queue pairs of nrx/ntx descriptors
+// each and programs the device's per-queue register banks. With nq > 1,
+// Start additionally programs the RSS engine (symmetric Toeplitz key +
+// identity redirection table) so inbound flows spread over the queues.
+func (d *EthDev) ConfigureQueues(nq int, nrx, ntx uint32, pool *Mempool) error {
 	if d.configured {
 		return fmt.Errorf("dpdk: device already configured")
+	}
+	if nq < 1 || nq > nic.MaxQueues {
+		return fmt.Errorf("dpdk: queue count %d outside 1..%d", nq, nic.MaxQueues)
 	}
 	if nrx < 8 || ntx < 8 {
 		return fmt.Errorf("dpdk: ring sizes %d/%d too small", nrx, ntx)
 	}
-	var err error
-	d.rxBase, err = d.seg.Alloc(uint64(nrx)*nic.DescSize, 128)
-	if err != nil {
-		return err
-	}
-	d.txBase, err = d.seg.Alloc(uint64(ntx)*nic.DescSize, 128)
-	if err != nil {
-		return err
-	}
-	d.nRX, d.nTX = nrx, ntx
 	d.pool = pool
-	d.rxMbufs = make([]*Mbuf, nrx)
-	d.txMbufs = make([]*Mbuf, ntx)
-	d.txFree = ntx - 1 // one slot kept open to distinguish full/empty
+	d.rxqs = make([]rxQueue, nq)
+	d.txqs = make([]txQueue, nq)
+	for q := 0; q < nq; q++ {
+		rxBase, err := d.seg.Alloc(uint64(nrx)*nic.DescSize, 128)
+		if err != nil {
+			return err
+		}
+		txBase, err := d.seg.Alloc(uint64(ntx)*nic.DescSize, 128)
+		if err != nil {
+			return err
+		}
+		d.rxqs[q] = rxQueue{base: rxBase, n: nrx, mbufs: make([]*Mbuf, nrx)}
+		d.txqs[q] = txQueue{base: txBase, n: ntx, mbufs: make([]*Mbuf, ntx), free: ntx - 1}
 
-	d.dev.RegWrite32(nic.RegRDBAL, uint32(d.rxBase))
-	d.dev.RegWrite32(nic.RegRDBAH, uint32(d.rxBase>>32))
-	d.dev.RegWrite32(nic.RegRDLEN, nrx*nic.DescSize)
-	d.dev.RegWrite32(nic.RegRDH, 0)
-	d.dev.RegWrite32(nic.RegRDT, 0)
-	d.dev.RegWrite32(nic.RegTDBAL, uint32(d.txBase))
-	d.dev.RegWrite32(nic.RegTDBAH, uint32(d.txBase>>32))
-	d.dev.RegWrite32(nic.RegTDLEN, ntx*nic.DescSize)
-	d.dev.RegWrite32(nic.RegTDH, 0)
-	d.dev.RegWrite32(nic.RegTDT, 0)
+		d.dev.RegWrite32(nic.RegRDBALQ(q), uint32(rxBase))
+		d.dev.RegWrite32(nic.RegRDBAHQ(q), uint32(rxBase>>32))
+		d.dev.RegWrite32(nic.RegRDLENQ(q), nrx*nic.DescSize)
+		d.dev.RegWrite32(nic.RegRDHQ(q), 0)
+		d.dev.RegWrite32(nic.RegRDTQ(q), 0)
+		d.dev.RegWrite32(nic.RegTDBALQ(q), uint32(txBase))
+		d.dev.RegWrite32(nic.RegTDBAHQ(q), uint32(txBase>>32))
+		d.dev.RegWrite32(nic.RegTDLENQ(q), ntx*nic.DescSize)
+		d.dev.RegWrite32(nic.RegTDHQ(q), 0)
+		d.dev.RegWrite32(nic.RegTDTQ(q), 0)
+	}
 	d.configured = true
 	return nil
 }
+
+// NumRxQueues reports the configured queue-pair count.
+func (d *EthDev) NumRxQueues() int { return len(d.rxqs) }
 
 // writeDesc programs one descriptor (through the segment, so it is a
 // checked store in capability mode).
@@ -138,7 +182,27 @@ func (d *EthDev) descStatus(descAddr uint64) (status byte, length uint16, err er
 	return s[12], binary.LittleEndian.Uint16(s[8:10]), nil
 }
 
-// Start posts the RX ring and enables both queues.
+// programRSS installs the Toeplitz key, an identity-modulo redirection
+// table over the configured queues, and enables the engine (the hash
+// itself is flow-symmetric via canonical endpoint ordering).
+func (d *EthDev) programRSS() {
+	nq := len(d.rxqs)
+	d.rssKey = nic.DefaultRSSKey()
+	for i := 0; i < nic.RSSKeyLen; i += 4 {
+		d.dev.RegWrite32(nic.RegRSSRK+uint64(i), binary.LittleEndian.Uint32(d.rssKey[i:i+4]))
+	}
+	for i := range d.reta {
+		d.reta[i] = byte(i % nq)
+	}
+	for i := 0; i < nic.RetaEntries; i += 4 {
+		d.dev.RegWrite32(nic.RegRETA+uint64(i), binary.LittleEndian.Uint32(d.reta[i:i+4]))
+	}
+	d.dev.RegWrite32(nic.RegMRQC, nic.MRQCEnable|uint32(nq)<<nic.MRQCQueueShift)
+	d.rssOn = true
+}
+
+// Start posts every RX ring and enables the device. Multi-queue
+// configurations also get the RSS engine programmed here.
 func (d *EthDev) Start() error {
 	if !d.configured {
 		return fmt.Errorf("dpdk: start before configure")
@@ -146,37 +210,48 @@ func (d *EthDev) Start() error {
 	if d.started {
 		return fmt.Errorf("dpdk: device already started")
 	}
-	// Post a buffer in EVERY slot; RDT=nRX-1 leaves a one-descriptor gap
-	// for the hardware's full/empty disambiguation. The gap slot still
-	// holds a valid buffer, so the window can slide over it safely.
-	for i := uint32(0); i < d.nRX; i++ {
-		m, ok := d.pool.Get()
-		if !ok {
-			return fmt.Errorf("dpdk: pool %q exhausted while filling RX ring", d.pool.Name())
+	for q := range d.rxqs {
+		rq := &d.rxqs[q]
+		// Post a buffer in EVERY slot; RDT=n-1 leaves a one-descriptor
+		// gap for the hardware's full/empty disambiguation. The gap slot
+		// still holds a valid buffer, so the window can slide over it
+		// safely.
+		for i := uint32(0); i < rq.n; i++ {
+			m, ok := d.pool.Get()
+			if !ok {
+				return fmt.Errorf("dpdk: pool %q exhausted while filling RX ring %d", d.pool.Name(), q)
+			}
+			rq.mbufs[i] = m
+			if err := d.writeDesc(rq.base+uint64(i)*nic.DescSize, m.DataAddr(), 0, 0); err != nil {
+				return err
+			}
 		}
-		d.rxMbufs[i] = m
-		if err := d.writeDesc(d.rxBase+uint64(i)*nic.DescSize, m.DataAddr(), 0, 0); err != nil {
-			return err
-		}
+		rq.tail = rq.n - 1
+		d.dev.RegWrite32(nic.RegRDTQ(q), rq.tail)
 	}
-	d.rxTail = d.nRX - 1
-	d.dev.RegWrite32(nic.RegRDT, d.rxTail)
+	if len(d.rxqs) > 1 {
+		d.programRSS()
+	}
 	d.dev.RegWrite32(nic.RegRCTL, nic.RctlEN)
 	d.dev.RegWrite32(nic.RegTCTL, nic.TctlEN)
 	d.started = true
 	return nil
 }
 
-// RxBurst polls the device and harvests up to len(out) received frames.
-// Each returned mbuf's payload is the raw Ethernet frame.
-func (d *EthDev) RxBurst(out []*Mbuf) int {
-	if !d.started {
+// RxBurst polls the device and harvests up to len(out) received frames
+// from queue 0. Each returned mbuf's payload is the raw Ethernet frame.
+func (d *EthDev) RxBurst(out []*Mbuf) int { return d.RxBurstQ(0, out) }
+
+// RxBurstQ harvests up to len(out) received frames from queue q.
+func (d *EthDev) RxBurstQ(q int, out []*Mbuf) int {
+	if !d.started || q >= len(d.rxqs) {
 		return 0
 	}
 	d.step()
+	rq := &d.rxqs[q]
 	n := 0
 	for n < len(out) {
-		descAddr := d.rxBase + uint64(d.rxNext)*nic.DescSize
+		descAddr := rq.base + uint64(rq.next)*nic.DescSize
 		status, length, err := d.descStatus(descAddr)
 		if err != nil || status&nic.StatDD == 0 {
 			break
@@ -187,7 +262,7 @@ func (d *EthDev) RxBurst(out []*Mbuf) int {
 		if !ok {
 			break
 		}
-		m := d.rxMbufs[d.rxNext]
+		m := rq.mbufs[rq.next]
 		m.off = MbufHeadroom
 		if err := m.SetLen(int(length)); err != nil {
 			// Oversized: drop.
@@ -196,78 +271,103 @@ func (d *EthDev) RxBurst(out []*Mbuf) int {
 			repl = m
 		}
 
-		d.rxMbufs[d.rxNext] = repl
+		rq.mbufs[rq.next] = repl
 		if err := d.writeDesc(descAddr, repl.DataAddr(), 0, 0); err != nil {
 			break
 		}
 		if m != repl {
 			out[n] = m
 			n++
+			rq.stats.IPackets++
+			rq.stats.IBytes += uint64(length)
 		}
-		d.rxNext = (d.rxNext + 1) % d.nRX
-		d.rxTail = (d.rxTail + 1) % d.nRX
-		d.dev.RegWrite32(nic.RegRDT, d.rxTail)
+		rq.next = (rq.next + 1) % rq.n
+		rq.tail = (rq.tail + 1) % rq.n
+		d.dev.RegWrite32(nic.RegRDTQ(q), rq.tail)
 	}
 	return n
 }
 
-// reclaimTX frees mbufs whose descriptors the device completed.
-func (d *EthDev) reclaimTX() {
-	for d.txFree < d.nTX-1 {
-		descAddr := d.txBase + uint64(d.txReclaim)*nic.DescSize
+// reclaimTX frees mbufs whose descriptors the device completed on
+// queue q.
+func (d *EthDev) reclaimTX(q int) {
+	tq := &d.txqs[q]
+	for tq.free < tq.n-1 {
+		descAddr := tq.base + uint64(tq.reclaim)*nic.DescSize
 		status, _, err := d.descStatus(descAddr)
 		if err != nil || status&nic.StatDD == 0 {
 			return
 		}
-		if m := d.txMbufs[d.txReclaim]; m != nil {
+		if m := tq.mbufs[tq.reclaim]; m != nil {
 			m.Free()
-			d.txMbufs[d.txReclaim] = nil
+			tq.mbufs[tq.reclaim] = nil
 		}
-		d.txReclaim = (d.txReclaim + 1) % d.nTX
-		d.txFree++
+		tq.reclaim = (tq.reclaim + 1) % tq.n
+		tq.free++
 	}
 }
 
-// TxBurst enqueues up to len(bufs) frames for transmission and returns
-// how many were accepted; ownership of accepted mbufs passes to the
-// driver (they return to the pool after the device sends them).
-func (d *EthDev) TxBurst(bufs []*Mbuf) int {
-	if !d.started {
+// TxBurst enqueues up to len(bufs) frames on queue 0 and returns how
+// many were accepted; ownership of accepted mbufs passes to the driver
+// (they return to the pool after the device sends them).
+func (d *EthDev) TxBurst(bufs []*Mbuf) int { return d.TxBurstQ(0, bufs) }
+
+// TxBurstQ enqueues up to len(bufs) frames on queue q.
+func (d *EthDev) TxBurstQ(q int, bufs []*Mbuf) int {
+	if !d.started || q >= len(d.txqs) {
 		return 0
 	}
 	d.step() // push earlier frames, complete descriptors
-	d.reclaimTX()
+	d.reclaimTX(q)
+	tq := &d.txqs[q]
 	n := 0
 	for _, m := range bufs {
-		if n >= len(bufs) || d.txFree == 0 {
+		if tq.free == 0 {
 			break
 		}
-		descAddr := d.txBase + uint64(d.txNext)*nic.DescSize
+		descAddr := tq.base + uint64(tq.next)*nic.DescSize
 		if err := d.writeDesc(descAddr, m.DataAddr(), uint16(m.Len()), nic.TxCmdEOP|nic.TxCmdRS); err != nil {
 			break
 		}
-		d.txMbufs[d.txNext] = m
-		d.txNext = (d.txNext + 1) % d.nTX
-		d.txFree--
+		tq.mbufs[tq.next] = m
+		tq.next = (tq.next + 1) % tq.n
+		tq.free--
+		tq.stats.OPackets++
+		tq.stats.OBytes += uint64(m.Len())
 		n++
 	}
 	if n > 0 {
-		d.dev.RegWrite32(nic.RegTDT, d.txNext)
+		d.dev.RegWrite32(nic.RegTDTQ(q), tq.next)
 		d.step()
 	}
 	return n
 }
 
-// Poll advances the device without transferring mbufs (keeps TX draining
-// while the application is idle) and reclaims completed transmissions.
+// Poll advances the device without transferring mbufs (keeps TX
+// draining while the application is idle) and reclaims completed
+// transmissions on every queue.
 func (d *EthDev) Poll() {
-	if d.started {
-		d.step()
-		d.reclaimTX()
+	if !d.started {
+		return
+	}
+	d.step()
+	for q := range d.txqs {
+		d.reclaimTX(q)
 	}
 }
 
-// Stats reads the device counters.
+// PollQ advances the device and reclaims queue q's completed
+// transmissions only — the per-shard poll, so shards do not touch each
+// other's software ring state.
+func (d *EthDev) PollQ(q int) {
+	if !d.started || q >= len(d.txqs) {
+		return
+	}
+	d.step()
+	d.reclaimTX(q)
+}
+
+// Stats reads the device counters (whole-port aggregates).
 func (d *EthDev) Stats() Stats {
 	return Stats{
 		IPackets: uint64(d.dev.RegRead32(nic.RegGPRC)),
@@ -276,4 +376,40 @@ func (d *EthDev) Stats() Stats {
 		OBytes:   uint64(d.dev.RegRead32(nic.RegGOTCL)) | uint64(d.dev.RegRead32(nic.RegGOTCH))<<32,
 		IMissed:  uint64(d.dev.RegRead32(nic.RegMPC)),
 	}
+}
+
+// QueueStats returns queue q's software counters: frames the driver
+// harvested (RX) and frames it handed to the device (TX).
+func (d *EthDev) QueueStats(q int) Stats {
+	if q >= len(d.rxqs) {
+		return Stats{}
+	}
+	st := d.rxqs[q].stats
+	st.add(d.txqs[q].stats)
+	return st
+}
+
+// QueueStatsSum aggregates the software counters over every queue.
+func (d *EthDev) QueueStatsSum() Stats {
+	var st Stats
+	for q := range d.rxqs {
+		st.add(d.QueueStats(q))
+	}
+	return st
+}
+
+// RxQueueOf reports which RX queue the device's RSS classifier would
+// select for an inbound IPv4 packet with the given flow tuple — the
+// steering oracle a sharded stack uses to place locally initiated
+// connections on the shard their return traffic will reach.
+func (d *EthDev) RxQueueOf(src, dst [4]byte, proto byte, sport, dport uint16) int {
+	if !d.rssOn {
+		return 0
+	}
+	h := nic.RSSHashTuple(d.rssKey[:], src, dst, proto, sport, dport)
+	q := int(d.reta[h&(nic.RetaEntries-1)])
+	if q >= len(d.rxqs) {
+		return 0
+	}
+	return q
 }

@@ -3,6 +3,7 @@ package fstack
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 )
 
 // ARP opcodes.
@@ -71,8 +72,12 @@ const arpCacheTTL = 600e9
 const arpPendingMax = 8
 
 // arpCache maps IPv4 addresses to MACs, with a short pending packet
-// queue per unresolved address.
+// queue per unresolved address. A sharded stack shares one cache across
+// every shard's view of the interface (neighbor state is read-mostly
+// and not flow-affine — ARP replies always land on queue 0), so the
+// cache carries its own lock; per-stack caches simply never contend.
 type arpCache struct {
+	mu      sync.Mutex
 	entries map[IPv4Addr]arpEntry
 	pending map[IPv4Addr][]*pendingPacket
 }
@@ -92,6 +97,8 @@ func newARPCache() *arpCache {
 
 // lookup returns the binding if present and fresh.
 func (c *arpCache) lookup(ip IPv4Addr, now int64) (MACAddr, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	e, ok := c.entries[ip]
 	if !ok || now > e.expires {
 		return MACAddr{}, false
@@ -101,6 +108,8 @@ func (c *arpCache) lookup(ip IPv4Addr, now int64) (MACAddr, bool) {
 
 // insert installs a binding and returns the packets parked on it.
 func (c *arpCache) insert(ip IPv4Addr, mac MACAddr, now int64) []*pendingPacket {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.entries[ip] = arpEntry{mac: mac, expires: now + arpCacheTTL}
 	p := c.pending[ip]
 	delete(c.pending, ip)
@@ -110,6 +119,8 @@ func (c *arpCache) insert(ip IPv4Addr, mac MACAddr, now int64) []*pendingPacket 
 // park queues a packet waiting for ip to resolve, dropping the oldest
 // beyond the queue bound.
 func (c *arpCache) park(ip IPv4Addr, payload []byte, proto uint16) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	cp := make([]byte, len(payload))
 	copy(cp, payload)
 	q := c.pending[ip]

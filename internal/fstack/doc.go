@@ -18,6 +18,16 @@
 //     callback, so the mutex is uncontended; in Scenario 2 separate
 //     application compartments call through cross-cVM gates and contend
 //     on it — the effect Fig. 6 measures.
+//   - The multi-core escape from that mutex is ShardedStack: N Stack
+//     instances, each bound to one NIC RX/TX queue pair, with symmetric
+//     RSS steering keeping both directions of every flow on one shard.
+//     Connection, socket and listener tables plus timers are
+//     shard-local; ARP state is shared (read-mostly); listening sockets
+//     are cloned per shard so a SYN is accepted wherever RSS lands it.
+//     ShardedAPI is the application view: cloned listeners, pinned
+//     connections, and outbound source-port engineering that
+//     round-robins new connections over the shards. Scenario 4
+//     measures the resulting aggregate-goodput scaling.
 //   - In capability mode (the CHERI port) socket buffers and all packet
 //     memory live in a bounded memory segment and every copy is a
 //     checked capability access; ff_write takes a `__capability` buffer
@@ -30,5 +40,7 @@
 // 941 Mbit/s GbE goodput ceiling), delayed ACKs, slow start + AIMD
 // congestion control, fast retransmit, and RTO with exponential backoff.
 // Loss recovery is go-back-N (out-of-order segments are not queued);
-// DESIGN.md discusses why this suffices for the reproduced experiments.
+// DESIGN.md discusses why this suffices for the reproduced experiments,
+// and why stacks on paths with ms-scale queueing must raise the
+// retransmission-timer floor (SetRTOMin).
 package fstack

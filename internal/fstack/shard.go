@@ -1,0 +1,476 @@
+package fstack
+
+import (
+	"fmt"
+
+	"repro/internal/dpdk"
+	"repro/internal/hostos"
+)
+
+// This file is the multi-core answer to the single stack mutex the
+// paper inherits from F-Stack (§III-A, Scenario 2): instead of one
+// Stack serializing every compartment, a ShardedStack owns N Stack
+// instances, each bound to one NIC RX/TX queue pair. The device's RSS
+// classifier uses a symmetric flow hash, so both directions of a TCP
+// connection arrive on the same queue and a connection's entire
+// lifecycle — SYN, data, timers, FIN — runs on exactly one shard. The
+// connection table, socket table, listeners and timers are all
+// shard-local; only ARP/neighbor state is shared (read-mostly, and ARP
+// traffic always lands on queue 0). Shards therefore never take each
+// other's mutex on the datapath, which is what real F-Stack achieves by
+// pinning one stack process per core.
+
+// MultiQueueDevice is the N-queue packet I/O surface a ShardedStack
+// drives. *dpdk.EthDev implements it directly.
+type MultiQueueDevice interface {
+	RxBurstQ(q int, out []*dpdk.Mbuf) int
+	TxBurstQ(q int, bufs []*dpdk.Mbuf) int
+	PollQ(q int)
+	NumRxQueues() int
+	MAC() [6]byte
+	QueueStats(q int) dpdk.Stats
+	// RxQueueOf is the steering oracle: which RX queue the device's RSS
+	// hash sends an inbound packet with this flow tuple to.
+	RxQueueOf(src, dst [4]byte, proto byte, sport, dport uint16) int
+}
+
+// queueDev is one shard's single-queue view of a multi-queue device; it
+// satisfies EthDevice so a Stack drives its queue pair unchanged.
+type queueDev struct {
+	dev MultiQueueDevice
+	q   int
+}
+
+func (d queueDev) RxBurst(out []*dpdk.Mbuf) int  { return d.dev.RxBurstQ(d.q, out) }
+func (d queueDev) TxBurst(bufs []*dpdk.Mbuf) int { return d.dev.TxBurstQ(d.q, bufs) }
+func (d queueDev) Poll()                         { d.dev.PollQ(d.q) }
+func (d queueDev) MAC() [6]byte                  { return d.dev.MAC() }
+func (d queueDev) Stats() dpdk.Stats             { return d.dev.QueueStats(d.q) }
+
+// ShardedStack is N independent Stacks over one multi-queue device.
+type ShardedStack struct {
+	shards []*Stack
+	loops  []*Loop
+	devs   []MultiQueueDevice
+}
+
+// NewShardedStack builds n shards over the given segment, buffer pool
+// and clock. Each shard gets a disjoint ephemeral-port range so two
+// shards can never mint the same four-tuple.
+func NewShardedStack(n int, seg *dpdk.MemSeg, pool *dpdk.Mempool, clk hostos.Clock) (*ShardedStack, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("fstack: sharded stack needs at least one shard")
+	}
+	ss := &ShardedStack{}
+	for i := 0; i < n; i++ {
+		s := NewStack(seg, pool, clk)
+		s.ephemeral = uint16(32768 + i*2048)
+		ss.shards = append(ss.shards, s)
+		ss.loops = append(ss.loops, &Loop{Stk: s})
+	}
+	return ss, nil
+}
+
+// AddNetIF binds a started multi-queue device: shard i drives queue
+// pair i, and every shard shares one ARP cache for the interface. wrap,
+// when non-nil, decorates each shard's queue view (a CPU model, a
+// gated proxy, ...).
+func (ss *ShardedStack) AddNetIF(name string, dev MultiQueueDevice, ip, mask IPv4Addr, wrap func(shard int, dev EthDevice) EthDevice) error {
+	if dev.NumRxQueues() < len(ss.shards) {
+		return fmt.Errorf("fstack: device has %d RX queues for %d shards", dev.NumRxQueues(), len(ss.shards))
+	}
+	arp := newARPCache()
+	for i, s := range ss.shards {
+		var ed EthDevice = queueDev{dev: dev, q: i}
+		if wrap != nil {
+			ed = wrap(i, ed)
+		}
+		nif := s.AddNetIF(name, ed, ip, mask)
+		nif.arp = arp
+	}
+	ss.devs = append(ss.devs, dev)
+	return nil
+}
+
+// NumShards reports the shard count.
+func (ss *ShardedStack) NumShards() int { return len(ss.shards) }
+
+// Shard returns shard i's Stack.
+func (ss *ShardedStack) Shard(i int) *Stack { return ss.shards[i] }
+
+// Loops returns one main loop per shard (each would be pinned to its
+// own core on real hardware).
+func (ss *ShardedStack) Loops() []*Loop { return ss.loops }
+
+// ShardStats returns shard i's counters.
+func (ss *ShardedStack) ShardStats(i int) StackStats {
+	s := ss.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Stats()
+}
+
+// Stats aggregates the counters over every shard.
+func (ss *ShardedStack) Stats() StackStats {
+	var total StackStats
+	for i := range ss.shards {
+		st := ss.ShardStats(i)
+		total.RxFrames += st.RxFrames
+		total.TxFrames += st.TxFrames
+		total.RxDropped += st.RxDropped
+		total.Retransmit += st.Retransmit
+		total.ArpTx += st.ArpTx
+	}
+	return total
+}
+
+// localIPFor reports the interface address the stack would source
+// packets to dst from.
+func (s *Stack) localIPFor(dst IPv4Addr) IPv4Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	nif := s.nifForDst(dst)
+	if nif == nil {
+		return IPv4Addr{}
+	}
+	return nif.IP
+}
+
+// --- sharded application API ---
+
+// sfKind distinguishes the logical descriptor flavors.
+type sfKind int
+
+const (
+	sfSocket   sfKind = iota // created, not yet placed on a shard
+	sfListener               // cloned across every shard
+	sfConn                   // pinned to one shard
+	sfEpoll                  // cloned across every shard
+)
+
+// shardedFD is one logical descriptor of the ShardedAPI.
+type shardedFD struct {
+	kind  sfKind
+	typ   int
+	shard int   // sfConn: owning shard
+	fd    int   // sfConn: descriptor on that shard
+	sub   []int // cloned kinds: descriptor per shard
+	bound struct {
+		ip   IPv4Addr
+		port uint16
+	}
+}
+
+// ShardedAPI is the application's view of a ShardedStack: the same ff_*
+// surface as a single stack, with descriptors fanned out underneath.
+// Listening sockets are cloned on every shard, so a SYN is accepted on
+// whichever shard RSS steers it to; established connections are pinned
+// to their shard; locally initiated connections pick their source port
+// first, ask the device's steering oracle which queue the return
+// traffic will hit, and are created on that shard. Calls lock only the
+// shard(s) they touch.
+type ShardedAPI struct {
+	ss     *ShardedStack
+	nextFD int
+	fds    map[int]*shardedFD
+	rev    []map[int]int // per shard: shard fd -> logical fd
+	eph    uint16
+	rr     int // round-robin shard target for outbound connections
+}
+
+// API returns a sharded application view. Like a single Stack's
+// descriptor table it is not itself thread-safe: one application
+// driver uses one ShardedAPI.
+func (ss *ShardedStack) API() *ShardedAPI {
+	rev := make([]map[int]int, len(ss.shards))
+	for i := range rev {
+		rev[i] = make(map[int]int)
+	}
+	return &ShardedAPI{ss: ss, nextFD: 3, fds: make(map[int]*shardedFD), rev: rev, eph: 40000}
+}
+
+// alloc registers a logical descriptor.
+func (a *ShardedAPI) alloc(f *shardedFD) int {
+	fd := a.nextFD
+	a.nextFD++
+	a.fds[fd] = f
+	return fd
+}
+
+// Socket creates a descriptor. It exists on every shard until Listen or
+// Connect decides whether it is cloned or pinned.
+func (a *ShardedAPI) Socket(typ int) (int, hostos.Errno) {
+	f := &shardedFD{kind: sfSocket, typ: typ, shard: -1, sub: make([]int, len(a.ss.shards))}
+	for i, s := range a.ss.shards {
+		fd, errno := s.Socket(typ)
+		if errno != hostos.OK {
+			for j := 0; j < i; j++ {
+				a.ss.shards[j].Close(f.sub[j])
+			}
+			return -1, errno
+		}
+		f.sub[i] = fd
+	}
+	lfd := a.alloc(f)
+	for i := range a.ss.shards {
+		a.rev[i][f.sub[i]] = lfd
+	}
+	return lfd, hostos.OK
+}
+
+// Bind attaches a local address on every shard.
+func (a *ShardedAPI) Bind(fd int, ip IPv4Addr, port uint16) hostos.Errno {
+	f, ok := a.fds[fd]
+	if !ok {
+		return hostos.EBADF
+	}
+	if f.kind != sfSocket {
+		return hostos.EINVAL
+	}
+	for i, s := range a.ss.shards {
+		if errno := s.Bind(f.sub[i], ip, port); errno != hostos.OK {
+			return errno
+		}
+	}
+	f.bound.ip, f.bound.port = ip, port
+	return hostos.OK
+}
+
+// Listen clones the listener across every shard.
+func (a *ShardedAPI) Listen(fd, backlog int) hostos.Errno {
+	f, ok := a.fds[fd]
+	if !ok {
+		return hostos.EBADF
+	}
+	if f.kind != sfSocket || f.typ != SockStream {
+		return hostos.EINVAL
+	}
+	for i, s := range a.ss.shards {
+		if errno := s.Listen(f.sub[i], backlog); errno != hostos.OK {
+			return errno
+		}
+	}
+	f.kind = sfListener
+	return hostos.OK
+}
+
+// Accept dequeues an established connection from whichever shard has
+// one; the returned descriptor is pinned to that shard.
+func (a *ShardedAPI) Accept(fd int) (int, IPv4Addr, uint16, hostos.Errno) {
+	f, ok := a.fds[fd]
+	if !ok {
+		return -1, IPv4Addr{}, 0, hostos.EBADF
+	}
+	if f.kind != sfListener {
+		return -1, IPv4Addr{}, 0, hostos.EINVAL
+	}
+	for i, s := range a.ss.shards {
+		nfd, ip, port, errno := s.Accept(f.sub[i])
+		if errno == hostos.EAGAIN {
+			continue
+		}
+		if errno != hostos.OK {
+			return -1, IPv4Addr{}, 0, errno
+		}
+		lfd := a.alloc(&shardedFD{kind: sfConn, typ: SockStream, shard: i, fd: nfd})
+		a.rev[i][nfd] = lfd
+		return lfd, ip, port, hostos.OK
+	}
+	return -1, IPv4Addr{}, 0, hostos.EAGAIN
+}
+
+// Connect starts an active open on the shard the flow's return traffic
+// will reach. An unbound socket gets its source port picked by the
+// steering oracle so consecutive connections round-robin the shards
+// (the ephemeral-port engineering sharded clients do in practice); an
+// explicitly bound port pins the connection to wherever that tuple
+// actually hashes. Either way the clones on the other shards are
+// discarded and inbound segments need no cross-shard hand-off.
+func (a *ShardedAPI) Connect(fd int, ip IPv4Addr, port uint16) hostos.Errno {
+	f, ok := a.fds[fd]
+	if !ok {
+		return hostos.EBADF
+	}
+	if f.kind != sfSocket || f.typ != SockStream {
+		return hostos.EINVAL
+	}
+	if len(a.ss.devs) == 0 {
+		return hostos.EINVAL
+	}
+	localIP := f.bound.ip
+	if localIP == (IPv4Addr{}) {
+		localIP = a.ss.shards[0].localIPFor(ip)
+	}
+	dev := a.ss.devs[0]
+	sport := f.bound.port
+	if sport == 0 {
+		// Inbound segments of this flow will carry src=(ip,port),
+		// dst=(local,sport): walk the ephemeral range until the tuple
+		// hashes to the round-robin target shard.
+		want := a.rr % len(a.ss.shards)
+		a.rr++
+		for try := 0; try < 512; try++ {
+			p := a.eph
+			a.eph++
+			if a.eph < 40000 {
+				a.eph = 40000
+			}
+			if dev.RxQueueOf(ip, localIP, ProtoTCP, port, p) == want {
+				sport = p
+				break
+			}
+		}
+		if sport == 0 { // no hit in the window: take the next port as-is
+			sport = a.eph
+			a.eph++
+		}
+	}
+	shard := dev.RxQueueOf(ip, localIP, ProtoTCP, port, sport)
+	s := a.ss.shards[shard]
+	sfd := f.sub[shard]
+	// Bind and connect on the target shard BEFORE discarding the other
+	// shards' clones: on failure the logical descriptor stays a plain
+	// socket with every clone intact, so the caller can retry or close
+	// it normally.
+	if f.bound.port == 0 {
+		if errno := s.Bind(sfd, f.bound.ip, sport); errno != hostos.OK {
+			return errno
+		}
+	}
+	errno := s.Connect(sfd, ip, port)
+	if errno != hostos.OK && errno != hostos.EINPROGRESS {
+		return errno
+	}
+	for i, other := range a.ss.shards {
+		if i == shard {
+			continue
+		}
+		other.Close(f.sub[i])
+		delete(a.rev[i], f.sub[i])
+	}
+	f.kind, f.shard, f.fd, f.sub = sfConn, shard, sfd, nil
+	return errno
+}
+
+// conn resolves a pinned descriptor.
+func (a *ShardedAPI) conn(fd int) (*Stack, *shardedFD, hostos.Errno) {
+	f, ok := a.fds[fd]
+	if !ok {
+		return nil, nil, hostos.EBADF
+	}
+	if f.kind != sfConn {
+		return nil, nil, hostos.ENOTCONN
+	}
+	return a.ss.shards[f.shard], f, hostos.OK
+}
+
+// Read consumes received bytes from the connection's shard.
+func (a *ShardedAPI) Read(fd int, dst []byte) (int, hostos.Errno) {
+	s, f, errno := a.conn(fd)
+	if errno != hostos.OK {
+		return -1, errno
+	}
+	return s.Read(f.fd, dst)
+}
+
+// Write stores bytes for transmission on the connection's shard.
+func (a *ShardedAPI) Write(fd int, src []byte) (int, hostos.Errno) {
+	s, f, errno := a.conn(fd)
+	if errno != hostos.OK {
+		return -1, errno
+	}
+	return s.Write(f.fd, src)
+}
+
+// Close shuts the logical descriptor down on every shard that holds a
+// piece of it.
+func (a *ShardedAPI) Close(fd int) hostos.Errno {
+	f, ok := a.fds[fd]
+	if !ok {
+		return hostos.EBADF
+	}
+	delete(a.fds, fd)
+	switch f.kind {
+	case sfConn:
+		delete(a.rev[f.shard], f.fd)
+		return a.ss.shards[f.shard].Close(f.fd)
+	default:
+		var first hostos.Errno = hostos.OK
+		for i, s := range a.ss.shards {
+			delete(a.rev[i], f.sub[i])
+			if errno := s.Close(f.sub[i]); errno != hostos.OK && first == hostos.OK {
+				first = errno
+			}
+		}
+		return first
+	}
+}
+
+// EpollCreate makes a logical epoll descriptor cloned on every shard.
+func (a *ShardedAPI) EpollCreate() int {
+	f := &shardedFD{kind: sfEpoll, shard: -1, sub: make([]int, len(a.ss.shards))}
+	for i, s := range a.ss.shards {
+		f.sub[i] = s.EpollCreate()
+	}
+	return a.alloc(f)
+}
+
+// EpollCtl manipulates the interest set: pinned targets on their shard,
+// cloned targets on every shard.
+func (a *ShardedAPI) EpollCtl(epfd, op, fd int, events uint32) hostos.Errno {
+	ep, ok := a.fds[epfd]
+	if !ok || ep.kind != sfEpoll {
+		return hostos.EBADF
+	}
+	f, ok := a.fds[fd]
+	if !ok {
+		return hostos.EBADF
+	}
+	if f.kind == sfConn {
+		return a.ss.shards[f.shard].EpollCtl(ep.sub[f.shard], op, f.fd, events)
+	}
+	for i, s := range a.ss.shards {
+		if errno := s.EpollCtl(ep.sub[i], op, f.sub[i], events); errno != hostos.OK {
+			return errno
+		}
+	}
+	return hostos.OK
+}
+
+// EpollWait collects ready events across every shard, translated back
+// to logical descriptors.
+func (a *ShardedAPI) EpollWait(epfd int, evs []Event) (int, hostos.Errno) {
+	ep, ok := a.fds[epfd]
+	if !ok || ep.kind != sfEpoll {
+		return -1, hostos.EBADF
+	}
+	n := 0
+	var tmp [16]Event
+	for i, s := range a.ss.shards {
+		if n >= len(evs) {
+			break
+		}
+		k, errno := s.EpollWait(ep.sub[i], tmp[:])
+		if errno != hostos.OK {
+			return -1, errno
+		}
+		for j := 0; j < k && n < len(evs); j++ {
+			lfd, ok := a.rev[i][tmp[j].FD]
+			if !ok {
+				continue // descriptor raced with Close
+			}
+			evs[n] = Event{FD: lfd, Events: tmp[j].Events}
+			n++
+		}
+	}
+	return n, hostos.OK
+}
+
+// ShardOf reports which shard a pinned descriptor lives on (-1 for
+// cloned or unplaced descriptors) — a diagnostics and testing hook.
+func (a *ShardedAPI) ShardOf(fd int) int {
+	if f, ok := a.fds[fd]; ok {
+		return f.shard
+	}
+	return -1
+}

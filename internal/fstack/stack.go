@@ -75,6 +75,7 @@ type Stack struct {
 	issCounter uint32
 	ipID       uint16
 	ephemeral  uint16
+	rtoMinNS   int64 // 0 = package default (SetRTOMin)
 
 	tap   Tap
 	stats StackStats
@@ -108,6 +109,24 @@ func (s *Stack) AddNetIF(name string, dev EthDevice, ip, mask IPv4Addr) *NetIF {
 	}
 	s.nifs = append(s.nifs, nif)
 	return nif
+}
+
+// SetRTOMin raises the retransmission-timer floor for connections of
+// this stack (net.inet.tcp.rexmit_min in F-Stack's FreeBSD heritage).
+// Call it before traffic starts, on every stack of the path whose
+// senders face ms-scale queueing delay.
+func (s *Stack) SetRTOMin(ns int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rtoMinNS = ns
+}
+
+// rtoFloor returns the effective retransmission-timer floor.
+func (s *Stack) rtoFloor() int64 {
+	if s.rtoMinNS > 0 {
+		return s.rtoMinNS
+	}
+	return rtoMin
 }
 
 // Lock acquires the F-Stack API mutex.

@@ -31,7 +31,13 @@ func (s tcpState) String() string { return tcpStateNames[s] }
 
 // Timer constants (ns).
 const (
-	rtoMin        = 2e6   // 2 ms: far above the simulated RTT, fast enough for tests
+	// rtoMin is the default retransmission-timer floor. 2 ms is far
+	// above the simulated wire RTT and fast enough for tests; stacks
+	// whose path includes ms-scale queueing (Scenario 4's CPU-budgeted
+	// shards buffer several ms of frames under overload) must raise it
+	// via Stack.SetRTOMin or every sender spuriously times out and
+	// go-back-N floods the queue it is waiting on.
+	rtoMin        = 2e6
 	rtoMax        = 1e9   // 1 s
 	rtoInitial    = 100e6 // 100 ms before the first RTT sample
 	delackTimeout = 500e3 // 500 µs, scaled to the simulated RTTs
@@ -292,8 +298,8 @@ func (c *tcpConn) rttSample(sample int64) {
 		c.srtt = (7*c.srtt + sample) / 8
 	}
 	c.rto = c.srtt + 4*c.rttvar
-	if c.rto < rtoMin {
-		c.rto = rtoMin
+	if floor := c.stk.rtoFloor(); c.rto < floor {
+		c.rto = floor
 	}
 	if c.rto > rtoMax {
 		c.rto = rtoMax

@@ -90,6 +90,10 @@ type Client struct {
 	ServerPort uint16
 	DurationNS int64
 	IntervalNS int64 // 0 = no interval reports
+	// LocalPort, when nonzero, binds the connection's source port
+	// (iperf3's --cport). Load generators against RSS-sharded receivers
+	// engineer source ports to cover every queue.
+	LocalPort uint16
 
 	state     clientState
 	fd, epfd  int
@@ -139,6 +143,12 @@ func (c *Client) Step(api API, now int64) {
 		if errno := api.EpollCtl(c.epfd, fstack.EpollCtlAdd, c.fd, fstack.EPOLLOUT); errno != hostos.OK {
 			c.fail(errno)
 			return
+		}
+		if c.LocalPort != 0 {
+			if errno := api.Bind(c.fd, fstack.IPv4Addr{}, c.LocalPort); errno != hostos.OK {
+				c.fail(errno)
+				return
+			}
 		}
 		if errno := api.Connect(c.fd, c.ServerIP, c.ServerPort); errno != hostos.EINPROGRESS && errno != hostos.OK {
 			c.fail(errno)

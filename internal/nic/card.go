@@ -26,6 +26,11 @@ type Config struct {
 	// this card — descriptor write-back plus allocation traffic — which
 	// is what splits Table II's 658 (RX) from 757 (TX).
 	BusCostTX, BusCostRX float64
+	// RxFifoBytes sizes each RX queue's slice of the receive packet
+	// buffer; <= 0 means the 82576's 64 KiB. Faster parts carry larger
+	// buffers (the scaling scenario models a multi-gigabit port with
+	// 512 KiB per queue).
+	RxFifoBytes int
 	// MAC is the base hardware address; port i gets MAC with the last
 	// octet incremented by i.
 	MAC [6]byte
@@ -107,7 +112,16 @@ func New(cfg Config) (*Card, error) {
 			clk:  cfg.Clk,
 			mem:  cfg.Mem,
 			line: sim.NewSerializer(cfg.Clk, cfg.LineRateBps, serializerWindow),
-			fifo: rxFifo{limit: RxFifoBytes},
+		}
+		// Every RX queue gets a full packet-buffer slice; with RSS off
+		// only queue 0 is used and the buffering matches the old
+		// single-FIFO model exactly.
+		fifoBytes := cfg.RxFifoBytes
+		if fifoBytes <= 0 {
+			fifoBytes = RxFifoBytes
+		}
+		for q := range p.fifos {
+			p.fifos[q].limit = fifoBytes
 		}
 		p.capDMA = cfg.CapDMA
 		c.ports = append(c.ports, p)

@@ -15,7 +15,7 @@ import (
 // the canonical 941 Mbit/s GbE goodput ceiling.
 const wireOverhead = 24
 
-// maxBurst bounds ring processing per Step call.
+// maxBurst bounds ring processing per Step call (per queue).
 const maxBurst = 64
 
 // maxFrame is the largest frame the device accepts (MTU 1500 plus
@@ -32,7 +32,11 @@ type Port struct {
 	clk  hostos.Clock
 	mem  *cheri.TMem
 	line *sim.Serializer
-	fifo rxFifo
+
+	// fifos are the per-RX-queue slices of the receive packet buffer;
+	// the RSS classifier picks one per arriving frame (queue 0 when RSS
+	// is off, so the single-queue model is unchanged).
+	fifos [MaxQueues]rxFifo
 
 	wire    *Wire
 	wireEnd int
@@ -48,13 +52,23 @@ type Port struct {
 	gorc, gotc uint64 // good octets
 }
 
-// portRegs is the software-visible register file.
+// queueRegs is one RX or TX queue's descriptor-ring register bank.
+type queueRegs struct {
+	bal, bah, length, head, tail uint32
+}
+
+// portRegs is the software-visible register file. Queue 0 of rxq/txq is
+// aliased by the legacy RDxx/TDxx offsets.
 type portRegs struct {
 	ctrl, status uint32
 	rctl, tctl   uint32
 
-	rdbal, rdbah, rdlen, rdh, rdt uint32
-	tdbal, tdbah, tdlen, tdh, tdt uint32
+	rxq [MaxQueues]queueRegs
+	txq [MaxQueues]queueRegs
+
+	mrqc   uint32
+	reta   [RetaEntries]byte
+	rssKey [RSSKeyLen]byte
 }
 
 // attach connects the port to a wire endpoint and raises link-up.
@@ -86,10 +100,80 @@ func (p *Port) SetDMACap(c cheri.Cap) {
 	p.dmaCap = c
 }
 
+// queueReg resolves a per-queue bank offset to the queue register it
+// addresses, or nil when off is not a queue register.
+func (p *Port) queueReg(off uint64) *uint32 {
+	var bank *[MaxQueues]queueRegs
+	var rel uint64
+	switch {
+	case off >= RegRXQBase && off < RegRXQBase+MaxQueues*RegQStride:
+		bank, rel = &p.regs.rxq, off-RegRXQBase
+	case off >= RegTXQBase && off < RegTXQBase+MaxQueues*RegQStride:
+		bank, rel = &p.regs.txq, off-RegTXQBase
+	default:
+		return nil
+	}
+	q := &bank[rel/RegQStride]
+	switch rel % RegQStride {
+	case regQBAL:
+		return &q.bal
+	case regQBAH:
+		return &q.bah
+	case regQLEN:
+		return &q.length
+	case regQH:
+		return &q.head
+	case regQT:
+		return &q.tail
+	}
+	return nil
+}
+
+// legacyAlias maps the legacy single-queue offsets onto queue 0's banks.
+func legacyAlias(off uint64) (uint64, bool) {
+	switch off {
+	case RegRDBAL:
+		return RegRDBALQ(0), true
+	case RegRDBAH:
+		return RegRDBAHQ(0), true
+	case RegRDLEN:
+		return RegRDLENQ(0), true
+	case RegRDH:
+		return RegRDHQ(0), true
+	case RegRDT:
+		return RegRDTQ(0), true
+	case RegTDBAL:
+		return RegTDBALQ(0), true
+	case RegTDBAH:
+		return RegTDBAHQ(0), true
+	case RegTDLEN:
+		return RegTDLENQ(0), true
+	case RegTDH:
+		return RegTDHQ(0), true
+	case RegTDT:
+		return RegTDTQ(0), true
+	}
+	return off, false
+}
+
 // RegRead32 implements MMIO reads.
 func (p *Port) RegRead32(off uint64) uint32 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if alias, ok := legacyAlias(off); ok {
+		off = alias
+	}
+	if r := p.queueReg(off); r != nil {
+		return *r
+	}
+	switch {
+	case off >= RegRETA && off < RegRETA+RetaEntries:
+		i := int(off - RegRETA)
+		return binary.LittleEndian.Uint32(p.regs.reta[i : i+4])
+	case off >= RegRSSRK && off < RegRSSRK+RSSKeyLen:
+		i := int(off - RegRSSRK)
+		return binary.LittleEndian.Uint32(p.regs.rssKey[i : i+4])
+	}
 	switch off {
 	case RegCTRL:
 		return p.regs.ctrl
@@ -99,28 +183,10 @@ func (p *Port) RegRead32(off uint64) uint32 {
 		return p.regs.rctl
 	case RegTCTL:
 		return p.regs.tctl
-	case RegRDBAL:
-		return p.regs.rdbal
-	case RegRDBAH:
-		return p.regs.rdbah
-	case RegRDLEN:
-		return p.regs.rdlen
-	case RegRDH:
-		return p.regs.rdh
-	case RegRDT:
-		return p.regs.rdt
-	case RegTDBAL:
-		return p.regs.tdbal
-	case RegTDBAH:
-		return p.regs.tdbah
-	case RegTDLEN:
-		return p.regs.tdlen
-	case RegTDH:
-		return p.regs.tdh
-	case RegTDT:
-		return p.regs.tdt
+	case RegMRQC:
+		return p.regs.mrqc
 	case RegMPC:
-		return uint32(p.fifo.missedCount())
+		return uint32(p.missedSum())
 	case RegGPRC:
 		return uint32(p.gprc)
 	case RegGPTC:
@@ -146,6 +212,23 @@ func (p *Port) RegRead32(off uint64) uint32 {
 func (p *Port) RegWrite32(off uint64, v uint32) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if alias, ok := legacyAlias(off); ok {
+		off = alias
+	}
+	if r := p.queueReg(off); r != nil {
+		*r = v
+		return
+	}
+	switch {
+	case off >= RegRETA && off < RegRETA+RetaEntries:
+		i := int(off - RegRETA)
+		binary.LittleEndian.PutUint32(p.regs.reta[i:i+4], v)
+		return
+	case off >= RegRSSRK && off < RegRSSRK+RSSKeyLen:
+		i := int(off - RegRSSRK)
+		binary.LittleEndian.PutUint32(p.regs.rssKey[i:i+4], v)
+		return
+	}
 	switch off {
 	case RegCTRL:
 		if v&CtrlRST != 0 {
@@ -157,26 +240,8 @@ func (p *Port) RegWrite32(off uint64, v uint32) {
 		p.regs.rctl = v
 	case RegTCTL:
 		p.regs.tctl = v
-	case RegRDBAL:
-		p.regs.rdbal = v
-	case RegRDBAH:
-		p.regs.rdbah = v
-	case RegRDLEN:
-		p.regs.rdlen = v
-	case RegRDH:
-		p.regs.rdh = v
-	case RegRDT:
-		p.regs.rdt = v
-	case RegTDBAL:
-		p.regs.tdbal = v
-	case RegTDBAH:
-		p.regs.tdbah = v
-	case RegTDLEN:
-		p.regs.tdlen = v
-	case RegTDH:
-		p.regs.tdh = v
-	case RegTDT:
-		p.regs.tdt = v
+	case RegMRQC:
+		p.regs.mrqc = v
 	}
 }
 
@@ -185,6 +250,15 @@ func (p *Port) resetLocked() {
 	lu := p.regs.status & StatusLU
 	p.regs = portRegs{status: lu}
 	p.gprc, p.gptc, p.gorc, p.gotc = 0, 0, 0, 0
+}
+
+// deliver places an arriving frame in the RX queue the RSS classifier
+// selects (the wire calls this).
+func (p *Port) deliver(f frame) {
+	p.mu.Lock()
+	q := p.classifyLocked(f.data)
+	p.mu.Unlock()
+	p.fifos[q].push(f)
 }
 
 // dmaRO maps [addr, addr+n) of host memory for a device read.
@@ -211,24 +285,44 @@ func (p *Port) dmaRW(addr uint64, n int) ([]byte, bool) {
 	return s, true
 }
 
-// Step advances the device: it drains the TX ring onto the wire and
-// fills the RX ring from the FIFO, under line-rate and bus-budget
-// admission. The DPDK poll-mode driver calls it from every burst.
+// Step advances the device: it drains every armed TX ring onto the wire
+// and fills every armed RX ring from its FIFO, under line-rate and
+// bus-budget admission. The DPDK poll-mode driver calls it from every
+// burst — it is the simulator's hottest path, so the armed-queue scan
+// happens under one lock acquisition and unarmed queues cost nothing.
 func (p *Port) Step() {
-	p.stepTX()
-	p.stepRX()
+	var tx, rx [MaxQueues]bool
+	p.mu.Lock()
+	txEn := p.regs.tctl&TctlEN != 0 && p.wire != nil
+	rxEn := p.regs.rctl&RctlEN != 0
+	for q := 0; q < MaxQueues; q++ {
+		tx[q] = txEn && p.regs.txq[q].length >= DescSize
+		rx[q] = rxEn && p.regs.rxq[q].length >= DescSize
+	}
+	p.mu.Unlock()
+	for q := 0; q < MaxQueues; q++ {
+		if tx[q] {
+			p.stepTX(q)
+		}
+	}
+	for q := 0; q < MaxQueues; q++ {
+		if rx[q] {
+			p.stepRX(q)
+		}
+	}
 }
 
-// stepTX transmits descriptors [TDH, TDT).
-func (p *Port) stepTX() {
+// stepTX transmits queue q's descriptors [TDH, TDT).
+func (p *Port) stepTX(q int) {
 	p.mu.Lock()
 	if p.regs.tctl&TctlEN == 0 || p.wire == nil {
 		p.mu.Unlock()
 		return
 	}
-	base := uint64(p.regs.tdbal) | uint64(p.regs.tdbah)<<32
-	n := p.regs.tdlen / DescSize
-	head, tail := p.regs.tdh, p.regs.tdt
+	qr := &p.regs.txq[q]
+	base := uint64(qr.bal) | uint64(qr.bah)<<32
+	n := qr.length / DescSize
+	head, tail := qr.head, qr.tail
 	p.mu.Unlock()
 	if n == 0 {
 		return
@@ -275,20 +369,22 @@ func (p *Port) stepTX() {
 		p.mu.Unlock()
 	}
 	p.mu.Lock()
-	p.regs.tdh = head
+	p.regs.txq[q].head = head
 	p.mu.Unlock()
 }
 
-// stepRX moves fully arrived frames into descriptors [RDH, RDT).
-func (p *Port) stepRX() {
+// stepRX moves queue q's fully arrived frames into descriptors
+// [RDH, RDT).
+func (p *Port) stepRX(q int) {
 	p.mu.Lock()
 	if p.regs.rctl&RctlEN == 0 {
 		p.mu.Unlock()
 		return
 	}
-	base := uint64(p.regs.rdbal) | uint64(p.regs.rdbah)<<32
-	n := p.regs.rdlen / DescSize
-	head, tail := p.regs.rdh, p.regs.rdt
+	qr := &p.regs.rxq[q]
+	base := uint64(qr.bal) | uint64(qr.bah)<<32
+	n := qr.length / DescSize
+	head, tail := qr.head, qr.tail
 	p.mu.Unlock()
 	if n == 0 {
 		return
@@ -300,7 +396,7 @@ func (p *Port) stepRX() {
 		if !p.card.busCanAdmit(p.idx) {
 			break
 		}
-		fr, ok := p.fifo.pop(now)
+		fr, ok := p.fifos[q].pop(now)
 		if !ok {
 			break
 		}
@@ -328,7 +424,7 @@ func (p *Port) stepRX() {
 		p.mu.Unlock()
 	}
 	p.mu.Lock()
-	p.regs.rdh = head
+	p.regs.rxq[q].head = head
 	p.mu.Unlock()
 }
 
@@ -349,8 +445,28 @@ func (p *Port) writeBackRX(descAddr uint64, length uint16) {
 	}
 }
 
-// Missed returns the RX FIFO tail-drop count (MPC).
-func (p *Port) Missed() uint64 { return p.fifo.missedCount() }
+// missedSum sums the per-queue tail-drop counters (the FIFOs carry
+// their own locks, so this is safe with or without p.mu held).
+func (p *Port) missedSum() uint64 {
+	var total uint64
+	for q := range p.fifos {
+		total += p.fifos[q].missedCount()
+	}
+	return total
+}
 
-// PendingRX reports frames waiting in the RX FIFO (testing hook).
-func (p *Port) PendingRX() int { return p.fifo.pending() }
+// Missed returns the RX FIFO tail-drop count (MPC), summed over queues.
+func (p *Port) Missed() uint64 { return p.missedSum() }
+
+// PendingRX reports frames waiting in the RX FIFOs (testing hook).
+func (p *Port) PendingRX() int {
+	total := 0
+	for q := range p.fifos {
+		total += p.fifos[q].pending()
+	}
+	return total
+}
+
+// PendingRXQueue reports frames waiting in one queue's FIFO (testing
+// hook).
+func (p *Port) PendingRXQueue(q int) int { return p.fifos[q].pending() }

@@ -31,7 +31,66 @@ const (
 	// Receive-address registers (MAC address of the port).
 	RegRAL0 = 0x5400
 	RegRAH0 = 0x5404
+
+	// Multiple receive queues command (RSS enable + queue count).
+	RegMRQC = 0x5818
+	// RSS redirection table: 32 dwords of four 1-byte queue entries.
+	RegRETA = 0x5C00
+	// RSS random key: 10 dwords (40 bytes).
+	RegRSSRK = 0x5C80
 )
+
+// MRQC fields. The queue-count field is a simulation convenience (the
+// real device derives it from RCTL/PSRTYPE); software writes the number
+// of RX queues RSS may select from.
+const (
+	MRQCEnable     = 1 << 0
+	MRQCQueueShift = 8
+)
+
+// Per-queue register banks (82576-style). Queue 0's bank aliases the
+// legacy RDxx/TDxx offsets above, so single-queue drivers are oblivious.
+const (
+	RegRXQBase = 0xC000
+	RegTXQBase = 0xE000
+	RegQStride = 0x40
+
+	regQBAL = 0x00
+	regQBAH = 0x04
+	regQLEN = 0x08
+	regQH   = 0x10
+	regQT   = 0x18
+)
+
+// RegRDBALQ returns the RX descriptor base-low register of queue q.
+func RegRDBALQ(q int) uint64 { return RegRXQBase + uint64(q)*RegQStride + regQBAL }
+
+// RegRDBAHQ returns the RX descriptor base-high register of queue q.
+func RegRDBAHQ(q int) uint64 { return RegRXQBase + uint64(q)*RegQStride + regQBAH }
+
+// RegRDLENQ returns the RX ring length register of queue q.
+func RegRDLENQ(q int) uint64 { return RegRXQBase + uint64(q)*RegQStride + regQLEN }
+
+// RegRDHQ returns the RX head register of queue q.
+func RegRDHQ(q int) uint64 { return RegRXQBase + uint64(q)*RegQStride + regQH }
+
+// RegRDTQ returns the RX tail register of queue q.
+func RegRDTQ(q int) uint64 { return RegRXQBase + uint64(q)*RegQStride + regQT }
+
+// RegTDBALQ returns the TX descriptor base-low register of queue q.
+func RegTDBALQ(q int) uint64 { return RegTXQBase + uint64(q)*RegQStride + regQBAL }
+
+// RegTDBAHQ returns the TX descriptor base-high register of queue q.
+func RegTDBAHQ(q int) uint64 { return RegTXQBase + uint64(q)*RegQStride + regQBAH }
+
+// RegTDLENQ returns the TX ring length register of queue q.
+func RegTDLENQ(q int) uint64 { return RegTXQBase + uint64(q)*RegQStride + regQLEN }
+
+// RegTDHQ returns the TX head register of queue q.
+func RegTDHQ(q int) uint64 { return RegTXQBase + uint64(q)*RegQStride + regQH }
+
+// RegTDTQ returns the TX tail register of queue q.
+func RegTDTQ(q int) uint64 { return RegTXQBase + uint64(q)*RegQStride + regQT }
 
 // CTRL bits.
 const (

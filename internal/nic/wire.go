@@ -83,7 +83,8 @@ func Connect(a, b *Port) *Wire {
 	return w
 }
 
-// send forwards a frame from endpoint `from` into the peer's RX FIFO.
+// send forwards a frame from endpoint `from` to the peer, whose RSS
+// classifier picks the destination RX FIFO.
 func (w *Wire) send(from int, f frame) {
-	w.ends[1-from].fifo.push(f)
+	w.ends[1-from].deliver(f)
 }

@@ -49,6 +49,23 @@ func (s *Serializer) Admit(costBytes int) (doneAt int64, ok bool) {
 	return s.nextFree, true
 }
 
+// Book charges costBytes of resource time unconditionally, returning
+// the completion instant. Unlike Admit it never refuses: callers use it
+// to account for work that has already happened (e.g. a CPU model
+// charging for a burst it just processed), accepting transient
+// overshoot past the window; CanAdmit then stays false until the clock
+// catches up, so the long-run rate is still honored exactly.
+func (s *Serializer) Book(costBytes int) (doneAt int64) {
+	now := s.clk.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.nextFree < now {
+		s.nextFree = now
+	}
+	s.nextFree += int64(float64(costBytes*8) / s.bitsPerS * 1e9)
+	return s.nextFree
+}
+
 // CanAdmit reports whether an admission would currently succeed, without
 // booking anything. Callers that must atomically admit on two resources
 // (line and bus) use it to avoid booking one when the other would refuse.
