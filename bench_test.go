@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hostos"
 	"repro/internal/intravisor"
+	"repro/internal/netem"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -177,6 +178,35 @@ func BenchmarkScenario4Scaling(b *testing.B) {
 				last = r
 			}
 			b.ReportMetric(last.Mbps, "Mbit/s")
+		})
+	}
+}
+
+// BenchmarkScenario5 measures the lossy high-BDP WAN layout: one flow
+// through a 100 Mbit/s, 20 ms RTT netem link with ~1% bursty loss,
+// with the paper's stack (go-back-N, 64 KiB windows) vs the modern
+// tuning (SACK + window scaling). The Mbit/s metric should show the
+// modern stack at least doubling the paper stack's goodput.
+func BenchmarkScenario5(b *testing.B) {
+	link := netem.Config{GEBadProb: 0.00033, GERecoverProb: 0.033, DelayNS: 10e6, RateBps: 100e6}
+	for _, modern := range []bool{false, true} {
+		modern := modern
+		name := "go-back-N"
+		if modern {
+			name = "SACK"
+		}
+		b.Run(name, func(b *testing.B) {
+			var last core.Scenario5Result
+			for i := 0; i < b.N; i++ {
+				r, err := core.RunScenario5(core.Scenario5Config{Modern: modern, Link: link},
+					core.DefaultScenario5Duration)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+			b.ReportMetric(last.Mbps, "Mbit/s")
+			b.ReportMetric(float64(last.Stats.Retransmit), "retx")
 		})
 	}
 }

@@ -12,6 +12,9 @@
 //	cherinet table1            # capability-integration LoC of the F-Stack port
 //	cherinet scenario4 [-shards K -flows M]
 //	                           # multi-core scaling: sharded stack over RSS queues
+//	cherinet scenario5 [-loss F -delay NS -rate BPS]
+//	                           # lossy high-BDP WAN: goodput vs loss and vs BDP
+//	                           # over an impaired link, go-back-N vs SACK+WS
 //	cherinet all               # everything above
 package main
 
@@ -25,7 +28,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: cherinet {table1|table2|fig3|fig4|fig5|fig6|scenario4|all} [-iters N] [-interval NS] [-payload B] [-shards K] [-flows M] [-duration NS]\n")
+	fmt.Fprintf(os.Stderr, "usage: cherinet {table1|table2|fig3|fig4|fig5|fig6|scenario4|scenario5|all} [-iters N] [-interval NS] [-payload B] [-shards K] [-flows M] [-duration NS] [-loss F] [-delay NS] [-rate BPS] [-s5duration NS]\n")
 	os.Exit(2)
 }
 
@@ -41,6 +44,10 @@ func main() {
 	shards := fs.Int("shards", 4, "max stack shards for scenario4 (swept in powers of two)")
 	flows := fs.Int("flows", 8, "concurrent iperf flows for scenario4")
 	duration := fs.Int64("duration", core.DefaultScenario4Duration, "scenario4 traffic time (virtual ns)")
+	loss := fs.Float64("loss", 0.01, "scenario5 max random loss rate (swept from 0)")
+	delay := fs.Int64("delay", 10e6, "scenario5 one-way delay for the loss sweep (ns)")
+	rate := fs.Float64("rate", 100e6, "scenario5 bottleneck rate (bits/s)")
+	s5dur := fs.Int64("s5duration", core.DefaultScenario5Duration, "scenario5 traffic time per point (virtual ns)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		usage()
 	}
@@ -99,6 +106,24 @@ func main() {
 				return err
 			}
 			fmt.Print(core.FormatScenario4(results))
+		case "scenario5":
+			losses := []float64{0, *loss / 4, *loss / 2, *loss}
+			lossResults, err := core.RunScenario5LossSweep(losses, *delay, *rate, *s5dur)
+			if err != nil {
+				return err
+			}
+			fmt.Print(core.FormatScenario5(
+				fmt.Sprintf("goodput vs random loss (%.0f Mbit/s bottleneck, %.0f ms RTT)",
+					*rate/1e6, float64(2**delay)/1e6), lossResults))
+			fmt.Println()
+			bdpResults, err := core.RunScenario5BDPSweep(
+				[]int64{1e6, 5e6, 20e6, 50e6}, *loss/4, *rate, *s5dur)
+			if err != nil {
+				return err
+			}
+			fmt.Print(core.FormatScenario5(
+				fmt.Sprintf("goodput vs path BDP (%.0f Mbit/s bottleneck, %.2f%% loss)",
+					*rate/1e6, *loss/4*100), bdpResults))
 		default:
 			usage()
 		}
@@ -107,7 +132,7 @@ func main() {
 
 	names := []string{cmd}
 	if cmd == "all" {
-		names = []string{"fig3", "table1", "table2", "fig4", "fig5", "fig6", "scenario4"}
+		names = []string{"fig3", "table1", "table2", "fig4", "fig5", "fig6", "scenario4", "scenario5"}
 	}
 	for _, n := range names {
 		if err := run(n); err != nil {

@@ -54,8 +54,15 @@ const (
 // runVirtual steps every loop (and the extra app steppers) in lockstep
 // virtual time until done() or the deadline.
 func runVirtual(clk *sim.VClock, loops []*fstack.Loop, apps []func(now int64), done func() bool) error {
+	return runVirtualUntil(clk, loops, apps, done, bwDeadline)
+}
+
+// runVirtualUntil is runVirtual with an explicit deadline, for runs
+// whose drain time scales with the path RTT (Scenario 5's WAN paths
+// retransmit across hundred-ms round trips).
+func runVirtualUntil(clk *sim.VClock, loops []*fstack.Loop, apps []func(now int64), done func() bool, deadlineNS int64) error {
 	start := clk.Now()
-	for clk.Now()-start < bwDeadline {
+	for clk.Now()-start < deadlineNS {
 		if done() {
 			return nil
 		}
@@ -68,7 +75,7 @@ func runVirtual(clk *sim.VClock, loops []*fstack.Loop, apps []func(now int64), d
 		}
 		clk.Advance(bwTick)
 	}
-	return fmt.Errorf("core: bandwidth run did not finish within %.0f ms virtual", bwDeadline/1e6)
+	return fmt.Errorf("core: bandwidth run did not finish within %.0f ms virtual", float64(deadlineNS)/1e6)
 }
 
 // attachInLoop embeds an iperf endpoint in a loop's user callback, the

@@ -12,11 +12,13 @@
 //     two (contended) application cVMs call the F-Stack API through
 //     cross-compartment gates, serialized by the stack mutex.
 //
-// Past the paper, two forward-looking layouts ride on the same
+// Past the paper, three forward-looking layouts ride on the same
 // substrates: Scenario 3 (§VI's future work — DPDK separated into its
-// own cVM, gates on the datapath) and Scenario 4 (multi-core scaling —
+// own cVM, gates on the datapath), Scenario 4 (multi-core scaling —
 // a multi-queue RSS port with one CPU-budgeted stack shard per queue
-// pair, scenario4.go).
+// pair, scenario4.go), and Scenario 5 (a lossy high-BDP WAN behind a
+// netem.Link, comparing go-back-N against SACK + window scaling,
+// scenario5.go).
 //
 // The package also carries the experiment drivers that regenerate every
 // table and figure of the evaluation (bandwidth.go, latency.go,
@@ -31,6 +33,7 @@ import (
 	"repro/internal/fstack"
 	"repro/internal/hostos"
 	"repro/internal/intravisor"
+	"repro/internal/netem"
 	"repro/internal/nic"
 )
 
@@ -213,18 +216,25 @@ func (m *Machine) NewCVMEnv(name string, ifs []IfCfg) (*Env, error) {
 
 // NewCVMEnvOn builds the environment inside an existing cVM.
 func (m *Machine) NewCVMEnvOn(cvm *intravisor.CVM, ifs []IfCfg) (*Env, error) {
+	return m.NewCVMEnvOnSized(cvm, ifs, segSize, poolBufs)
+}
+
+// NewCVMEnvOnSized is NewCVMEnvOn with explicit segment and buffer-pool
+// sizing, for workloads whose connections carry multi-MiB socket
+// buffers (Scenario 5's window-scaled WAN flows).
+func (m *Machine) NewCVMEnvOnSized(cvm *intravisor.CVM, ifs []IfCfg, segBytes uint64, pool int) (*Env, error) {
 	// The DPDK segment occupies the upper part of the window (the lower
 	// part stays for application data).
-	segBase := cvm.Base() + cvm.Size() - segSize
-	segCap, err := cvm.DDC().SetAddr(segBase).SetBounds(segSize)
+	segBase := cvm.Base() + cvm.Size() - segBytes
+	segCap, err := cvm.DDC().SetAddr(segBase).SetBounds(segBytes)
 	if err != nil {
 		return nil, err
 	}
-	seg, err := dpdk.NewMemSeg(m.K.Mem, segBase, segSize, segCap, true)
+	seg, err := dpdk.NewMemSeg(m.K.Mem, segBase, segBytes, segCap, true)
 	if err != nil {
 		return nil, err
 	}
-	return m.finishEnv(cvm.Name, cvm, seg, ifs, poolBufs)
+	return m.finishEnv(cvm.Name, cvm, seg, ifs, pool)
 }
 
 // finishEnv probes the ports, builds the pool, stack and loop.
@@ -271,6 +281,30 @@ func NewPeer(name string, clk hostos.Clock, localPort *nic.Port, ip, mask fstack
 // environment: they carry many concurrent flows, and each connection's
 // socket buffers come out of the segment.
 func NewPeerAtRate(name string, clk hostos.Clock, localPort *nic.Port, ip, mask fstack.IPv4Addr, macLast byte, lineRateBps float64) (*Peer, error) {
+	p, err := newPeerUnwired(name, clk, ip, mask, macLast, lineRateBps, lineRateBps > 1e9)
+	if err != nil {
+		return nil, err
+	}
+	nic.Connect(localPort, p.M.Card.Port(0))
+	return p, nil
+}
+
+// NewPeerOverLink is NewPeerAtRate with a netem impairment pipeline in
+// place of the direct cable — the far end of a WAN path. The peer is
+// always sized like a fast one: window-scaled flows buffer multi-MiB
+// per connection.
+func NewPeerOverLink(name string, clk hostos.Clock, localPort *nic.Port, ip, mask fstack.IPv4Addr, macLast byte, lineRateBps float64, link netem.Config) (*Peer, *netem.Link, error) {
+	p, err := newPeerUnwired(name, clk, ip, mask, macLast, lineRateBps, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	l := netem.Connect(clk, localPort, p.M.Card.Port(0), link)
+	return p, l, nil
+}
+
+// newPeerUnwired builds a link partner without attaching its port; big
+// sizes the environment for multi-MiB socket buffers or many flows.
+func newPeerUnwired(name string, clk hostos.Clock, ip, mask fstack.IPv4Addr, macLast byte, lineRateBps float64, big bool) (*Peer, error) {
 	m, err := NewMachine(MachineConfig{
 		Name: name, Clk: clk, Ports: 1, BusLimited: false, MACLast: macLast,
 		LineRateBps: lineRateBps,
@@ -279,14 +313,13 @@ func NewPeerAtRate(name string, clk hostos.Clock, localPort *nic.Port, ip, mask 
 		return nil, err
 	}
 	segBytes, pool := uint64(segSize), poolBufs
-	if lineRateBps > 1e9 {
+	if big {
 		segBytes, pool = peerFastSegSize, peerFastPoolBufs
 	}
 	env, err := m.NewBaselineEnvSized(name, []IfCfg{{Port: 0, Name: "eth0", IP: ip, Mask: mask}}, segBytes, pool)
 	if err != nil {
 		return nil, err
 	}
-	nic.Connect(localPort, m.Card.Port(0))
 	return &Peer{M: m, Env: env}, nil
 }
 

@@ -258,6 +258,9 @@ type Scenario4Result struct {
 	Dir     Direction
 	Mbps    float64   // aggregate goodput over all flows
 	PerFlow []float64 // per-flow goodput
+	// Stats aggregates the local shards' counters; the retransmit
+	// breakdown makes recovery behavior observable in every run.
+	Stats fstack.StackStats
 }
 
 // Scenario4Bandwidth runs flows concurrent iperf flows for durationNS
@@ -364,6 +367,7 @@ func Scenario4Bandwidth(s *Setup4, dir Direction, flows int, durationNS int64) (
 		res.PerFlow = append(res.PerFlow, rep.Mbps())
 		res.Mbps += rep.Mbps()
 	}
+	res.Stats = s.Sharded.Stats()
 	return res, nil
 }
 
@@ -408,7 +412,7 @@ func FormatScenario4(results []Scenario4Result) string {
 			base[r.CapMode] = r.Mbps
 		}
 	}
-	fmt.Fprintf(&b, "  %-10s %8s %8s %14s %9s\n", "Mode", "Shards", "Flows", "Mbit/s", "Speedup")
+	fmt.Fprintf(&b, "  %-10s %8s %8s %14s %9s  %s\n", "Mode", "Shards", "Flows", "Mbit/s", "Speedup", "recovery")
 	for _, r := range results {
 		mode := "baseline"
 		if r.CapMode {
@@ -418,7 +422,8 @@ func FormatScenario4(results []Scenario4Result) string {
 		if b1 := base[r.CapMode]; b1 > 0 {
 			speedup = fmt.Sprintf("%.2fx", r.Mbps/b1)
 		}
-		fmt.Fprintf(&b, "  %-10s %8d %8d %14.0f %9s\n", mode, r.Shards, r.Flows, r.Mbps, speedup)
+		fmt.Fprintf(&b, "  %-10s %8d %8d %14.0f %9s  %s\n",
+			mode, r.Shards, r.Flows, r.Mbps, speedup, r.Stats.RecoverySummary())
 	}
 	return b.String()
 }

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fstack"
+	"repro/internal/hostos"
+	"repro/internal/iperf"
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// Scenario 5 — the lossy high-BDP WAN. Every earlier scenario runs over
+// a perfect point-to-point cable, so the stack's recovery machinery and
+// window limits were never the binding constraint. Here the cable is
+// replaced by a netem.Link — a rate-limited bottleneck with delay,
+// seeded random or bursty loss and a bounded queue — and the local box
+// (Baseline process or capability-mode cVM, as in Table II) drives one
+// iperf flow through it. The measurement compares the paper's stack
+// ("go-back-N": no SACK, 64 KiB windows) against the modern tuning
+// (RFC 2018 SACK + RFC 7323 window scaling) at equal link settings, so
+// the recovery upgrade and the capability overhead can be read off the
+// same table.
+
+const (
+	// s5LineRate is both ports' access-line rate; the netem bottleneck
+	// below it is what shapes the path.
+	s5LineRate = 1e9
+	// s5RateBps is the default WAN bottleneck.
+	s5RateBps = 100e6
+	// s5DelayNS is the default one-way propagation delay (50 ms: a
+	// transcontinental path; RTT 100 ms).
+	s5DelayNS = int64(50e6)
+	// s5QueueBytes is the bottleneck queue: roughly one BDP at the
+	// default rate and delay, the classic router-sizing rule.
+	s5QueueBytes = 1 << 20
+	// s5Seed makes every impairment stream reproducible.
+	s5Seed = 2025
+
+	// s5RTOMin is the retransmission-timer floor on both ends —
+	// FreeBSD's 200 ms on WAN-scale RTTs (the simulator default of
+	// 2 ms would fire spuriously on every queue-induced RTT bump).
+	s5RTOMin = int64(200e6)
+
+	// Modern-tuning knobs: 4 MiB socket buffers cover the default
+	// 100 Mbit/s x 100 ms BDP (1.25 MB) with slow-start overshoot to
+	// spare; shift 7 advertises up to 4 MiB
+	// through the 16-bit window field.
+	s5SndBuf = 4 << 20
+	s5RcvBuf = 4 << 20
+	s5WScale = 7
+
+	// Environment sizing: two 4 MiB buffers per connection plus the
+	// mbuf pool must fit the segment.
+	s5SegSize  = 24 << 20
+	s5CVMMem   = 32 << 20
+	s5PoolBufs = 3072
+
+	s5Port = uint16(5401)
+)
+
+// Scenario5Config parameterizes the WAN testbed.
+type Scenario5Config struct {
+	// CapMode runs the local stack inside a cVM with capability DMA;
+	// false is the Baseline process layout.
+	CapMode bool
+	// Modern enables SACK + window scaling (+ BDP-sized buffers) on
+	// both ends; false reproduces the paper's stack (the A/B knob).
+	Modern bool
+	// Link is the impairment pipeline. Zero values get the Scenario 5
+	// defaults for rate, queue and seed — pass explicit fields to
+	// sweep loss and delay.
+	Link netem.Config
+}
+
+// Setup5 is a wired Scenario 5 topology.
+type Setup5 struct {
+	Clk   hostos.Clock
+	Cfg   Scenario5Config
+	Local *Machine
+	Env   *Env
+	Peer  *Peer
+	Link  *netem.Link
+}
+
+// Loops lists the two main loops.
+func (s *Setup5) Loops() []*fstack.Loop {
+	return []*fstack.Loop{s.Env.Loop, s.Peer.Env.Loop}
+}
+
+// NewScenario5 builds the WAN layout: local box (process or cVM) and
+// one link partner, joined by the impairment pipeline.
+func NewScenario5(clk hostos.Clock, cfg Scenario5Config) (*Setup5, error) {
+	if cfg.Link.RateBps == 0 {
+		cfg.Link.RateBps = s5RateBps
+	}
+	if cfg.Link.QueueBytes == 0 {
+		cfg.Link.QueueBytes = s5QueueBytes
+	}
+	if cfg.Link.Seed == 0 {
+		cfg.Link.Seed = s5Seed
+	}
+	local, err := NewMachine(MachineConfig{
+		Name: "morello", Clk: clk, Ports: 1, LineRateBps: s5LineRate,
+		CapDMA: cfg.CapMode, MACLast: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Setup5{Clk: clk, Cfg: cfg, Local: local}
+
+	ifs := []IfCfg{{Port: 0, Name: "eth0", IP: localIP(0), Mask: mask24}}
+	if cfg.CapMode {
+		cvm, err := local.NewCVMSized("cvm1", s5CVMMem)
+		if err != nil {
+			return nil, err
+		}
+		s.Env, err = local.NewCVMEnvOnSized(cvm, ifs, s5SegSize, s5PoolBufs)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		s.Env, err = local.NewBaselineEnvSized("proc", ifs, s5SegSize, s5PoolBufs)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	peer, link, err := NewPeerOverLink("peer0", clk, local.Card.Port(0),
+		peerIP(0), mask24, 0x80, s5LineRate, cfg.Link)
+	if err != nil {
+		return nil, err
+	}
+	s.Peer, s.Link = peer, link
+
+	for _, stk := range []*fstack.Stack{s.Env.Stk, peer.Env.Stk} {
+		stk.SetRTOMin(s5RTOMin)
+		if cfg.Modern {
+			stk.SetTCPTuning(fstack.TCPTuning{
+				SACK:        true,
+				WindowScale: s5WScale,
+				SndBufBytes: s5SndBuf,
+				RcvBufBytes: s5RcvBuf,
+			})
+		}
+	}
+	return s, nil
+}
+
+// Scenario5Result is one measured WAN point. Goodput is measured at
+// the receiver (the far end of the impaired path), so sender-side
+// buffering cannot inflate it.
+type Scenario5Result struct {
+	CapMode bool
+	Modern  bool
+	Link    netem.Config
+	Mbps    float64
+	// Stats are the local (sending) stack's counters — the retransmit
+	// breakdown is the recovery story of the run.
+	Stats fstack.StackStats
+	// Fwd is the data direction's link accounting.
+	Fwd netem.DirStats
+}
+
+// RTTms is the path round-trip time implied by the link config.
+func (r Scenario5Result) RTTms() float64 { return float64(2*r.Link.DelayNS) / 1e6 }
+
+// Scenario5Bandwidth sends one flow from the local box through the
+// impaired link for durationNS of virtual traffic time.
+func Scenario5Bandwidth(s *Setup5, durationNS int64) (Scenario5Result, error) {
+	clk, ok := s.Clk.(*sim.VClock)
+	if !ok {
+		return Scenario5Result{}, fmt.Errorf("core: scenario 5 runs need the virtual clock")
+	}
+	res := Scenario5Result{CapMode: s.Cfg.CapMode, Modern: s.Cfg.Modern, Link: s.Link.Config()}
+
+	cli := iperf.NewClient(peerIP(0), s5Port, durationNS)
+	attachInLoop(s.Env, cli.Step)
+	srv := iperf.NewServer(fstack.IPv4Addr{}, s5Port)
+	attachInLoop(s.Peer.Env, srv.Step)
+
+	done := func() bool { return cli.Done() && srv.Done() }
+	// Loss recovery and the final drain ride WAN RTTs: give the run
+	// generous headroom beyond the traffic time.
+	deadline := durationNS + 8_000e6 + 200*2*s.Link.Config().DelayNS
+	if err := runVirtualUntil(clk, s.Loops(), nil, done, deadline); err != nil {
+		return res, err
+	}
+	if cli.Err() != 0 {
+		return res, fmt.Errorf("core: scenario 5 client failed: %v", cli.Err())
+	}
+	if srv.Err() != 0 {
+		return res, fmt.Errorf("core: scenario 5 server failed: %v", srv.Err())
+	}
+	res.Mbps = srv.Report().Mbps()
+	s.Env.Stk.Lock()
+	res.Stats = s.Env.Stk.Stats()
+	s.Env.Stk.Unlock()
+	res.Fwd = s.Link.Stats(0)
+	return res, nil
+}
+
+// DefaultScenario5Duration is the per-measurement traffic time.
+const DefaultScenario5Duration = int64(1_000e6)
+
+// RunScenario5 measures one configuration on a fresh virtual testbed.
+func RunScenario5(cfg Scenario5Config, durationNS int64) (Scenario5Result, error) {
+	s, err := NewScenario5(sim.NewVClock(), cfg)
+	if err != nil {
+		return Scenario5Result{}, err
+	}
+	return Scenario5Bandwidth(s, durationNS)
+}
+
+// RunScenario5LossSweep measures goodput vs loss rate: for every loss
+// point, go-back-N vs SACK in both Baseline and capability mode, at
+// equal link settings.
+func RunScenario5LossSweep(losses []float64, delayNS int64, rateBps float64, durationNS int64) ([]Scenario5Result, error) {
+	var out []Scenario5Result
+	for _, loss := range losses {
+		for _, capMode := range []bool{false, true} {
+			for _, modern := range []bool{false, true} {
+				cfg := Scenario5Config{
+					CapMode: capMode, Modern: modern,
+					Link: netem.Config{LossRate: loss, DelayNS: delayNS, RateBps: rateBps},
+				}
+				r, err := RunScenario5(cfg, durationNS)
+				if err != nil {
+					return nil, fmt.Errorf("loss=%.2f%% cap=%v modern=%v: %w", loss*100, capMode, modern, err)
+				}
+				out = append(out, r)
+			}
+		}
+	}
+	return out, nil
+}
+
+// RunScenario5BDPSweep measures goodput vs path BDP (the one-way delay
+// swept at a fixed bottleneck rate), go-back-N vs SACK+window-scaling,
+// in both Baseline and capability mode.
+func RunScenario5BDPSweep(delaysNS []int64, lossRate float64, rateBps float64, durationNS int64) ([]Scenario5Result, error) {
+	var out []Scenario5Result
+	for _, d := range delaysNS {
+		for _, capMode := range []bool{false, true} {
+			for _, modern := range []bool{false, true} {
+				cfg := Scenario5Config{
+					CapMode: capMode, Modern: modern,
+					Link: netem.Config{LossRate: lossRate, DelayNS: d, RateBps: rateBps},
+				}
+				r, err := RunScenario5(cfg, durationNS)
+				if err != nil {
+					return nil, fmt.Errorf("delay=%dms cap=%v modern=%v: %w", d/1e6, capMode, modern, err)
+				}
+				out = append(out, r)
+			}
+		}
+	}
+	return out, nil
+}
+
+// FormatScenario5 renders a sweep with the recovery breakdown beside
+// every goodput figure.
+func FormatScenario5(title string, results []Scenario5Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SCENARIO 5 — %s\n", title)
+	fmt.Fprintf(&b, "  %-9s %-9s %7s %8s %9s %9s  %s\n",
+		"Mode", "Recovery", "Loss%", "RTT(ms)", "BDP(KiB)", "Mbit/s", "recovery breakdown")
+	for _, r := range results {
+		mode := "baseline"
+		if r.CapMode {
+			mode = "cheri"
+		}
+		rec := "go-back-N"
+		if r.Modern {
+			rec = "SACK+WS"
+		}
+		bdpKiB := r.Link.RateBps / 8 * float64(2*r.Link.DelayNS) / 1e9 / 1024
+		fmt.Fprintf(&b, "  %-9s %-9s %7.2f %8.0f %9.0f %9.1f  %s\n",
+			mode, rec, r.Link.LossRate*100, r.RTTms(), bdpKiB, r.Mbps, r.Stats.RecoverySummary())
+	}
+	return b.String()
+}

@@ -119,9 +119,21 @@ func (ss *ShardedStack) Stats() StackStats {
 		total.TxFrames += st.TxFrames
 		total.RxDropped += st.RxDropped
 		total.Retransmit += st.Retransmit
+		total.FastRetransmit += st.FastRetransmit
+		total.SACKRetransmit += st.SACKRetransmit
+		total.RTORetransmit += st.RTORetransmit
+		total.DupAcks += st.DupAcks
 		total.ArpTx += st.ArpTx
 	}
 	return total
+}
+
+// SetTCPTuning applies the TCP feature configuration to every shard
+// (connections are shard-local, so the knob simply fans out).
+func (ss *ShardedStack) SetTCPTuning(t TCPTuning) {
+	for _, s := range ss.shards {
+		s.SetTCPTuning(t)
+	}
 }
 
 // localIPFor reports the interface address the stack would source

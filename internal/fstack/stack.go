@@ -43,13 +43,49 @@ func (n *NetIF) sameSubnet(ip IPv4Addr) bool {
 	return true
 }
 
-// StackStats counts stack-level events.
+// StackStats counts stack-level events. The retransmit breakdown makes
+// recovery behavior observable in every run: Retransmit is the total,
+// split into dup-ACK fast retransmits, scoreboard-guided SACK hole
+// fills and timeout resends; DupAcks counts duplicate ACKs received.
 type StackStats struct {
-	RxFrames   uint64
-	TxFrames   uint64
-	RxDropped  uint64 // parse errors, no socket, bad checksum
-	Retransmit uint64
-	ArpTx      uint64
+	RxFrames       uint64
+	TxFrames       uint64
+	RxDropped      uint64 // parse errors, no socket, bad checksum
+	Retransmit     uint64
+	FastRetransmit uint64 // three-dup-ACK and NewReno partial-ACK resends
+	SACKRetransmit uint64 // scoreboard-guided hole fills
+	RTORetransmit  uint64 // segments resent after a timeout rewind
+	DupAcks        uint64 // duplicate ACKs received
+	ArpTx          uint64
+}
+
+// RecoverySummary formats the retransmit breakdown for scenario
+// summaries.
+func (st StackStats) RecoverySummary() string {
+	return fmt.Sprintf("retx %d (fast %d, sack %d, rto %d), dup-acks %d",
+		st.Retransmit, st.FastRetransmit, st.SACKRetransmit, st.RTORetransmit, st.DupAcks)
+}
+
+// TCPTuning is the stack-wide TCP feature configuration, the analog of
+// FreeBSD's net.inet.tcp sysctls. The zero value reproduces the
+// paper's stack exactly (no SACK, no window scaling, 64 KiB windows),
+// which is what keeps Scenarios 1-4 byte-identical on the wire; lossy
+// or high-BDP paths (Scenario 5) opt in per stack before traffic
+// starts.
+type TCPTuning struct {
+	// SACK advertises SACK-permitted on SYNs and enables RFC 2018
+	// selective acknowledgment both ways (net.inet.tcp.sack.enable).
+	SACK bool
+	// WindowScale, when nonzero, advertises that RFC 7323 window-scale
+	// shift on SYNs (part of net.inet.tcp.rfc1323). Effective only if
+	// the peer offers scaling too.
+	WindowScale uint8
+	// SndBufBytes / RcvBufBytes size new connections' socket buffers
+	// (powers of two; 0 keeps the 512 KiB / 256 KiB defaults). A
+	// scaled receive window is bounded by RcvBufBytes, so high-BDP
+	// paths must raise it.
+	SndBufBytes int
+	RcvBufBytes int
 }
 
 // Stack is a user-space TCP/IP instance: interfaces, connection tables
@@ -76,6 +112,7 @@ type Stack struct {
 	ipID       uint16
 	ephemeral  uint16
 	rtoMinNS   int64 // 0 = package default (SetRTOMin)
+	tuning     TCPTuning
 
 	tap   Tap
 	stats StackStats
@@ -129,6 +166,27 @@ func (s *Stack) rtoFloor() int64 {
 	return rtoMin
 }
 
+// SetTCPTuning configures SACK, window scaling and socket buffer sizes
+// for connections created after the call. Like SetRTOMin it is a
+// boot-time knob: set it before traffic starts, on both ends of the
+// path that needs it (an un-tuned peer simply declines the options and
+// the connection runs exactly as before).
+func (s *Stack) SetTCPTuning(t TCPTuning) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t.WindowScale > MaxWScale {
+		t.WindowScale = MaxWScale
+	}
+	s.tuning = t
+}
+
+// TCPTuning returns the stack's current TCP feature configuration.
+func (s *Stack) TCPTuning() TCPTuning {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tuning
+}
+
 // Lock acquires the F-Stack API mutex.
 func (s *Stack) Lock() { s.mu.Lock() }
 
@@ -144,6 +202,10 @@ func (s *Stack) Stats() StackStats {
 	st := s.stats
 	for _, c := range s.conns {
 		st.Retransmit += c.retransSegs
+		st.FastRetransmit += c.fastRetrans
+		st.SACKRetransmit += c.sackRetrans
+		st.RTORetransmit += c.rtoRetrans
+		st.DupAcks += c.dupAcksIn
 	}
 	return st
 }
@@ -428,6 +490,16 @@ func (s *Stack) acceptSyn(nif *NetIF, l *listener, tuple fourTuple, h TCPHeader)
 	if h.MSS != 0 {
 		c.sndMSS = min(int(h.MSS)-tsOptionLen, MaxSegData)
 	}
+	// Feature negotiation: only echo what the client offered AND the
+	// stack's tuning enables; the SYN|ACK then carries our side of the
+	// agreement (sendSegment reads offerSACK/offerWS).
+	c.offerSACK = c.offerSACK && h.SACKPermitted
+	c.offerWS = c.offerWS && h.HasWS
+	c.sackOK = c.offerSACK
+	if c.offerWS {
+		c.sndWScale = h.WScale
+		c.rcvWScale = s.tuning.WindowScale
+	}
 	iss := s.iss()
 	c.sndUna, c.sndNxt, c.sndMax = iss, iss+1, iss+1
 	c.sndWnd = uint32(h.Window)
@@ -478,7 +550,11 @@ func (s *Stack) sendRSTFor(nif *NetIF, ip IPv4Header, h TCPHeader, payloadLen in
 // removeConn drops the connection from the table.
 func (s *Stack) removeConn(c *tcpConn) {
 	s.stats.Retransmit += c.retransSegs
-	c.retransSegs = 0
+	s.stats.FastRetransmit += c.fastRetrans
+	s.stats.SACKRetransmit += c.sackRetrans
+	s.stats.RTORetransmit += c.rtoRetrans
+	s.stats.DupAcks += c.dupAcksIn
+	c.retransSegs, c.fastRetrans, c.sackRetrans, c.rtoRetrans, c.dupAcksIn = 0, 0, 0, 0, 0
 	delete(s.conns, c.tuple)
 }
 
@@ -518,4 +594,17 @@ func (s *Stack) PollOnce() {
 // String summarizes the stack.
 func (s *Stack) String() string {
 	return fmt.Sprintf("fstack{%d nifs, %d conns, %d socks}", len(s.nifs), len(s.conns), len(s.socks))
+}
+
+// DebugConnDump summarizes every connection's sender state (testing
+// hook).
+func (s *Stack) DebugConnDump() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := ""
+	for _, c := range s.conns {
+		out += fmt.Sprintf("[%s una=%d nxt=%d max=%d cwnd=%d pipe=%d wnd=%d sacked=%d rec=%v rtxAt=%d rto=%d buf=%d]",
+			c.state, c.sndUna, c.sndNxt, c.sndMax, c.cwnd, c.pipe(), c.sndWnd, len(c.sacked), c.inRecovery, c.rtxAt, c.rto, c.sndBuf.Len())
+	}
+	return out
 }

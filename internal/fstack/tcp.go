@@ -30,7 +30,24 @@ const MSSDefault = MTU - IPv4HeaderLen - TCPHeaderLen // 1460
 // MaxSegData is the real payload per segment once timestamps are on.
 const MaxSegData = MSSDefault - tsOptionLen // 1448
 
-// TCPHeader is a TCP header with the two options this stack uses.
+// MaxSACKBlocks is how many SACK blocks fit next to the timestamps
+// option: 40 bytes of option space minus 12 (TS) minus 4 (2 NOPs +
+// kind/len) leaves room for exactly three 8-byte blocks, which is the
+// RFC 2018 arithmetic every timestamp-enabled stack lands on.
+const MaxSACKBlocks = 3
+
+// MaxWScale caps the window-scale shift (RFC 7323 §2.3).
+const MaxWScale = 14
+
+// SACKBlock is one [Start, End) received run reported in a SACK option.
+type SACKBlock struct {
+	Start uint32
+	End   uint32
+}
+
+// TCPHeader is a TCP header with the options this stack uses: MSS,
+// window scale and SACK-permitted on SYNs; timestamps and SACK blocks
+// afterwards.
 type TCPHeader struct {
 	SrcPort uint16
 	DstPort uint16
@@ -41,6 +58,14 @@ type TCPHeader struct {
 
 	// MSS option (SYN segments only); zero = absent.
 	MSS uint16
+	// Window-scale option (SYN segments only); HasWS controls presence.
+	HasWS  bool
+	WScale uint8
+	// SACK-permitted option (SYN segments only).
+	SACKPermitted bool
+	// SACK option: up to MaxSACKBlocks received runs (pure ACKs only —
+	// a full-MSS data segment has no option space left for them).
+	SACK []SACKBlock
 	// Timestamps option; HasTS controls presence.
 	HasTS bool
 	TSVal uint32
@@ -53,8 +78,17 @@ func (h *TCPHeader) encodedLen() int {
 	if h.MSS != 0 {
 		n += 4
 	}
+	if h.HasWS {
+		n += 4 // NOP + kind(3) len(3) shift
+	}
+	if h.SACKPermitted {
+		n += 4 // NOP NOP + kind(4) len(2)
+	}
 	if h.HasTS {
 		n += tsOptionLen
+	}
+	if len(h.SACK) > 0 {
+		n += 4 + 8*len(h.SACK) // NOP NOP + kind(5) len + blocks
 	}
 	return n
 }
@@ -80,6 +114,20 @@ func PutTCPHeader(b []byte, h TCPHeader, src, dst IPv4Addr, length int) int {
 		binary.BigEndian.PutUint16(b[off+2:off+4], h.MSS)
 		off += 4
 	}
+	if h.HasWS {
+		b[off] = 1   // NOP
+		b[off+1] = 3 // kind window scale
+		b[off+2] = 3
+		b[off+3] = h.WScale
+		off += 4
+	}
+	if h.SACKPermitted {
+		b[off] = 1 // NOP
+		b[off+1] = 1
+		b[off+2] = 4 // kind SACK-permitted
+		b[off+3] = 2
+		off += 4
+	}
 	if h.HasTS {
 		b[off] = 1 // NOP
 		b[off+1] = 1
@@ -88,6 +136,18 @@ func PutTCPHeader(b []byte, h TCPHeader, src, dst IPv4Addr, length int) int {
 		binary.BigEndian.PutUint32(b[off+4:off+8], h.TSVal)
 		binary.BigEndian.PutUint32(b[off+8:off+12], h.TSEcr)
 		off += tsOptionLen
+	}
+	if len(h.SACK) > 0 {
+		b[off] = 1 // NOP
+		b[off+1] = 1
+		b[off+2] = 5 // kind SACK
+		b[off+3] = uint8(2 + 8*len(h.SACK))
+		off += 4
+		for _, blk := range h.SACK {
+			binary.BigEndian.PutUint32(b[off:off+4], blk.Start)
+			binary.BigEndian.PutUint32(b[off+4:off+8], blk.End)
+			off += 8
+		}
 	}
 	cs := transportChecksum(src, dst, ProtoTCP, b[:length])
 	binary.BigEndian.PutUint16(b[16:18], cs)
@@ -132,6 +192,22 @@ func ParseTCPHeader(b []byte, src, dst IPv4Addr) (TCPHeader, int, error) {
 			case 2: // MSS
 				if len(body) == 4 {
 					h.MSS = binary.BigEndian.Uint16(body[2:4])
+				}
+			case 3: // window scale
+				if len(body) == 3 {
+					h.HasWS = true
+					h.WScale = min(body[2], MaxWScale)
+				}
+			case 4: // SACK-permitted
+				if len(body) == 2 {
+					h.SACKPermitted = true
+				}
+			case 5: // SACK blocks
+				for rest := body[2:]; len(rest) >= 8; rest = rest[8:] {
+					h.SACK = append(h.SACK, SACKBlock{
+						Start: binary.BigEndian.Uint32(rest[0:4]),
+						End:   binary.BigEndian.Uint32(rest[4:8]),
+					})
 				}
 			case 8: // timestamps
 				if len(body) == 10 {

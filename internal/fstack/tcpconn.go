@@ -46,17 +46,24 @@ const (
 )
 
 // Buffer sizes (bytes, powers of two). 512 KiB send / 256 KiB receive
-// mirror F-Stack's defaults closely enough; the receive window is capped
-// at 64 KiB anyway (no window scaling).
+// mirror F-Stack's defaults closely enough; without window scaling the
+// receive window is capped at 64 KiB regardless. High-BDP paths
+// override both via Stack.SetTCPTuning.
 const (
 	sndBufSize = 512 * 1024
 	rcvBufSize = 256 * 1024
 	// maxRcvWnd is just below the port's 64 KiB RX packet buffer: the
 	// in-flight cap then regulates the bus-limited case by queueing
 	// rather than by tail drops (F-Stack tunes the window the same way
-	// on window-scaling-less paths).
+	// on window-scaling-less paths). It only binds when window scaling
+	// is off — a scaled window is bounded by the receive buffer alone.
 	maxRcvWnd = 56 * 1024
 )
+
+// seqRange is one [start, end) range of sequence space.
+type seqRange struct {
+	start, end uint32
+}
 
 // tcpEndpoint is one side of a connection.
 type tcpEndpoint struct {
@@ -99,6 +106,27 @@ type tcpConn struct {
 	tsRecent  uint32 // latest peer TSVal (echoed in TSEcr)
 	delackCnt int
 	delackAt  int64 // 0 = no pending delayed ack
+	oooCap    int   // reassembly byte budget (scales with rcvBuf)
+
+	// SACK + window scaling (RFC 2018 / RFC 7323), negotiated on the
+	// SYN; all zero on a stack with default tuning, which keeps the
+	// wire behavior of the paper's scenarios bit-identical.
+	offerSACK bool  // we advertise SACK-permitted on our SYN/SYN|ACK
+	offerWS   bool  // we advertise window scaling on our SYN/SYN|ACK
+	sackOK    bool  // both sides agreed on SACK
+	sndWScale uint8 // shift applied to windows the peer advertises
+	rcvWScale uint8 // shift applied to windows we advertise
+
+	// receiver SACK generation: the most recently arrived
+	// out-of-order run leads the block list (RFC 2018 §4).
+	lastOOO seqRange
+
+	// sender scoreboard: disjoint sorted ranges the peer has SACKed,
+	// all within (sndUna, sndMax].
+	sacked     []seqRange
+	inRecovery bool
+	recoverPt  uint32 // sndMax when recovery began (RFC 6582 "recover")
+	rtxNxt     uint32 // next hole-fill candidate during SACK recovery
 
 	// congestion control (RFC 5681 style)
 	cwnd     int
@@ -117,31 +145,52 @@ type tcpConn struct {
 	sockErr    hostos.Errno // sticky error (ECONNRESET etc.)
 
 	// counters (exposed via stack stats)
-	retransSegs uint64
+	retransSegs uint64 // total retransmitted segments
+	fastRetrans uint64 // dup-ACK fast retransmits (incl. NewReno partial-ACK resends)
+	sackRetrans uint64 // scoreboard-guided hole fills
+	rtoRetrans  uint64 // segments resent after a timeout rewind
+	dupAcksIn   uint64 // duplicate ACKs received
 }
 
 // newTCPConn builds a connection in the given state with buffers from
-// the stack's segment.
+// the stack's segment, sized and featured per the stack's TCP tuning.
 func (s *Stack) newTCPConn(nif *NetIF, tuple fourTuple) (*tcpConn, error) {
-	snd, err := newSockBuf(s.seg, sndBufSize)
+	sndSize, rcvSize := sndBufSize, rcvBufSize
+	if s.tuning.SndBufBytes > 0 {
+		sndSize = s.tuning.SndBufBytes
+	}
+	if s.tuning.RcvBufBytes > 0 {
+		rcvSize = s.tuning.RcvBufBytes
+	}
+	snd, err := newSockBuf(s.seg, sndSize)
 	if err != nil {
 		return nil, err
 	}
-	rcv, err := newSockBuf(s.seg, rcvBufSize)
+	rcv, err := newSockBuf(s.seg, rcvSize)
 	if err != nil {
 		return nil, err
 	}
 	c := &tcpConn{
-		stk:      s,
-		nif:      nif,
-		tuple:    tuple,
-		state:    tcpClosed,
-		sndBuf:   snd,
-		rcvBuf:   rcv,
-		sndMSS:   MaxSegData,
-		cwnd:     10 * MaxSegData,
-		ssthresh: 256 * 1024,
-		rto:      rtoInitial,
+		stk:       s,
+		nif:       nif,
+		tuple:     tuple,
+		state:     tcpClosed,
+		sndBuf:    snd,
+		rcvBuf:    rcv,
+		oooCap:    max(oooMaxBytes, rcvSize),
+		sndMSS:    MaxSegData,
+		cwnd:      10 * MaxSegData,
+		ssthresh:  256 * 1024,
+		rto:       rtoInitial,
+		offerSACK: s.tuning.SACK,
+		offerWS:   s.tuning.WindowScale > 0,
+	}
+	if c.offerWS {
+		// A scaled window is bounded by the receive buffer, so slow
+		// start must be allowed to probe past the unscaled 64 KiB
+		// regime; modern stacks start ssthresh effectively unbounded
+		// (RFC 5681 §3.1).
+		c.ssthresh = 1 << 30
 	}
 	return c, nil
 }
@@ -155,13 +204,29 @@ func (s *Stack) iss() uint32 {
 // nowUS is the timestamp-option clock (µs, truncated).
 func (c *tcpConn) nowUS() uint32 { return uint32(c.stk.now() / 1e3) }
 
-// rcvWnd computes the window to advertise.
+// rcvWnd computes the window to advertise. Without window scaling the
+// historical 56 KiB cap applies; with it, the receive buffer is the
+// only bound (the advertised field still truncates to 16 bits after
+// the shift).
 func (c *tcpConn) rcvWnd() uint32 {
 	w := c.rcvBuf.Free()
-	if w > maxRcvWnd {
-		w = maxRcvWnd
+	if c.rcvWScale == 0 {
+		if w > maxRcvWnd {
+			w = maxRcvWnd
+		}
+	} else if cap := 65535 << c.rcvWScale; w > cap {
+		w = cap // the largest value the shifted 16-bit field can carry
 	}
 	return uint32(w)
+}
+
+// peerWnd decodes the peer's advertised window: scaled except on SYN
+// segments (RFC 7323 §2.2).
+func (c *tcpConn) peerWnd(h TCPHeader) uint32 {
+	if h.Flags&TCPSyn != 0 {
+		return uint32(h.Window)
+	}
+	return uint32(h.Window) << c.sndWScale
 }
 
 // --- output ---
@@ -175,10 +240,27 @@ func (c *tcpConn) sendSegment(flags uint8, seq uint32, payloadLen int, withMSS b
 		Seq:     seq,
 		Ack:     c.rcvNxt,
 		Flags:   flags,
-		Window:  uint16(c.rcvWnd()),
 		HasTS:   true,
 		TSVal:   c.nowUS(),
 		TSEcr:   c.tsRecent,
+	}
+	wnd := c.rcvWnd()
+	if flags&TCPSyn != 0 {
+		// SYN windows are never scaled; SYNs also carry the feature
+		// offers (MSS is the caller's withMSS, below).
+		h.Window = uint16(min(wnd, 65535))
+		if c.offerWS {
+			h.HasWS = true
+			h.WScale = c.stk.tuning.WindowScale
+		}
+		h.SACKPermitted = c.offerSACK
+	} else {
+		h.Window = uint16(wnd >> c.rcvWScale)
+		// SACK blocks ride pure ACKs only: a full-MSS data segment has
+		// no option space left.
+		if c.sackOK && payloadLen == 0 && flags&TCPRst == 0 {
+			h.SACK = c.sackBlocks()
+		}
 	}
 	if withMSS {
 		h.MSS = MSSDefault
@@ -200,7 +282,11 @@ func (c *tcpConn) sendSegment(flags uint8, seq uint32, payloadLen int, withMSS b
 	PutTCPHeader(tcpSeg, h, c.tuple.local.IP, c.tuple.remote.IP, total)
 	ok := c.stk.sendIPv4(c.nif, m, frame, c.tuple.remote.IP, ProtoTCP, total)
 	if ok {
-		c.advWnd = uint32(h.Window)
+		shift := c.rcvWScale
+		if flags&TCPSyn != 0 {
+			shift = 0
+		}
+		c.advWnd = uint32(h.Window) << shift
 	}
 	return ok
 }
@@ -220,6 +306,54 @@ func (c *tcpConn) armRTO() {
 // inflight returns un-acknowledged bytes.
 func (c *tcpConn) inflight() int { return int(c.sndNxt - c.sndUna) }
 
+// lostBytes estimates bytes presumed lost and not yet refilled: the
+// holes between rtxNxt and the scoreboard top (RFC 6675's IsLost,
+// applied to the whole SACKed region). Holes below rtxNxt have been
+// retransmitted and are back in flight. Like sackedBytesBelow it only
+// counts sequence space below sndNxt, so a timeout rewind cannot turn
+// the whole scoreboard into send budget.
+func (c *tcpConn) lostBytes() int {
+	if len(c.sacked) == 0 {
+		return 0
+	}
+	top := c.sacked[len(c.sacked)-1].end
+	if seqGT(top, c.sndNxt) {
+		top = c.sndNxt
+	}
+	seq := c.rtxNxt
+	if seqLT(seq, c.sndUna) {
+		seq = c.sndUna
+	}
+	if !seqLT(seq, top) {
+		return 0
+	}
+	lost := int(top - seq)
+	for _, r := range c.sacked {
+		s, e := r.start, r.end
+		if seqLT(s, seq) {
+			s = seq
+		}
+		if seqGT(e, top) {
+			e = top
+		}
+		if seqLT(s, e) {
+			lost -= int(e - s)
+		}
+	}
+	return max(lost, 0)
+}
+
+// pipe estimates bytes actually in the network: unacknowledged, minus
+// what the peer already holds per its SACK blocks, minus un-refilled
+// holes presumed lost (RFC 6675 §4). Without a scoreboard it is plain
+// in-flight. Only scoreboard state below sndNxt counts, so after a
+// timeout rewind (sndNxt back at sndUna, scoreboard retained) the
+// pipe reads 0 and the resend pass is paced by cwnd's one-MSS slow
+// start restart instead of bursting the whole lost window.
+func (c *tcpConn) pipe() int {
+	return c.inflight() - c.sackedBytesBelow(c.sndNxt) - c.lostBytes()
+}
+
 // output transmits whatever the windows allow. Called from the loop and
 // after API writes.
 func (c *tcpConn) output() {
@@ -230,12 +364,21 @@ func (c *tcpConn) output() {
 	}
 	wnd := min(int(c.sndWnd), c.cwnd)
 	for {
+		// After a timeout rewind sndNxt sits below sndMax; the
+		// scoreboard lets the resend pass skip runs the peer already
+		// holds instead of go-back-N'ing through them.
+		retransmitting := seqLT(c.sndNxt, c.sndMax)
+		limit := c.sndMSS
+		if retransmitting {
+			c.sndNxt, limit = c.nextUnsacked(c.sndNxt, c.sndMSS)
+			retransmitting = seqLT(c.sndNxt, c.sndMax)
+		}
 		avail := c.sndBuf.Len() - int(c.sndNxt-c.sndUna) // bytes not yet sent
 		if c.finSent && !c.finAcked {
 			avail = 0
 		}
-		space := wnd - c.inflight()
-		n := min(min(avail, space), c.sndMSS)
+		space := wnd - c.pipe()
+		n := min(min(avail, space), limit)
 		if n <= 0 {
 			break
 		}
@@ -245,6 +388,10 @@ func (c *tcpConn) output() {
 		}
 		if !c.sendSegment(flags, c.sndNxt, n, false) {
 			break
+		}
+		if retransmitting {
+			c.retransSegs++
+			c.rtoRetrans++
 		}
 		c.sndNxt += uint32(n)
 		c.sndMax = seqMax(c.sndMax, c.sndNxt)
@@ -306,18 +453,187 @@ func (c *tcpConn) rttSample(sample int64) {
 	}
 }
 
+// --- sender scoreboard (RFC 2018) ---
+
+// sackUpdate merges the peer's SACK blocks into the scoreboard,
+// ignoring anything outside (sndUna, sndMax].
+func (c *tcpConn) sackUpdate(blocks []SACKBlock) {
+	for _, b := range blocks {
+		if !seqLT(b.Start, b.End) || seqLE(b.End, c.sndUna) || seqGT(b.End, c.sndMax) {
+			continue
+		}
+		r := seqRange{start: b.Start, end: b.End}
+		if seqLT(r.start, c.sndUna) {
+			r.start = c.sndUna
+		}
+		pos := 0
+		for pos < len(c.sacked) && seqLT(c.sacked[pos].start, r.start) {
+			pos++
+		}
+		c.sacked = append(c.sacked, seqRange{})
+		copy(c.sacked[pos+1:], c.sacked[pos:])
+		c.sacked[pos] = r
+		// Merge overlapping and adjacent neighbors back into a
+		// disjoint sorted list.
+		merged := c.sacked[:1]
+		for _, s := range c.sacked[1:] {
+			last := &merged[len(merged)-1]
+			if seqLE(s.start, last.end) {
+				last.end = seqMax(last.end, s.end)
+			} else {
+				merged = append(merged, s)
+			}
+		}
+		c.sacked = merged
+	}
+}
+
+// sackPrune drops scoreboard state the cumulative ACK has overtaken.
+func (c *tcpConn) sackPrune() {
+	keep := c.sacked[:0]
+	for _, r := range c.sacked {
+		if seqLE(r.end, c.sndUna) {
+			continue
+		}
+		if seqLT(r.start, c.sndUna) {
+			r.start = c.sndUna
+		}
+		keep = append(keep, r)
+	}
+	c.sacked = keep
+	if seqLT(c.rtxNxt, c.sndUna) {
+		c.rtxNxt = c.sndUna
+	}
+}
+
+// sackedBytes sums the scoreboard.
+func (c *tcpConn) sackedBytes() int {
+	t := 0
+	for _, r := range c.sacked {
+		t += int(r.end - r.start)
+	}
+	return t
+}
+
+// sackedBytesBelow sums the scoreboard under a ceiling — after a
+// timeout rewind only the part below sndNxt may offset the pipe, or
+// the whole lost window would be resent in one burst.
+func (c *tcpConn) sackedBytesBelow(ceil uint32) int {
+	t := 0
+	for _, r := range c.sacked {
+		e := r.end
+		if seqGT(e, ceil) {
+			e = ceil
+		}
+		if seqLT(r.start, e) {
+			t += int(e - r.start)
+		}
+	}
+	return t
+}
+
+// nextUnsacked skips seq past any SACKed run it falls into and caps a
+// segment at want bytes so it cannot overlap the next SACKed run.
+func (c *tcpConn) nextUnsacked(seq uint32, want int) (uint32, int) {
+	for _, r := range c.sacked {
+		if seqGE(seq, r.start) && seqLT(seq, r.end) {
+			seq = r.end
+			continue
+		}
+		if seqLT(seq, r.start) {
+			if gap := int(r.start - seq); gap < want {
+				want = gap
+			}
+			break
+		}
+	}
+	return seq, want
+}
+
+// retransmitHead resends one segment at the front of the unacked data,
+// the RFC 6582 partial-ACK / three-dup-ACK retransmission for peers
+// without SACK.
+func (c *tcpConn) retransmitHead() {
+	n := min(min(c.sndMSS, c.sndBuf.Len()), int(c.sndNxt-c.sndUna))
+	if n > 0 && c.sendSegment(TCPAck, c.sndUna, n, false) {
+		c.retransSegs++
+		c.fastRetrans++
+	}
+	c.armRTO()
+}
+
+// sackFill transmits whatever the pipe has room for during recovery
+// (RFC 6675's NextSeg loop): hole fills below the scoreboard top
+// first, then new data. Called on every ACK while in recovery — a
+// multi-loss window fills all its holes within one round trip instead
+// of one per returning ACK.
+func (c *tcpConn) sackFill() {
+	for len(c.sacked) > 0 && c.pipe() < c.cwnd {
+		top := c.sacked[len(c.sacked)-1].end
+		seq := c.rtxNxt
+		if seqLT(seq, c.sndUna) {
+			seq = c.sndUna
+		}
+		seq, limit := c.nextUnsacked(seq, c.sndMSS)
+		if !seqLT(seq, top) {
+			break // no hole left below the scoreboard top
+		}
+		n := min(min(limit, c.sndBuf.Len()-int(seq-c.sndUna)), int(top-seq))
+		if n <= 0 {
+			break
+		}
+		if !c.sendSegment(TCPAck, seq, n, false) {
+			return // TX ring full: the next ACK retries
+		}
+		c.retransSegs++
+		c.sackRetrans++
+		c.rtxNxt = seq + uint32(n)
+		c.armRTO()
+	}
+	// Pipe room left over goes to new data (the limited-transmit
+	// generalization); output() shares the same pipe arithmetic.
+	c.output()
+}
+
+// enterRecovery starts loss recovery off the third duplicate ACK:
+// scoreboard-guided when SACK is negotiated, RFC 6582 NewReno
+// otherwise.
+func (c *tcpConn) enterRecovery() {
+	c.inRecovery = true
+	c.recoverPt = c.sndMax
+	c.ssthresh = max(c.pipe()/2, 2*c.sndMSS)
+	c.rtxNxt = c.sndUna
+	if c.sackOK {
+		c.cwnd = c.ssthresh
+		c.sackFill()
+	} else {
+		c.cwnd = c.ssthresh + 3*c.sndMSS
+		c.retransmitHead()
+	}
+}
+
 // handleAck processes an acceptable ACK.
 func (c *tcpConn) handleAck(h TCPHeader) {
 	ack := h.Ack
+	if c.sackOK && len(h.SACK) > 0 {
+		c.sackUpdate(h.SACK)
+	}
 	if seqLE(ack, c.sndUna) {
-		if ack == c.sndUna && c.inflight() > 0 && h.Window == uint16(c.sndWnd) {
+		if ack == c.sndUna && c.inflight() > 0 && c.peerWnd(h) == c.sndWnd {
 			c.dupAcks++
-			if c.dupAcks == 3 {
-				c.fastRetransmit()
+			c.dupAcksIn++
+			switch {
+			case c.dupAcks == 3 && !c.inRecovery:
+				c.enterRecovery()
+			case c.inRecovery && c.sackOK:
+				c.sackFill()
+			case c.inRecovery:
+				c.cwnd += c.sndMSS // NewReno window inflation
+				c.output()
 			}
 		}
 		if seqGE(ack, c.sndUna) {
-			c.sndWnd = uint32(h.Window)
+			c.sndWnd = c.peerWnd(h)
 		}
 		return
 	}
@@ -341,21 +657,36 @@ func (c *tcpConn) handleAck(h TCPHeader) {
 		}
 	}
 	c.sndUna = ack
-	// After a go-back-N rewind the peer may acknowledge past sndNxt:
+	// After a timeout rewind the peer may acknowledge past sndNxt:
 	// skip ahead rather than resending what it already has.
 	if seqGT(ack, c.sndNxt) {
 		c.sndNxt = ack
 	}
-	c.sndWnd = uint32(h.Window)
+	c.sackPrune()
+	c.sndWnd = c.peerWnd(h)
 	c.dupAcks = 0
 	c.rtxN = 0
 	if h.HasTS && h.TSEcr != 0 {
 		c.rttSample((int64(c.nowUS()) - int64(h.TSEcr)) * 1e3)
 	}
 	// Congestion control.
-	if c.cwnd < c.ssthresh {
+	switch {
+	case c.inRecovery && seqLT(ack, c.recoverPt) && c.sackOK:
+		// Partial ACK with SACK: keep cwnd pinned at ssthresh and let
+		// the pipe govern what the scoreboard refills (RFC 6675 §5).
+		c.sackFill()
+	case c.inRecovery && seqLT(ack, c.recoverPt):
+		// Partial ACK (RFC 6582): the next hole starts at the new
+		// sndUna; resend it immediately, deflate instead of grow.
+		c.retransmitHead()
+		c.cwnd = max(c.cwnd-dataAcked+c.sndMSS, 2*c.sndMSS)
+	case c.inRecovery:
+		// Full ACK at or past the recovery point: done.
+		c.inRecovery = false
+		c.cwnd = c.ssthresh
+	case c.cwnd < c.ssthresh:
 		c.cwnd += min(dataAcked, c.sndMSS) // slow start
-	} else {
+	default:
 		c.cwnd += max(1, c.sndMSS*c.sndMSS/c.cwnd) // AIMD
 	}
 	if c.inflight() == 0 {
@@ -377,20 +708,11 @@ func (c *tcpConn) handleAck(h TCPHeader) {
 	}
 }
 
-// fastRetransmit resends the first unacked segment and halves the
-// window.
-func (c *tcpConn) fastRetransmit() {
-	c.ssthresh = max(c.inflight()/2, 2*c.sndMSS)
-	c.cwnd = c.ssthresh + 3*c.sndMSS
-	n := min(min(c.sndBuf.Len(), c.sndMSS), int(c.sndNxt-c.sndUna))
-	if n > 0 {
-		c.sendSegment(TCPAck, c.sndUna, n, false)
-		c.retransSegs++
-	}
-	c.armRTO()
-}
-
-// onRTO fires when the retransmission timer expires: go-back-N.
+// onRTO fires when the retransmission timer expires: rewind and resend
+// with exponential backoff (RFC 6298 §5). With SACK negotiated the
+// scoreboard survives the timeout (RFC 2018 §8), so the resend pass in
+// output() skips runs the peer already holds; without it this is plain
+// go-back-N.
 func (c *tcpConn) onRTO() {
 	if c.state == tcpSynSent || c.state == tcpSynReceived {
 		c.rtxN++
@@ -411,15 +733,16 @@ func (c *tcpConn) onRTO() {
 		c.rtxAt = 0
 		return
 	}
-	c.ssthresh = max(c.inflight()/2, 2*c.sndMSS)
+	c.ssthresh = max(c.pipe()/2, 2*c.sndMSS)
 	c.cwnd = c.sndMSS
 	c.dupAcks = 0
-	// Go-back-N: rewind and let output() resend.
+	c.inRecovery = false
+	// Rewind and let output() resend (it classifies the resends and
+	// skips SACKed runs).
 	c.sndNxt = c.sndUna
 	if c.finSent && !c.finAcked {
 		c.finSent = false // FIN will be requeued by output()
 	}
-	c.retransSegs++
 	c.rto = min(c.rto*2, int64(rtoMax))
 	c.rtxN++
 	c.armRTO()
@@ -433,11 +756,51 @@ type oooSeg struct {
 }
 
 // Reassembly bounds (FreeBSD's net.inet.tcp.reass analog): at most this
-// many segments / bytes parked per connection.
+// many segments / bytes parked per connection. The byte budget grows
+// with the receive buffer (tcpConn.oooCap) — a window-scaled high-BDP
+// flow can legitimately park most of a window behind one hole.
 const (
 	oooMaxSegs  = 128
 	oooMaxBytes = 192 * 1024
 )
+
+// oooSegCap derives the segment-count budget from the byte budget.
+func (c *tcpConn) oooSegCap() int {
+	return max(oooMaxSegs, c.oooCap/MaxSegData)
+}
+
+// sackBlocks builds the SACK option content: the run holding the most
+// recent arrival first (RFC 2018 §4), then the remaining runs in
+// sequence order, capped at what fits beside the timestamps option.
+func (c *tcpConn) sackBlocks() []SACKBlock {
+	if len(c.rcvOOO) == 0 {
+		return nil
+	}
+	var runs []SACKBlock
+	for _, s := range c.rcvOOO {
+		end := s.seq + uint32(len(s.data))
+		if n := len(runs); n > 0 && runs[n-1].End == s.seq {
+			runs[n-1].End = end
+		} else {
+			runs = append(runs, SACKBlock{Start: s.seq, End: end})
+		}
+	}
+	first := 0
+	for i, r := range runs {
+		if seqLE(r.Start, c.lastOOO.start) && seqLT(c.lastOOO.start, r.End) {
+			first = i
+			break
+		}
+	}
+	out := make([]SACKBlock, 0, min(len(runs), MaxSACKBlocks))
+	out = append(out, runs[first])
+	for i := 0; i < len(runs) && len(out) < MaxSACKBlocks; i++ {
+		if i != first {
+			out = append(out, runs[i])
+		}
+	}
+	return out
+}
 
 // oooBytes returns the bytes parked in the reassembly queue.
 func (c *tcpConn) oooBytes() int {
@@ -452,7 +815,7 @@ func (c *tcpConn) oooBytes() int {
 // non-overlapping (new data loses on overlap — the copy we already hold
 // is as good).
 func (c *tcpConn) oooInsert(seq uint32, payload []byte) {
-	if len(c.rcvOOO) >= oooMaxSegs || c.oooBytes()+len(payload) > oooMaxBytes {
+	if len(c.rcvOOO) >= c.oooSegCap() || c.oooBytes()+len(payload) > c.oooCap {
 		return // reassembly budget exhausted: drop, sender retransmits
 	}
 	// Beyond what we could ever buffer: drop.
@@ -530,6 +893,8 @@ func (c *tcpConn) acceptData(h TCPHeader, payload []byte) {
 	if h.Seq != c.rcvNxt {
 		if seqGT(h.Seq, c.rcvNxt) {
 			c.oooInsert(h.Seq, payload)
+			// The dup-ACK below leads its SACK list with this run.
+			c.lastOOO = seqRange{start: h.Seq, end: h.Seq + uint32(len(payload))}
 		} else if seqGT(h.Seq+uint32(len(payload)), c.rcvNxt) {
 			// Partial overlap with delivered data: take the new tail.
 			tail := payload[c.rcvNxt-h.Seq:]
@@ -618,9 +983,16 @@ func (c *tcpConn) input(h TCPHeader, payload []byte) {
 		}
 		c.rcvNxt = h.Seq + 1
 		c.sndUna = h.Ack
-		c.sndWnd = uint32(h.Window)
+		c.sndWnd = c.peerWnd(h)
 		if h.MSS != 0 {
 			c.sndMSS = min(int(h.MSS)-tsOptionLen, MaxSegData)
+		}
+		// Feature negotiation: each option is on only if both sides
+		// offered it (RFC 7323 §2.2, RFC 2018 §3).
+		c.sackOK = c.offerSACK && h.SACKPermitted
+		if c.offerWS && h.HasWS {
+			c.sndWScale = h.WScale
+			c.rcvWScale = c.stk.tuning.WindowScale
 		}
 		c.setState(tcpEstablished)
 		c.rtxAt = 0
@@ -632,7 +1004,7 @@ func (c *tcpConn) input(h TCPHeader, payload []byte) {
 	case tcpSynReceived:
 		if h.Flags&TCPAck != 0 && h.Ack == c.sndNxt {
 			c.sndUna = h.Ack
-			c.sndWnd = uint32(h.Window)
+			c.sndWnd = c.peerWnd(h)
 			c.setState(tcpEstablished)
 			c.rtxAt = 0
 			c.rtxN = 0

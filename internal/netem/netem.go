@@ -1,0 +1,355 @@
+package netem
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/hostos"
+	"repro/internal/nic"
+)
+
+// wireOverheadBytes mirrors the per-frame on-the-wire overhead the nic
+// serializers charge (preamble+SFD, FCS, inter-frame gap), so a Link's
+// rate limiter and a port's line rate agree about what "100 Mbit/s"
+// means.
+const wireOverheadBytes = 24
+
+// Config describes one link's impairments. The zero value is a
+// pristine link: bit-transparent pass-through with unchanged timing.
+// All impairments apply independently per direction, each fed by its
+// own PRNG stream derived from Seed, so runs are reproducible and the
+// two directions never share randomness.
+type Config struct {
+	// Seed drives every random impairment. Two links with equal seeds
+	// and configs impair identically.
+	Seed int64
+
+	// LossRate is the i.i.d. per-frame loss probability [0, 1).
+	LossRate float64
+
+	// Gilbert–Elliott burst loss: a two-state (good/bad) Markov chain,
+	// GEBadProb > 0 enables it. The chain is time-homogeneous: it
+	// steps once per wire-slot (one full-size frame time at RateBps)
+	// of elapsed virtual time, NOT once per frame, so a sparse flow —
+	// a lone retransmission, a trickle of ACKs — sees the same outage
+	// durations as a saturating one instead of being starved by a
+	// per-packet chain that only advances when it has traffic to eat.
+	// The stationary loss rate is GEBadProb/(GEBadProb+GERecoverProb)
+	// * GELossBad (plus the good-state term), with mean outage length
+	// 1/GERecoverProb slots.
+	GEBadProb     float64 // P(good -> bad) per slot
+	GERecoverProb float64 // P(bad -> good) per slot
+	GELossGood    float64 // loss probability in the good state (usually 0)
+	GELossBad     float64 // loss probability in the bad state (0 means 1)
+	// GESlotNS overrides the chain's time slot; 0 derives it from
+	// RateBps (one 1538-byte wire frame), or 100 µs on an unshaped
+	// link.
+	GESlotNS int64
+
+	// RateBps, when positive, serializes frames through a bottleneck of
+	// this many bits per second — the narrow WAN hop. QueueBytes bounds
+	// the bottleneck's queue (0 = a generous 256 KiB); arrivals beyond
+	// it are tail-dropped, or RED-dropped when RED is set (drop
+	// probability ramps linearly from 0 at half occupancy to 1 at full).
+	RateBps    float64
+	QueueBytes int
+	RED        bool
+
+	// DelayNS is the fixed one-way propagation delay added to every
+	// frame; JitterNS adds a uniform [0, JitterNS] extra per frame.
+	// Jitter large enough to cross frame spacings reorders deliveries,
+	// exactly as it does on real paths.
+	DelayNS  int64
+	JitterNS int64
+
+	// ReorderProb holds back that fraction of frames by ReorderExtraNS
+	// (default one DelayNS when zero), the classic netem reorder knob.
+	ReorderProb    float64
+	ReorderExtraNS int64
+}
+
+// pristine reports whether the config impairs nothing.
+func (c Config) pristine() bool {
+	return c.LossRate == 0 && c.GEBadProb == 0 && c.RateBps == 0 &&
+		c.DelayNS == 0 && c.JitterNS == 0 && c.ReorderProb == 0
+}
+
+// defaultQueueBytes bounds the bottleneck queue when the caller gave
+// none: a generous WAN-router buffer.
+const defaultQueueBytes = 256 * 1024
+
+// DirStats counts one direction's fate per frame.
+type DirStats struct {
+	Sent         uint64 // frames offered to the link
+	Delivered    uint64 // frames handed to the far port
+	LostRandom   uint64 // i.i.d. loss
+	LostBurst    uint64 // Gilbert–Elliott loss
+	DroppedQueue uint64 // bottleneck queue overflow (tail or RED)
+	Reordered    uint64 // frames held back by the reorder knob
+}
+
+// Lost sums every frame the link destroyed.
+func (s DirStats) Lost() uint64 { return s.LostRandom + s.LostBurst + s.DroppedQueue }
+
+// String summarizes the direction.
+func (s DirStats) String() string {
+	return fmt.Sprintf("sent %d, delivered %d, lost %d (iid %d, burst %d, queue %d), reordered %d",
+		s.Sent, s.Delivered, s.Lost(), s.LostRandom, s.LostBurst, s.DroppedQueue, s.Reordered)
+}
+
+// Endpoint receives the frames a Link delivers. *nic.Port satisfies it.
+type Endpoint interface {
+	DeliverFrame(data []byte, readyAt int64)
+}
+
+// heldFrame is one frame in the link's delay line.
+type heldFrame struct {
+	data      []byte
+	deliverAt int64
+	seq       uint64 // tie-break: equal instants deliver in send order
+}
+
+// frameHeap orders held frames by (deliverAt, seq).
+type frameHeap []heldFrame
+
+func (h frameHeap) Len() int { return len(h) }
+func (h frameHeap) Less(i, j int) bool {
+	if h[i].deliverAt != h[j].deliverAt {
+		return h[i].deliverAt < h[j].deliverAt
+	}
+	return h[i].seq < h[j].seq
+}
+func (h frameHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *frameHeap) Push(x any)   { *h = append(*h, x.(heldFrame)) }
+func (h *frameHeap) Pop() any {
+	old := *h
+	n := len(old)
+	f := old[n-1]
+	*h = old[:n-1]
+	return f
+}
+
+// dirState is one direction's impairment pipeline.
+type dirState struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	geBad    bool
+	geAt     int64 // virtual time the GE chain has been stepped to
+	nextFree int64 // bottleneck serializer: time its queue drains
+	held     frameHeap
+	seq      uint64
+	stats    DirStats
+}
+
+// Link is a composable impairment pipeline between two endpoints. It
+// satisfies nic.Conduit, so it slots in wherever a nic.Wire would.
+type Link struct {
+	clk  hostos.Clock
+	cfg  Config
+	ends [2]Endpoint
+	dirs [2]dirState
+}
+
+// New builds a link between two endpoints without attaching anything;
+// Connect is the usual entry point for nic ports. Direction d carries
+// frames from ends[d] to ends[1-d].
+func New(clk hostos.Clock, a, b Endpoint, cfg Config) *Link {
+	if cfg.GEBadProb > 0 && cfg.GELossBad == 0 {
+		cfg.GELossBad = 1
+	}
+	if cfg.GEBadProb > 0 && cfg.GESlotNS == 0 {
+		if cfg.RateBps > 0 {
+			cfg.GESlotNS = int64((1514 + wireOverheadBytes) * 8e9 / cfg.RateBps)
+		} else {
+			cfg.GESlotNS = 100_000
+		}
+	}
+	if cfg.RateBps > 0 && cfg.QueueBytes <= 0 {
+		cfg.QueueBytes = defaultQueueBytes
+	}
+	if cfg.ReorderProb > 0 && cfg.ReorderExtraNS == 0 {
+		cfg.ReorderExtraNS = cfg.DelayNS
+	}
+	l := &Link{clk: clk, cfg: cfg, ends: [2]Endpoint{a, b}}
+	for d := range l.dirs {
+		// Distinct, seed-derived streams per direction.
+		l.dirs[d].rng = rand.New(rand.NewSource(cfg.Seed ^ (int64(d+1) * 0x6C62272E07BB0141)))
+	}
+	return l
+}
+
+// Connect interposes a link between two NIC ports (where nic.Connect
+// would put a plain wire) and raises link-up on both.
+func Connect(clk hostos.Clock, a, b *nic.Port, cfg Config) *Link {
+	l := New(clk, a, b, cfg)
+	a.Attach(l, 0)
+	b.Attach(l, 1)
+	return l
+}
+
+// Config returns the link's effective configuration (defaults filled).
+func (l *Link) Config() Config { return l.cfg }
+
+// Stats snapshots one direction's counters (0 = a-to-b, 1 = b-to-a).
+func (l *Link) Stats(dir int) DirStats {
+	d := &l.dirs[dir]
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// Send implements nic.Conduit: impair one frame leaving endpoint
+// `from`, and schedule (or drop) its delivery to the peer.
+func (l *Link) Send(from int, data []byte, readyAt int64) {
+	dst := l.ends[1-from]
+	d := &l.dirs[from]
+	if l.cfg.pristine() {
+		// Bit-transparent: same bytes, same instant, same order, and no
+		// PRNG draws, so a pristine link is indistinguishable from a
+		// plain wire.
+		d.mu.Lock()
+		d.stats.Sent++
+		d.stats.Delivered++
+		d.mu.Unlock()
+		dst.DeliverFrame(data, readyAt)
+		return
+	}
+
+	now := l.clk.Now()
+	d.mu.Lock()
+	d.stats.Sent++
+
+	// Loss first: a frame destroyed on the wire never occupies the
+	// bottleneck queue.
+	if l.cfg.GEBadProb > 0 {
+		d.stepGE(l.cfg, readyAt)
+		lossP := l.cfg.GELossGood
+		if d.geBad {
+			lossP = l.cfg.GELossBad
+		}
+		if lossP > 0 && d.rng.Float64() < lossP {
+			d.stats.LostBurst++
+			d.mu.Unlock()
+			return
+		}
+	}
+	if l.cfg.LossRate > 0 && d.rng.Float64() < l.cfg.LossRate {
+		d.stats.LostRandom++
+		d.mu.Unlock()
+		return
+	}
+
+	// Bottleneck serializer with a bounded queue.
+	at := readyAt
+	if l.cfg.RateBps > 0 {
+		if d.nextFree < at {
+			d.nextFree = at
+		}
+		backlogBytes := int(float64(d.nextFree-at) * l.cfg.RateBps / 8e9)
+		drop := false
+		switch {
+		case backlogBytes+len(data) > l.cfg.QueueBytes:
+			drop = true // tail drop (and RED's hard ceiling)
+		case l.cfg.RED:
+			// Simple RED: linear ramp from 0 at half occupancy to 1 at
+			// the limit.
+			minTh := l.cfg.QueueBytes / 2
+			if backlogBytes > minTh {
+				p := float64(backlogBytes-minTh) / float64(l.cfg.QueueBytes-minTh)
+				drop = d.rng.Float64() < p
+			}
+		}
+		if drop {
+			d.stats.DroppedQueue++
+			d.mu.Unlock()
+			return
+		}
+		d.nextFree += int64(float64(len(data)+wireOverheadBytes) * 8e9 / l.cfg.RateBps)
+		at = d.nextFree
+	}
+
+	// Delay, jitter, reordering.
+	at += l.cfg.DelayNS
+	if l.cfg.JitterNS > 0 {
+		at += d.rng.Int63n(l.cfg.JitterNS + 1)
+	}
+	if l.cfg.ReorderProb > 0 && d.rng.Float64() < l.cfg.ReorderProb {
+		at += l.cfg.ReorderExtraNS
+		d.stats.Reordered++
+	}
+
+	heap.Push(&d.held, heldFrame{data: data, deliverAt: at, seq: d.seq})
+	d.seq++
+	due := d.takeDueLocked(now)
+	d.mu.Unlock()
+	deliverAll(dst, due)
+}
+
+// Pump implements nic.Conduit: release every held frame that is due.
+// Ports call it from each device step, so held frames drain even when
+// nothing new is sent.
+func (l *Link) Pump(now int64) {
+	for dir := range l.dirs {
+		d := &l.dirs[dir]
+		d.mu.Lock()
+		due := d.takeDueLocked(now)
+		d.mu.Unlock()
+		deliverAll(l.ends[1-dir], due)
+	}
+}
+
+// stepGE advances the Gilbert–Elliott chain to time `at`, one
+// transition per elapsed wire-slot. The chain's clock (geAt) advances
+// in whole slots only, so several frames within one slot all sample
+// the same state and a dense flow does not run the chain any faster
+// than a sparse one. Past a few thousand idle slots the chain is at
+// stationarity, so it is sampled there directly instead of walked.
+func (d *dirState) stepGE(cfg Config, at int64) {
+	if d.geAt == 0 {
+		// First frame seeds the chain clock and draws the initial state
+		// from the stationary distribution.
+		d.geAt = at
+		d.geBad = d.rng.Float64() < cfg.GEBadProb/(cfg.GEBadProb+cfg.GERecoverProb)
+		return
+	}
+	if at <= d.geAt {
+		return
+	}
+	steps := (at - d.geAt) / cfg.GESlotNS
+	const stationaryAfter = 4096
+	if steps > stationaryAfter {
+		d.geAt = at
+		d.geBad = d.rng.Float64() < cfg.GEBadProb/(cfg.GEBadProb+cfg.GERecoverProb)
+		return
+	}
+	d.geAt += steps * cfg.GESlotNS
+	for i := int64(0); i < steps; i++ {
+		if d.geBad {
+			if d.rng.Float64() < cfg.GERecoverProb {
+				d.geBad = false
+			}
+		} else if d.rng.Float64() < cfg.GEBadProb {
+			d.geBad = true
+		}
+	}
+}
+
+// takeDueLocked pops the frames due at `now`, in delivery order.
+func (d *dirState) takeDueLocked(now int64) []heldFrame {
+	var due []heldFrame
+	for len(d.held) > 0 && d.held[0].deliverAt <= now {
+		due = append(due, heap.Pop(&d.held).(heldFrame))
+		d.stats.Delivered++
+	}
+	return due
+}
+
+// deliverAll hands released frames to the endpoint outside the
+// direction lock (the endpoint's FIFO has its own).
+func deliverAll(dst Endpoint, due []heldFrame) {
+	for _, f := range due {
+		dst.DeliverFrame(f.data, f.deliverAt)
+	}
+}

@@ -1,0 +1,250 @@
+package netem
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// recorder is a fake Endpoint logging every delivery.
+type recorder struct {
+	frames []struct {
+		data []byte
+		at   int64
+	}
+}
+
+func (r *recorder) DeliverFrame(data []byte, readyAt int64) {
+	r.frames = append(r.frames, struct {
+		data []byte
+		at   int64
+	}{data, readyAt})
+}
+
+// sendN pushes n 1000-byte frames spaced spacingNS apart into direction
+// 0 of the link, pumping as the clock advances past the last send.
+func sendN(clk *sim.VClock, l *Link, n int, spacingNS int64) {
+	for i := 0; i < n; i++ {
+		data := []byte(fmt.Sprintf("frame-%06d", i))
+		data = append(data, make([]byte, 1000-len(data))...)
+		l.Send(0, data, clk.Now())
+		clk.Advance(spacingNS)
+		l.Pump(clk.Now())
+	}
+}
+
+// drain advances far enough for every held frame to come due.
+func drain(clk *sim.VClock, l *Link, horizonNS int64) {
+	for i := int64(0); i < horizonNS; i += 1000_000 {
+		clk.Advance(1000_000)
+		l.Pump(clk.Now())
+	}
+}
+
+func TestPristineLinkIsTransparent(t *testing.T) {
+	clk := sim.NewVClock()
+	var a, b recorder
+	l := New(clk, &a, &b, Config{})
+	// Frames with future readyAt (the port books its serializer ahead)
+	// must pass through with byte-identical data and unchanged instants,
+	// in both directions, without the clock having caught up.
+	payload := []byte("hello wire")
+	l.Send(0, payload, 12345)
+	l.Send(1, []byte("reverse"), 999)
+	if len(b.frames) != 1 || len(a.frames) != 1 {
+		t.Fatalf("deliveries: a=%d b=%d, want 1 and 1", len(a.frames), len(b.frames))
+	}
+	if !bytes.Equal(b.frames[0].data, payload) || b.frames[0].at != 12345 {
+		t.Fatalf("forward frame mangled: %q at %d", b.frames[0].data, b.frames[0].at)
+	}
+	if a.frames[0].at != 999 {
+		t.Fatalf("reverse instant changed: %d", a.frames[0].at)
+	}
+	if st := l.Stats(0); st.Sent != 1 || st.Delivered != 1 || st.Lost() != 0 {
+		t.Fatalf("dir0 stats: %v", st)
+	}
+}
+
+func TestSeededLossIsDeterministicAndCloseToRate(t *testing.T) {
+	const n, p = 20000, 0.01
+	run := func(seed int64) uint64 {
+		clk := sim.NewVClock()
+		var b recorder
+		l := New(clk, &recorder{}, &b, Config{Seed: seed, LossRate: p})
+		sendN(clk, l, n, 10_000)
+		drain(clk, l, 10e6)
+		return l.Stats(0).LostRandom
+	}
+	l1, l2 := run(42), run(42)
+	if l1 != l2 {
+		t.Fatalf("same seed, different loss: %d vs %d", l1, l2)
+	}
+	if l3 := run(43); l3 == l1 {
+		t.Fatalf("different seeds produced identical loss %d", l1)
+	}
+	got := float64(l1) / n
+	if math.Abs(got-p) > p/2 {
+		t.Fatalf("loss rate %.4f far from configured %.4f", got, p)
+	}
+}
+
+func TestGilbertElliottLossComesInBursts(t *testing.T) {
+	clk := sim.NewVClock()
+	var b recorder
+	// Mean burst 5 frames, stationary loss ~= 0.02/(0.02+0.2) ~= 9%.
+	l := New(clk, &recorder{}, &b, Config{Seed: 7, GEBadProb: 0.02, GERecoverProb: 0.2})
+	const n = 20000
+	sendN(clk, l, n, 10_000)
+	drain(clk, l, 10e6)
+	st := l.Stats(0)
+	if st.LostBurst == 0 {
+		t.Fatal("GE model lost nothing")
+	}
+	// Count loss runs from the delivered sequence numbers: bursty loss
+	// must have mean run length well above 1 (i.i.d.'s mean).
+	seen := make(map[int]bool)
+	for _, f := range b.frames {
+		var idx int
+		fmt.Sscanf(string(f.data[:12]), "frame-%d", &idx)
+		seen[idx] = true
+	}
+	runs, lost := 0, 0
+	inRun := false
+	for i := 0; i < n; i++ {
+		if !seen[i] {
+			lost++
+			if !inRun {
+				runs++
+				inRun = true
+			}
+		} else {
+			inRun = false
+		}
+	}
+	if runs == 0 {
+		t.Fatal("no loss runs found")
+	}
+	meanRun := float64(lost) / float64(runs)
+	if meanRun < 2 {
+		t.Fatalf("mean loss-burst length %.2f, want >= 2 (bursty)", meanRun)
+	}
+}
+
+func TestRateLimiterPacesAndBoundsQueue(t *testing.T) {
+	clk := sim.NewVClock()
+	var b recorder
+	// 8 Mbit/s, 4 KiB queue: 1000-byte frames serialize in ~1.024 ms
+	// (1024 wire bytes); blasting 100 at once must overflow the queue.
+	l := New(clk, &recorder{}, &b, Config{Seed: 1, RateBps: 8e6, QueueBytes: 4096})
+	for i := 0; i < 100; i++ {
+		l.Send(0, make([]byte, 1000), clk.Now())
+	}
+	drain(clk, l, 300e6)
+	st := l.Stats(0)
+	if st.DroppedQueue == 0 {
+		t.Fatal("bounded queue never dropped")
+	}
+	if st.Delivered == 0 {
+		t.Fatal("rate limiter delivered nothing")
+	}
+	if st.Delivered+st.DroppedQueue != 100 {
+		t.Fatalf("accounting: delivered %d + dropped %d != 100", st.Delivered, st.DroppedQueue)
+	}
+	// Delivered frames must be spaced at the serialization time.
+	wantGap := int64(float64(1000+wireOverheadBytes) * 8e9 / 8e6)
+	for i := 1; i < len(b.frames); i++ {
+		if gap := b.frames[i].at - b.frames[i-1].at; gap != wantGap {
+			t.Fatalf("frame %d gap %d ns, want %d", i, gap, wantGap)
+		}
+	}
+}
+
+func TestDelayJitterAndReorder(t *testing.T) {
+	clk := sim.NewVClock()
+	var b recorder
+	l := New(clk, &recorder{}, &b, Config{
+		Seed: 3, DelayNS: 5e6, JitterNS: 2e6, ReorderProb: 0.1, ReorderExtraNS: 10e6,
+	})
+	const n = 500
+	sendN(clk, l, n, 100_000) // 100 µs spacing << jitter: reordering expected
+	drain(clk, l, 50e6)
+	st := l.Stats(0)
+	if st.Delivered != n {
+		t.Fatalf("delivered %d of %d", st.Delivered, n)
+	}
+	if st.Reordered == 0 {
+		t.Fatal("reorder knob never fired")
+	}
+	outOfOrder := 0
+	prev := -1
+	minDelay := int64(math.MaxInt64)
+	for i, f := range b.frames {
+		var idx int
+		fmt.Sscanf(string(f.data[:12]), "frame-%d", &idx)
+		if idx < prev {
+			outOfOrder++
+		}
+		prev = idx
+		sentAt := int64(idx) * 100_000
+		if d := f.at - sentAt; d < minDelay {
+			minDelay = d
+		}
+		if i > 0 && f.at < b.frames[i-1].at {
+			t.Fatalf("deliveries not time-ordered at %d", i)
+		}
+	}
+	if outOfOrder == 0 {
+		t.Fatal("no frame actually arrived out of order")
+	}
+	if minDelay < 5e6 {
+		t.Fatalf("min one-way delay %d ns below the configured 5 ms", minDelay)
+	}
+}
+
+// Property: whatever the impairment mix, the link never duplicates or
+// corrupts a frame, and per-direction accounting always balances.
+func TestQuickAccountingBalances(t *testing.T) {
+	f := func(seed int64, loss, geBad, reorder uint8, rate bool) bool {
+		clk := sim.NewVClock()
+		var b recorder
+		cfg := Config{
+			Seed:          seed,
+			LossRate:      float64(loss%50) / 100,
+			GEBadProb:     float64(geBad%10) / 100,
+			GERecoverProb: 0.3,
+			ReorderProb:   float64(reorder%30) / 100,
+			DelayNS:       1e6,
+		}
+		if rate {
+			cfg.RateBps, cfg.QueueBytes = 20e6, 16<<10
+		}
+		l := New(clk, &recorder{}, &b, cfg)
+		const n = 300
+		sendN(clk, l, n, 50_000)
+		drain(clk, l, 100e6)
+		st := l.Stats(0)
+		if st.Sent != n || st.Delivered != uint64(len(b.frames)) {
+			return false
+		}
+		if st.Delivered+st.Lost() != st.Sent {
+			return false
+		}
+		seen := make(map[int]bool)
+		for _, fr := range b.frames {
+			var idx int
+			fmt.Sscanf(string(fr.data[:12]), "frame-%d", &idx)
+			if seen[idx] {
+				return false // duplicate
+			}
+			seen[idx] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -38,8 +38,8 @@ type Port struct {
 	// is off, so the single-queue model is unchanged).
 	fifos [MaxQueues]rxFifo
 
-	wire    *Wire
-	wireEnd int
+	pipe    Conduit
+	pipeEnd int
 
 	capDMA bool
 	dmaCap cheri.Cap
@@ -71,12 +71,14 @@ type portRegs struct {
 	rssKey [RSSKeyLen]byte
 }
 
-// attach connects the port to a wire endpoint and raises link-up.
-func (p *Port) attach(w *Wire, end int) {
+// Attach connects the port to one endpoint of a conduit and raises
+// link-up. nic.Connect uses it for the direct cable; impairment
+// pipelines (internal/netem) attach themselves the same way.
+func (p *Port) Attach(c Conduit, end int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.wire = w
-	p.wireEnd = end
+	p.pipe = c
+	p.pipeEnd = end
 	p.regs.status |= StatusLU
 }
 
@@ -252,13 +254,15 @@ func (p *Port) resetLocked() {
 	p.gprc, p.gptc, p.gorc, p.gotc = 0, 0, 0, 0
 }
 
-// deliver places an arriving frame in the RX queue the RSS classifier
-// selects (the wire calls this).
-func (p *Port) deliver(f frame) {
+// DeliverFrame places an arriving frame in the RX queue the RSS
+// classifier selects (the far end of the conduit calls this). readyAt
+// is the virtual instant the last bit arrives; the frame becomes
+// visible to the RX rings from then on.
+func (p *Port) DeliverFrame(data []byte, readyAt int64) {
 	p.mu.Lock()
-	q := p.classifyLocked(f.data)
+	q := p.classifyLocked(data)
 	p.mu.Unlock()
-	p.fifos[q].push(f)
+	p.fifos[q].push(frame{data: data, readyAt: readyAt})
 }
 
 // dmaRO maps [addr, addr+n) of host memory for a device read.
@@ -293,13 +297,19 @@ func (p *Port) dmaRW(addr uint64, n int) ([]byte, bool) {
 func (p *Port) Step() {
 	var tx, rx [MaxQueues]bool
 	p.mu.Lock()
-	txEn := p.regs.tctl&TctlEN != 0 && p.wire != nil
+	pipe := p.pipe
+	txEn := p.regs.tctl&TctlEN != 0 && pipe != nil
 	rxEn := p.regs.rctl&RctlEN != 0
 	for q := 0; q < MaxQueues; q++ {
 		tx[q] = txEn && p.regs.txq[q].length >= DescSize
 		rx[q] = rxEn && p.regs.rxq[q].length >= DescSize
 	}
 	p.mu.Unlock()
+	if pipe != nil {
+		// Let a frame-holding conduit (netem delay line, rate limiter)
+		// release whatever is due before the RX rings look for arrivals.
+		pipe.Pump(p.clk.Now())
+	}
 	for q := 0; q < MaxQueues; q++ {
 		if tx[q] {
 			p.stepTX(q)
@@ -315,7 +325,7 @@ func (p *Port) Step() {
 // stepTX transmits queue q's descriptors [TDH, TDT).
 func (p *Port) stepTX(q int) {
 	p.mu.Lock()
-	if p.regs.tctl&TctlEN == 0 || p.wire == nil {
+	if p.regs.tctl&TctlEN == 0 || p.pipe == nil {
 		p.mu.Unlock()
 		return
 	}
@@ -358,7 +368,7 @@ func (p *Port) stepTX(q int) {
 		p.card.busAdmit(p.idx, int(p.card.cfg.BusCostTX*float64(length+wireOverhead)))
 		data := make([]byte, length)
 		copy(data, buf)
-		p.wire.send(p.wireEnd, frame{data: data, readyAt: doneAt + PropagationDelayNS})
+		p.pipe.Send(p.pipeEnd, data, doneAt+PropagationDelayNS)
 
 		p.writeBackStatus(descAddr, StatDD)
 		head = (head + 1) % n

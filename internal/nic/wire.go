@@ -68,9 +68,23 @@ func (f *rxFifo) pending() int {
 	return len(f.frames)
 }
 
+// Conduit is the medium a port transmits into. A *Wire is the direct
+// back-to-back cable; internal/netem's Link interposes an impairment
+// pipeline between the same two ports. The port calls Send with the
+// instant the last bit leaves its serializer (propagation already
+// added) and calls Pump from every device step so a conduit that holds
+// frames (delay lines, rate limiters) can release the ones now due.
+type Conduit interface {
+	// Send carries one frame away from endpoint `from` (0 or 1).
+	Send(from int, data []byte, readyAt int64)
+	// Pump delivers any held frames that are due at virtual time now.
+	Pump(now int64)
+}
+
 // Wire is a full-duplex point-to-point Ethernet cable: frames sent by
 // one port land in the other port's RX FIFO after the propagation delay
-// (already folded into frame.readyAt by the sender).
+// (already folded into readyAt by the sender). It holds nothing, so its
+// Pump is a no-op.
 type Wire struct {
 	ends [2]*Port
 }
@@ -78,13 +92,16 @@ type Wire struct {
 // Connect wires two ports back to back and raises link-up on both.
 func Connect(a, b *Port) *Wire {
 	w := &Wire{ends: [2]*Port{a, b}}
-	a.attach(w, 0)
-	b.attach(w, 1)
+	a.Attach(w, 0)
+	b.Attach(w, 1)
 	return w
 }
 
-// send forwards a frame from endpoint `from` to the peer, whose RSS
+// Send forwards a frame from endpoint `from` to the peer, whose RSS
 // classifier picks the destination RX FIFO.
-func (w *Wire) send(from int, f frame) {
-	w.ends[1-from].deliver(f)
+func (w *Wire) Send(from int, data []byte, readyAt int64) {
+	w.ends[1-from].DeliverFrame(data, readyAt)
 }
+
+// Pump implements Conduit; a plain cable never holds frames.
+func (w *Wire) Pump(int64) {}
