@@ -211,6 +211,39 @@ func BenchmarkScenario5(b *testing.B) {
 	}
 }
 
+// BenchmarkScenario6 measures the composed layout: 8 upload flows
+// from a sharded stack through a 2 Gbit/s, 10 ms RTT bottleneck with
+// ~0.5% bursty loss — the paper configuration (1 shard, go-back-N)
+// against the composed one (4 shards, SACK + window scaling) on the
+// identical seeded link. The Mbit/s metric should show the composed
+// stack at least doubling the paper configuration.
+func BenchmarkScenario6(b *testing.B) {
+	type cfg struct {
+		name   string
+		shards int
+		modern bool
+	}
+	for _, c := range []cfg{
+		{"1shard-go-back-N", 1, false},
+		{"4shard-SACK", 4, true},
+	} {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			var last core.Scenario6Result
+			for i := 0; i < b.N; i++ {
+				r, err := core.RunScenario6(core.Scenario6Config{Shards: c.shards, Modern: c.modern},
+					8, core.DefaultScenario6Duration)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+			b.ReportMetric(last.Mbps, "Mbit/s")
+			b.ReportMetric(float64(last.Stats.Retransmit), "retx")
+		})
+	}
+}
+
 // --- Ablations (design choices called out in DESIGN.md) ---
 
 // BenchmarkAblationCapChecks compares the datapath memory access with

@@ -1,34 +1,31 @@
 // Command cherinet regenerates the tables and figures of "Enabling
 // Security on the Edge: A CHERI Compartmentalized Network Stack"
-// (DATE 2025) on the simulated Morello/CheriBSD testbed.
+// (DATE 2025) on the simulated Morello/CheriBSD testbed, plus the
+// post-paper scenarios built on the declarative testbed layer.
 //
 // Usage:
 //
-//	cherinet table2            # TCP bandwidth, all scenarios (virtual time)
-//	cherinet fig3              # capability out-of-bounds demonstration
-//	cherinet fig4 [-iters N]   # ff_write(): Scenario 1 vs Baseline
-//	cherinet fig5 [-iters N]   # ff_write(): Scenario 2 (uncontended) vs Baseline
-//	cherinet fig6 [-iters N]   # ff_write(): Scenario 2 uncontended vs contended
-//	cherinet table1            # capability-integration LoC of the F-Stack port
-//	cherinet scenario4 [-shards K -flows M]
-//	                           # multi-core scaling: sharded stack over RSS queues
-//	cherinet scenario5 [-loss F -delay NS -rate BPS]
-//	                           # lossy high-BDP WAN: goodput vs loss and vs BDP
-//	                           # over an impaired link, go-back-N vs SACK+WS
-//	cherinet all               # everything above
+//	cherinet list              # print the experiment registry
+//	cherinet <name> [flags]    # run one experiment (see `cherinet list`)
+//	cherinet all               # run every registered experiment
+//
+// Experiments and their flags come from internal/core's scenario
+// registry; an unknown name suggests the nearest registered ones.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
-	"repro/internal/stats"
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: cherinet {table1|table2|fig3|fig4|fig5|fig6|scenario4|scenario5|all} [-iters N] [-interval NS] [-payload B] [-shards K] [-flows M] [-duration NS] [-loss F] [-delay NS] [-rate BPS] [-s5duration NS]\n")
+	fmt.Fprintf(os.Stderr, "usage: cherinet {list|all|%s} [flags]\n",
+		strings.Join(core.ScenarioNames(), "|"))
+	fmt.Fprintf(os.Stderr, "run `cherinet list` for descriptions and per-experiment flags\n")
 	os.Exit(2)
 }
 
@@ -37,116 +34,61 @@ func main() {
 		usage()
 	}
 	cmd := os.Args[1]
+	if cmd == "list" {
+		fmt.Print(core.FormatScenarioList())
+		return
+	}
+
+	def := core.DefaultRunOptions()
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
-	iters := fs.Int("iters", 100_000, "timed ff_write iterations (paper: 1e6)")
-	interval := fs.Int64("interval", 20_000, "ns between timed writes")
-	payload := fs.Int("payload", 1448, "ff_write payload bytes")
-	shards := fs.Int("shards", 4, "max stack shards for scenario4 (swept in powers of two)")
-	flows := fs.Int("flows", 8, "concurrent iperf flows for scenario4")
-	duration := fs.Int64("duration", core.DefaultScenario4Duration, "scenario4 traffic time (virtual ns)")
-	loss := fs.Float64("loss", 0.01, "scenario5 max random loss rate (swept from 0)")
-	delay := fs.Int64("delay", 10e6, "scenario5 one-way delay for the loss sweep (ns)")
-	rate := fs.Float64("rate", 100e6, "scenario5 bottleneck rate (bits/s)")
-	s5dur := fs.Int64("s5duration", core.DefaultScenario5Duration, "scenario5 traffic time per point (virtual ns)")
+	iters := fs.Int("iters", def.FFWrite.Iterations, "timed ff_write iterations (paper: 1e6)")
+	interval := fs.Int64("interval", def.FFWrite.IntervalNS, "ns between timed writes")
+	payload := fs.Int("payload", def.FFWrite.Payload, "ff_write payload bytes")
+	shards := fs.Int("shards", def.Shards, "max stack shards for scenarios 4 and 6 (swept in powers of two)")
+	flows := fs.Int("flows", def.Flows, "concurrent iperf flows for scenarios 4 and 6")
+	duration := fs.Int64("duration", def.DurationNS, "scenario4 traffic time (virtual ns)")
+	loss := fs.Float64("loss", def.Loss, "scenario5 max random loss rate (swept from 0)")
+	delay := fs.Int64("delay", def.DelayNS, "scenario5 one-way delay for the loss sweep (ns)")
+	rate := fs.Float64("rate", def.RateBps, "scenario5 bottleneck rate (bits/s)")
+	s5dur := fs.Int64("s5duration", def.S5DurationNS, "scenario5 traffic time per point (virtual ns)")
+	ackrate := fs.Float64("ackrate", 0, "scenario6 reverse (ACK) channel bottleneck (bits/s; 0 = clean)")
+	s6dur := fs.Int64("s6duration", def.S6DurationNS, "scenario6 traffic time per point (virtual ns)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		usage()
 	}
-	cfg := core.FFWriteConfig{Iterations: *iters, IntervalNS: *interval, Payload: *payload}
-
-	run := func(name string) error {
-		switch name {
-		case "table1":
-			row, err := core.RunTable1()
-			if err != nil {
-				return err
-			}
-			fmt.Println("TABLE I — capability-integration lines in the TCP/IP library")
-			fmt.Println(" ", row)
-		case "table2":
-			blocks, err := core.RunTable2()
-			if err != nil {
-				return err
-			}
-			fmt.Print(core.FormatTable2(blocks))
-		case "fig3":
-			rep, err := core.RunFig3()
-			if err != nil {
-				return err
-			}
-			fmt.Println("FIG 3 — applications accessing memory outside their boundaries")
-			fmt.Println(" ", rep)
-		case "fig4":
-			sets, err := core.MeasureFig4(cfg)
-			if err != nil {
-				return err
-			}
-			printBoxes("FIG 4 — ff_write() execution time: Scenario 1 vs Baseline (ns)", sets)
-		case "fig5":
-			sets, err := core.MeasureFig5(cfg)
-			if err != nil {
-				return err
-			}
-			printBoxes("FIG 5 — ff_write() execution time: Scenario 2 (uncontended) vs Baseline (ns)", sets)
-		case "fig6":
-			sets, err := core.MeasureFig6(cfg)
-			if err != nil {
-				return err
-			}
-			printBoxes("FIG 6 — ff_write() execution time: Scenario 2 uncontended vs contended (ns)", sets)
-		case "scenario4":
-			if *shards < 1 {
-				return fmt.Errorf("-shards must be at least 1")
-			}
-			var counts []int
-			for k := 1; k <= *shards; k *= 2 {
-				counts = append(counts, k)
-			}
-			results, err := core.RunScenario4Sweep(counts, *flows, *duration)
-			if err != nil {
-				return err
-			}
-			fmt.Print(core.FormatScenario4(results))
-		case "scenario5":
-			losses := []float64{0, *loss / 4, *loss / 2, *loss}
-			lossResults, err := core.RunScenario5LossSweep(losses, *delay, *rate, *s5dur)
-			if err != nil {
-				return err
-			}
-			fmt.Print(core.FormatScenario5(
-				fmt.Sprintf("goodput vs random loss (%.0f Mbit/s bottleneck, %.0f ms RTT)",
-					*rate/1e6, float64(2**delay)/1e6), lossResults))
-			fmt.Println()
-			bdpResults, err := core.RunScenario5BDPSweep(
-				[]int64{1e6, 5e6, 20e6, 50e6}, *loss/4, *rate, *s5dur)
-			if err != nil {
-				return err
-			}
-			fmt.Print(core.FormatScenario5(
-				fmt.Sprintf("goodput vs path BDP (%.0f Mbit/s bottleneck, %.2f%% loss)",
-					*rate/1e6, *loss/4*100), bdpResults))
-		default:
-			usage()
-		}
-		return nil
+	opts := core.RunOptions{
+		FFWrite:      core.FFWriteConfig{Iterations: *iters, IntervalNS: *interval, Payload: *payload},
+		Shards:       *shards,
+		Flows:        *flows,
+		DurationNS:   *duration,
+		Loss:         *loss,
+		DelayNS:      *delay,
+		RateBps:      *rate,
+		S5DurationNS: *s5dur,
+		AckRateBps:   *ackrate,
+		S6DurationNS: *s6dur,
 	}
 
-	names := []string{cmd}
+	var entries []core.ScenarioEntry
 	if cmd == "all" {
-		names = []string{"fig3", "table1", "table2", "fig4", "fig5", "fig6", "scenario4", "scenario5"}
+		entries = core.Registry
+	} else {
+		e, ok := core.LookupScenario(cmd)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "cherinet: unknown experiment %q\n", cmd)
+			if sugg := core.SuggestScenarios(cmd); len(sugg) > 0 {
+				fmt.Fprintf(os.Stderr, "did you mean: %s?\n", strings.Join(sugg, ", "))
+			}
+			fmt.Fprintf(os.Stderr, "run `cherinet list` for the registry\n")
+			os.Exit(2)
+		}
+		entries = []core.ScenarioEntry{e}
 	}
-	for _, n := range names {
-		if err := run(n); err != nil {
-			fmt.Fprintf(os.Stderr, "cherinet %s: %v\n", n, err)
+	for _, e := range entries {
+		if err := e.Run(opts, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "cherinet %s: %v\n", e.Name, err)
 			os.Exit(1)
 		}
 		fmt.Println()
-	}
-}
-
-func printBoxes(title string, sets []core.LatencySet) {
-	fmt.Println(title)
-	for _, s := range sets {
-		b := stats.CleanBox(s.Samples)
-		fmt.Printf("  %-26s %v\n", s.Label, b)
 	}
 }

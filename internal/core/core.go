@@ -1,8 +1,10 @@
-// Package core composes the substrates into the paper's systems: the
-// simulated Morello box with its dual-port 82576 NIC, the CheriBSD-like
-// kernel, the Intravisor with its cVMs, the DPDK+F-Stack userspace
-// network stack, and the remote link partners — wired into the three
-// evaluation scenarios of §III:
+// Package core composes the substrates into the paper's systems and
+// carries the experiment drivers. Topology construction is declarative:
+// every scenario is a testbed.Spec — one spec struct per layout —
+// handed to testbed.Build, which wires the simulated Morello box with
+// its dual-port 82576 NIC, the CheriBSD-like kernel, the Intravisor
+// with its cVMs, the DPDK+F-Stack userspace network stack, and the
+// remote link partners. The three evaluation layouts of §III:
 //
 //   - Baseline: no CHERI. The stack and application run as ordinary
 //     processes (MMU isolation), raw buffers, direct host syscalls.
@@ -12,321 +14,43 @@
 //     two (contended) application cVMs call the F-Stack API through
 //     cross-compartment gates, serialized by the stack mutex.
 //
-// Past the paper, three forward-looking layouts ride on the same
-// substrates: Scenario 3 (§VI's future work — DPDK separated into its
-// own cVM, gates on the datapath), Scenario 4 (multi-core scaling —
-// a multi-queue RSS port with one CPU-budgeted stack shard per queue
-// pair, scenario4.go), and Scenario 5 (a lossy high-BDP WAN behind a
-// netem.Link, comparing go-back-N against SACK + window scaling,
-// scenario5.go).
+// Past the paper, four forward-looking layouts ride on the same spec
+// model: Scenario 3 (§VI's future work — DPDK separated into its own
+// cVM, gates on the datapath), Scenario 4 (multi-core scaling — a
+// multi-queue RSS port with one CPU-budgeted stack shard per queue
+// pair), Scenario 5 (a lossy high-BDP WAN behind a netem.Link,
+// comparing go-back-N against SACK + window scaling), and Scenario 6
+// (the composition: the sharded stack of Scenario 4 driving many flows
+// through the impaired — and per-direction asymmetric — bottleneck of
+// Scenario 5).
 //
 // The package also carries the experiment drivers that regenerate every
 // table and figure of the evaluation (bandwidth.go, latency.go,
-// fig3.go, table1.go).
+// fig3.go, table1.go), and the scenario registry (registry.go) the
+// cherinet command consumes.
 package core
 
 import (
-	"fmt"
-
-	"repro/internal/cheri"
-	"repro/internal/dpdk"
 	"repro/internal/fstack"
-	"repro/internal/hostos"
-	"repro/internal/intravisor"
-	"repro/internal/netem"
-	"repro/internal/nic"
+	"repro/internal/testbed"
 )
 
-// Default sizing for the simulated machines.
-const (
-	machineMem = 64 << 20 // 64 MiB of tagged memory
-	cvmMem     = 12 << 20 // per-cVM window
-	segSize    = 8 << 20  // DPDK segment inside a process/cVM
-	poolBufs   = 2048     // mbufs per pool
-	ringSize   = 512      // RX/TX descriptors
-
-	// Fast link partners (Scenario 4) carry many flows at once; their
-	// environment is sized up so the peer is never the bottleneck.
-	peerFastSegSize  = 24 << 20
-	peerFastPoolBufs = 3072
+// The construction layer lives in internal/testbed; these aliases keep
+// the measurement drivers and their callers on the familiar names.
+type (
+	// Setup is a wired topology (a testbed.Bed).
+	Setup = testbed.Bed
+	// Env is one network environment of the local box.
+	Env = testbed.Env
+	// Peer is a remote link partner.
+	Peer = testbed.Peer
+	// GatedAPI is an application compartment's gated F-Stack API view.
+	GatedAPI = testbed.GatedAPI
 )
 
-// Machine is one simulated computer: tagged memory + kernel + one NIC.
-type Machine struct {
-	Name string
-	K    *hostos.Kernel
-	Card *nic.Card
-	IV   *intravisor.Intravisor // created lazily by NewCVM
-	clk  hostos.Clock
-}
+// mask24, localIP and peerIP forward to the testbed addressing plan:
+// port i uses subnet 10.0.i.0/24 with .1 local and .2 remote.
+var mask24 = testbed.Mask24
 
-// MachineConfig parameterizes NewMachine.
-type MachineConfig struct {
-	Name string
-	Clk  hostos.Clock
-	// Ports on the machine's NIC.
-	Ports int
-	// LineRateBps overrides the per-port line rate; 0 means the paper's
-	// 1 GbE. Scenario 4 uses a faster port so a single stack shard (not
-	// the line) is the bottleneck.
-	LineRateBps float64
-	// RxFifoBytes overrides the per-queue RX packet buffer; 0 keeps the
-	// 82576's 64 KiB.
-	RxFifoBytes int
-	// BusLimited installs the calibrated 82576 shared-bus model; false
-	// gives an ideal bus (used for the remote link partners, which stand
-	// in for "the other end of the cable" and must never be the
-	// bottleneck).
-	BusLimited bool
-	// CapDMA bounds device DMA with capabilities (CHERI scenarios).
-	CapDMA bool
-	// MACLast seeds the card's MAC addresses.
-	MACLast byte
-}
-
-// NewMachine boots a machine per the config.
-func NewMachine(cfg MachineConfig) (*Machine, error) {
-	k, err := hostos.NewKernel(machineMem)
-	if err != nil {
-		return nil, err
-	}
-	lineRate := cfg.LineRateBps
-	if lineRate <= 0 {
-		lineRate = 1e9
-	}
-	ncfg := nic.Config{
-		BDFBase:     fmt.Sprintf("0000:03:%02x", cfg.MACLast),
-		Ports:       cfg.Ports,
-		LineRateBps: lineRate,
-		RxFifoBytes: cfg.RxFifoBytes,
-		MAC:         [6]byte{0x02, 0x82, 0x57, 0x60, 0x00, cfg.MACLast},
-		Clk:         cfg.Clk,
-		Mem:         k.Mem,
-		CapDMA:      cfg.CapDMA,
-	}
-	if cfg.BusLimited {
-		ncfg.BusRateBps, ncfg.BusCostTX, ncfg.BusCostRX = nic.DefaultBusConfig()
-	}
-	card, err := nic.New(ncfg)
-	if err != nil {
-		return nil, err
-	}
-	if err := card.RegisterPCI(k.PCI); err != nil {
-		return nil, err
-	}
-	// Boot-time kernel configuration: detach every port from the kernel
-	// driver so user space (DPDK) can claim it.
-	for i := 0; i < cfg.Ports; i++ {
-		if errno := k.PCI.Unbind(card.Port(i).BDF()); errno != hostos.OK {
-			return nil, fmt.Errorf("core: unbinding port %d: %v", i, errno)
-		}
-	}
-	return &Machine{Name: cfg.Name, K: k, Card: card, clk: cfg.Clk}, nil
-}
-
-// NewCVM creates a cVM on this machine (boots the Intravisor on first
-// use).
-func (m *Machine) NewCVM(name string) (*intravisor.CVM, error) {
-	return m.NewCVMSized(name, cvmMem)
-}
-
-// NewCVMSized creates a cVM with a non-default window (Scenario 4's
-// sharded stack needs room for many connections' socket buffers).
-func (m *Machine) NewCVMSized(name string, size uint64) (*intravisor.CVM, error) {
-	if m.IV == nil {
-		iv, err := intravisor.New(m.K)
-		if err != nil {
-			return nil, err
-		}
-		m.IV = iv
-	}
-	c, err := m.IV.CreateCVM(name, size)
-	if err != nil {
-		return nil, err
-	}
-	c.Start()
-	return c, nil
-}
-
-// Env is one network environment — the DPDK segment, buffer pool,
-// bound ports, stack and main loop of either a Baseline process or a
-// cVM.
-type Env struct {
-	Name string
-	CVM  *intravisor.CVM // nil for Baseline processes
-	Seg  *dpdk.MemSeg
-	Pool *dpdk.Mempool
-	Devs []*dpdk.EthDev
-	Stk  *fstack.Stack
-	Loop *fstack.Loop
-}
-
-// CapMode reports whether the environment runs the CHERI port.
-func (e *Env) CapMode() bool { return e.Seg.CapMode() }
-
-// NowNS reads the clock the way this environment's code must: directly
-// for a Baseline process, through the Intravisor trampoline for a cVM
-// ("in cVMs we can't directly access the timers of the system", §IV).
-func (e *Env) NowNS(k *hostos.Kernel) int64 {
-	if e.CVM != nil {
-		return e.CVM.NowNS()
-	}
-	s, ns, _ := k.Syscall(hostos.SysClockGettime, hostos.Args{hostos.ClockMonotonicRaw})
-	return int64(s)*1e9 + int64(ns)
-}
-
-// IfCfg binds one NIC port to an interface address.
-type IfCfg struct {
-	Port int
-	Name string
-	IP   fstack.IPv4Addr
-	Mask fstack.IPv4Addr
-}
-
-// NewBaselineEnv builds a non-CHERI process environment: its segment is
-// plain kernel memory, accesses are raw, DMA is raw.
-func (m *Machine) NewBaselineEnv(name string, ifs []IfCfg) (*Env, error) {
-	return m.NewBaselineEnvSized(name, ifs, segSize, poolBufs)
-}
-
-// NewBaselineEnvSized is NewBaselineEnv with explicit segment and
-// buffer-pool sizing, for workloads with many concurrent connections
-// (each costs its socket buffers from the segment).
-func (m *Machine) NewBaselineEnvSized(name string, ifs []IfCfg, segBytes uint64, pool int) (*Env, error) {
-	base, errno := m.K.Pages.Alloc(segBytes)
-	if errno != hostos.OK {
-		return nil, fmt.Errorf("core: allocating segment for %s: %v", name, errno)
-	}
-	seg, err := dpdk.NewMemSeg(m.K.Mem, base, segBytes, cheri.NullCap, false)
-	if err != nil {
-		return nil, err
-	}
-	return m.finishEnv(name, nil, seg, ifs, pool)
-}
-
-// NewCVMEnv builds a CHERI cVM environment: the segment lives inside
-// the cVM's window and every access is capability-checked.
-func (m *Machine) NewCVMEnv(name string, ifs []IfCfg) (*Env, error) {
-	cvm, err := m.NewCVM(name)
-	if err != nil {
-		return nil, err
-	}
-	return m.NewCVMEnvOn(cvm, ifs)
-}
-
-// NewCVMEnvOn builds the environment inside an existing cVM.
-func (m *Machine) NewCVMEnvOn(cvm *intravisor.CVM, ifs []IfCfg) (*Env, error) {
-	return m.NewCVMEnvOnSized(cvm, ifs, segSize, poolBufs)
-}
-
-// NewCVMEnvOnSized is NewCVMEnvOn with explicit segment and buffer-pool
-// sizing, for workloads whose connections carry multi-MiB socket
-// buffers (Scenario 5's window-scaled WAN flows).
-func (m *Machine) NewCVMEnvOnSized(cvm *intravisor.CVM, ifs []IfCfg, segBytes uint64, pool int) (*Env, error) {
-	// The DPDK segment occupies the upper part of the window (the lower
-	// part stays for application data).
-	segBase := cvm.Base() + cvm.Size() - segBytes
-	segCap, err := cvm.DDC().SetAddr(segBase).SetBounds(segBytes)
-	if err != nil {
-		return nil, err
-	}
-	seg, err := dpdk.NewMemSeg(m.K.Mem, segBase, segBytes, segCap, true)
-	if err != nil {
-		return nil, err
-	}
-	return m.finishEnv(cvm.Name, cvm, seg, ifs, pool)
-}
-
-// finishEnv probes the ports, builds the pool, stack and loop.
-func (m *Machine) finishEnv(name string, cvm *intravisor.CVM, seg *dpdk.MemSeg, ifs []IfCfg, poolN int) (*Env, error) {
-	pool, err := dpdk.NewMempool(seg, name+"-pkt", poolN, dpdk.DefaultDataroom)
-	if err != nil {
-		return nil, err
-	}
-	stk := fstack.NewStack(seg, pool, m.clk)
-	env := &Env{Name: name, CVM: cvm, Seg: seg, Pool: pool, Stk: stk}
-	for _, ic := range ifs {
-		dev, err := dpdk.Probe(m.K.PCI, m.Card.Port(ic.Port).BDF(), seg)
-		if err != nil {
-			return nil, err
-		}
-		if err := dev.Configure(ringSize, ringSize, pool); err != nil {
-			return nil, err
-		}
-		if err := dev.Start(); err != nil {
-			return nil, err
-		}
-		stk.AddNetIF(ic.Name, dev, ic.IP, ic.Mask)
-		env.Devs = append(env.Devs, dev)
-	}
-	env.Loop = &fstack.Loop{Stk: stk}
-	return env, nil
-}
-
-// Peer is a remote link partner: its own machine with an ideal NIC and
-// a Baseline environment, wired to one local port.
-type Peer struct {
-	M   *Machine
-	Env *Env
-}
-
-// NewPeer builds a link partner for localPort with the given address.
-func NewPeer(name string, clk hostos.Clock, localPort *nic.Port, ip, mask fstack.IPv4Addr, macLast byte) (*Peer, error) {
-	return NewPeerAtRate(name, clk, localPort, ip, mask, macLast, 0)
-}
-
-// NewPeerAtRate is NewPeer with an explicit line rate, for testbeds
-// whose local port is faster than the paper's 1 GbE (both ends of a
-// cable must serialize at the same rate). Fast peers also get a larger
-// environment: they carry many concurrent flows, and each connection's
-// socket buffers come out of the segment.
-func NewPeerAtRate(name string, clk hostos.Clock, localPort *nic.Port, ip, mask fstack.IPv4Addr, macLast byte, lineRateBps float64) (*Peer, error) {
-	p, err := newPeerUnwired(name, clk, ip, mask, macLast, lineRateBps, lineRateBps > 1e9)
-	if err != nil {
-		return nil, err
-	}
-	nic.Connect(localPort, p.M.Card.Port(0))
-	return p, nil
-}
-
-// NewPeerOverLink is NewPeerAtRate with a netem impairment pipeline in
-// place of the direct cable — the far end of a WAN path. The peer is
-// always sized like a fast one: window-scaled flows buffer multi-MiB
-// per connection.
-func NewPeerOverLink(name string, clk hostos.Clock, localPort *nic.Port, ip, mask fstack.IPv4Addr, macLast byte, lineRateBps float64, link netem.Config) (*Peer, *netem.Link, error) {
-	p, err := newPeerUnwired(name, clk, ip, mask, macLast, lineRateBps, true)
-	if err != nil {
-		return nil, nil, err
-	}
-	l := netem.Connect(clk, localPort, p.M.Card.Port(0), link)
-	return p, l, nil
-}
-
-// newPeerUnwired builds a link partner without attaching its port; big
-// sizes the environment for multi-MiB socket buffers or many flows.
-func newPeerUnwired(name string, clk hostos.Clock, ip, mask fstack.IPv4Addr, macLast byte, lineRateBps float64, big bool) (*Peer, error) {
-	m, err := NewMachine(MachineConfig{
-		Name: name, Clk: clk, Ports: 1, BusLimited: false, MACLast: macLast,
-		LineRateBps: lineRateBps,
-	})
-	if err != nil {
-		return nil, err
-	}
-	segBytes, pool := uint64(segSize), poolBufs
-	if big {
-		segBytes, pool = peerFastSegSize, peerFastPoolBufs
-	}
-	env, err := m.NewBaselineEnvSized(name, []IfCfg{{Port: 0, Name: "eth0", IP: ip, Mask: mask}}, segBytes, pool)
-	if err != nil {
-		return nil, err
-	}
-	return &Peer{M: m, Env: env}, nil
-}
-
-// mask24 is the /24 netmask used throughout the testbed.
-var mask24 = fstack.IP4(255, 255, 255, 0)
-
-// localIP and peerIP give the addressing plan: port i uses subnet
-// 10.0.i.0/24 with .1 local and .2 remote.
-func localIP(port int) fstack.IPv4Addr { return fstack.IP4(10, 0, byte(port), 1) }
-func peerIP(port int) fstack.IPv4Addr  { return fstack.IP4(10, 0, byte(port), 2) }
+func localIP(port int) fstack.IPv4Addr { return testbed.LocalIP(port) }
+func peerIP(port int) fstack.IPv4Addr  { return testbed.PeerIP(port) }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/fstack"
 	"repro/internal/hostos"
 	"repro/internal/sim"
+	"repro/internal/testbed"
 )
 
 // pump advances a Scenario 2 setup in virtual time.
@@ -140,7 +141,7 @@ func TestGatedWriteCachesStagedBuffer(t *testing.T) {
 		t.Fatalf("bad fd write (cached): %v", errno)
 	}
 	// Oversized and empty writes are rejected client-side.
-	if _, errno := api.Write(3, make([]byte, stageWriteSize+1)); errno != hostos.EINVAL {
+	if _, errno := api.Write(3, make([]byte, testbed.StageWriteSize+1)); errno != hostos.EINVAL {
 		t.Fatalf("oversized write: %v", errno)
 	}
 	if _, errno := api.Write(3, nil); errno != hostos.EINVAL {

@@ -1,0 +1,337 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// The scenario registry: one table naming every experiment the
+// reproduction can run, with a one-line description and the flags that
+// apply. cmd/cherinet consumes it for dispatch, `cherinet list`, and
+// near-miss suggestions; anything else (examples, future front ends)
+// can iterate it the same way.
+
+// RunOptions carries every flag the registered experiments understand.
+// Run uses the values verbatim — zero is meaningful (e.g. Loss 0 is a
+// loss-free sweep) — so programmatic callers should start from
+// DefaultRunOptions and override fields, exactly as cmd/cherinet's
+// flag defaults do.
+type RunOptions struct {
+	// FFWrite parameterizes the timed ff_write probes (figs 4-6).
+	FFWrite FFWriteConfig
+	// Shards is the maximum shard count for scenarios 4 and 6 (swept
+	// in powers of two); Flows the concurrent iperf flow count.
+	Shards int
+	Flows  int
+	// DurationNS is scenario 4's per-measurement traffic time.
+	DurationNS int64
+	// Loss, DelayNS, RateBps shape scenarios 5 and 6's links;
+	// S5DurationNS is scenario 5's per-point traffic time.
+	Loss         float64
+	DelayNS      int64
+	RateBps      float64
+	S5DurationNS int64
+	// AckRateBps, when positive, squeezes scenario 6's reverse (ACK)
+	// channel — the per-direction link demo. S6DurationNS is scenario
+	// 6's per-point traffic time.
+	AckRateBps   float64
+	S6DurationNS int64
+}
+
+// DefaultRunOptions mirrors the cherinet flag defaults.
+func DefaultRunOptions() RunOptions {
+	return RunOptions{
+		FFWrite:      FFWriteConfig{Iterations: 100_000, IntervalNS: 20_000, Payload: 1448},
+		Shards:       4,
+		Flows:        8,
+		DurationNS:   DefaultScenario4Duration,
+		Loss:         0.01,
+		DelayNS:      10e6,
+		RateBps:      100e6,
+		S5DurationNS: DefaultScenario5Duration,
+		S6DurationNS: DefaultScenario6Duration,
+	}
+}
+
+// ScenarioEntry is one registered experiment.
+type ScenarioEntry struct {
+	// Name is the cherinet subcommand.
+	Name string
+	// Desc is the one-line description `cherinet list` prints.
+	Desc string
+	// Flags names the flags that affect this experiment (for list).
+	Flags string
+	// Run executes the experiment and writes its report to w.
+	Run func(o RunOptions, w io.Writer) error
+}
+
+// Registry lists every runnable experiment, in `cherinet all` order.
+var Registry = []ScenarioEntry{
+	{
+		Name: "fig3",
+		Desc: "capability out-of-bounds demonstration (applications escaping their boundaries)",
+		Run: func(o RunOptions, w io.Writer) error {
+			rep, err := RunFig3()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, "FIG 3 — applications accessing memory outside their boundaries")
+			fmt.Fprintln(w, " ", rep)
+			return nil
+		},
+	},
+	{
+		Name: "table1",
+		Desc: "capability-integration LoC of the F-Stack port",
+		Run: func(o RunOptions, w io.Writer) error {
+			row, err := RunTable1()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, "TABLE I — capability-integration lines in the TCP/IP library")
+			fmt.Fprintln(w, " ", row)
+			return nil
+		},
+	},
+	{
+		Name: "table2",
+		Desc: "TCP bandwidth, Baseline + Scenarios 1-2, both directions (virtual time)",
+		Run: func(o RunOptions, w io.Writer) error {
+			blocks, err := RunTable2()
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(w, FormatTable2(blocks))
+			return nil
+		},
+	},
+	{
+		Name:  "fig4",
+		Desc:  "ff_write() execution time: Scenario 1 vs Baseline",
+		Flags: "-iters -interval -payload",
+		Run: func(o RunOptions, w io.Writer) error {
+			sets, err := MeasureFig4(o.FFWrite)
+			if err != nil {
+				return err
+			}
+			printBoxes(w, "FIG 4 — ff_write() execution time: Scenario 1 vs Baseline (ns)", sets)
+			return nil
+		},
+	},
+	{
+		Name:  "fig5",
+		Desc:  "ff_write() execution time: Scenario 2 (uncontended) vs Baseline",
+		Flags: "-iters -interval -payload",
+		Run: func(o RunOptions, w io.Writer) error {
+			sets, err := MeasureFig5(o.FFWrite)
+			if err != nil {
+				return err
+			}
+			printBoxes(w, "FIG 5 — ff_write() execution time: Scenario 2 (uncontended) vs Baseline (ns)", sets)
+			return nil
+		},
+	},
+	{
+		Name:  "fig6",
+		Desc:  "ff_write() execution time: Scenario 2 uncontended vs contended",
+		Flags: "-iters -interval -payload",
+		Run: func(o RunOptions, w io.Writer) error {
+			sets, err := MeasureFig6(o.FFWrite)
+			if err != nil {
+				return err
+			}
+			printBoxes(w, "FIG 6 — ff_write() execution time: Scenario 2 uncontended vs contended (ns)", sets)
+			return nil
+		},
+	},
+	{
+		Name: "scenario3",
+		Desc: "future-work split: DPDK in its own cVM, gates on the datapath (bandwidth)",
+		Run: func(o RunOptions, w io.Writer) error {
+			for _, dir := range []Direction{LocalIsServer, LocalIsClient} {
+				s, err := NewScenario3(sim.NewVClock())
+				if err != nil {
+					return err
+				}
+				res, err := BandwidthPair(s, dir)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "SCENARIO 3 — %s\n", dir)
+				for _, r := range res {
+					fmt.Fprintf(w, "  %v\n", r)
+				}
+			}
+			return nil
+		},
+	},
+	{
+		Name:  "scenario4",
+		Desc:  "multi-core scaling: sharded stack over RSS queues, goodput vs shard count",
+		Flags: "-shards -flows -duration",
+		Run: func(o RunOptions, w io.Writer) error {
+			if o.Shards < 1 {
+				return fmt.Errorf("-shards must be at least 1")
+			}
+			results, err := RunScenario4Sweep(powersOfTwo(o.Shards), o.Flows, o.DurationNS)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(w, FormatScenario4(results))
+			return nil
+		},
+	},
+	{
+		Name:  "scenario5",
+		Desc:  "lossy high-BDP WAN: goodput vs loss and vs BDP, go-back-N vs SACK+WS",
+		Flags: "-loss -delay -rate -s5duration",
+		Run: func(o RunOptions, w io.Writer) error {
+			losses := []float64{0, o.Loss / 4, o.Loss / 2, o.Loss}
+			lossResults, err := RunScenario5LossSweep(losses, o.DelayNS, o.RateBps, o.S5DurationNS)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(w, FormatScenario5(
+				fmt.Sprintf("goodput vs random loss (%.0f Mbit/s bottleneck, %.0f ms RTT)",
+					o.RateBps/1e6, float64(2*o.DelayNS)/1e6), lossResults))
+			fmt.Fprintln(w)
+			bdpResults, err := RunScenario5BDPSweep(
+				[]int64{1e6, 5e6, 20e6, 50e6}, o.Loss/4, o.RateBps, o.S5DurationNS)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(w, FormatScenario5(
+				fmt.Sprintf("goodput vs path BDP (%.0f Mbit/s bottleneck, %.2f%% loss)",
+					o.RateBps/1e6, o.Loss/4*100), bdpResults))
+			return nil
+		},
+	},
+	{
+		Name:  "scenario6",
+		Desc:  "composed: sharded stack over an impaired WAN, paper stack vs shards+SACK",
+		Flags: "-shards -flows -ackrate -s6duration",
+		Run: func(o RunOptions, w io.Writer) error {
+			if o.Shards < 1 {
+				return fmt.Errorf("-shards must be at least 1")
+			}
+			base := Scenario6Config{}
+			if o.AckRateBps > 0 {
+				// Squeeze only the ACK channel; propagation stays
+				// symmetric.
+				base.Rev = &netem.Config{DelayNS: s6DelayNS, RateBps: o.AckRateBps}
+			}
+			results, err := RunScenario6Sweep(powersOfTwo(o.Shards), o.Flows, o.S6DurationNS, base)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(w, FormatScenario6(results))
+			return nil
+		},
+	},
+}
+
+// LookupScenario resolves a registered name.
+func LookupScenario(name string) (ScenarioEntry, bool) {
+	for _, e := range Registry {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return ScenarioEntry{}, false
+}
+
+// ScenarioNames lists the registered names in order.
+func ScenarioNames() []string {
+	names := make([]string, len(Registry))
+	for i, e := range Registry {
+		names[i] = e.Name
+	}
+	return names
+}
+
+// FormatScenarioList renders the registry for `cherinet list`.
+func FormatScenarioList() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Registered experiments (cherinet <name> [flags], `cherinet all` runs every one):\n")
+	for _, e := range Registry {
+		flags := e.Flags
+		if flags == "" {
+			flags = "-"
+		}
+		fmt.Fprintf(&b, "  %-10s %s\n  %10s   flags: %s\n", e.Name, e.Desc, "", flags)
+	}
+	return b.String()
+}
+
+// SuggestScenarios returns registered names within a small edit
+// distance of the (unknown) name, best first — the "did you mean"
+// list.
+func SuggestScenarios(name string) []string {
+	type cand struct {
+		name string
+		dist int
+	}
+	var cands []cand
+	for _, e := range Registry {
+		d := editDistance(strings.ToLower(name), e.Name)
+		// Accept near misses and prefix matches ("scenario" → all
+		// scenarioN entries).
+		if d <= 2 || strings.HasPrefix(e.Name, strings.ToLower(name)) {
+			if d > 2 {
+				d = 3 // prefix-only matches rank after true near misses
+			}
+			cands = append(cands, cand{e.Name, d})
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].dist < cands[j].dist })
+	var out []string
+	for _, c := range cands {
+		out = append(out, c.name)
+	}
+	return out
+}
+
+// editDistance is the Levenshtein distance between two short names.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// powersOfTwo lists 1, 2, 4, ... up to max.
+func powersOfTwo(max int) []int {
+	var out []int
+	for k := 1; k <= max; k *= 2 {
+		out = append(out, k)
+	}
+	return out
+}
+
+// printBoxes renders latency sets as IQR-cleaned box summaries.
+func printBoxes(w io.Writer, title string, sets []LatencySet) {
+	fmt.Fprintln(w, title)
+	for _, s := range sets {
+		b := stats.CleanBox(s.Samples)
+		fmt.Fprintf(w, "  %-26s %v\n", s.Label, b)
+	}
+}

@@ -4,13 +4,11 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/cheri"
-	"repro/internal/dpdk"
 	"repro/internal/fstack"
 	"repro/internal/hostos"
-	"repro/internal/intravisor"
 	"repro/internal/iperf"
 	"repro/internal/sim"
+	"repro/internal/testbed"
 )
 
 // Scenario 4 — multi-core scaling. The paper's port (and Scenarios
@@ -62,68 +60,6 @@ const (
 	s4RTOMin = int64(20e6)
 )
 
-// cpuDev models one core's packet-processing budget in front of a
-// shard's queue pair: every frame byte moved in or out of the stack is
-// charged against a serializer, and when the core is booked out the
-// burst returns empty — ring backpressure, exactly how an overloaded
-// poll loop behaves. (The existing scenarios model layouts where the
-// line or the bus is the bottleneck; here the core must be, or shard
-// counts could not matter.)
-type cpuDev struct {
-	dev fstack.EthDevice
-	cpu *sim.Serializer
-}
-
-// cpuChunk bounds how many frames are harvested per admission check,
-// keeping the overshoot past the booking window small (a booked-out
-// core must come back quickly — the stack's ACKs ride the same budget,
-// and coarse gating would drop them for hundreds of µs at a time).
-const cpuChunk = 4
-
-func (d cpuDev) RxBurst(out []*dpdk.Mbuf) int {
-	total := 0
-	for total < len(out) {
-		if !d.cpu.CanAdmit() {
-			break
-		}
-		k := min(cpuChunk, len(out)-total)
-		n := d.dev.RxBurst(out[total : total+k])
-		for i := 0; i < n; i++ {
-			d.cpu.Book(out[total+i].Len())
-		}
-		total += n
-		if n < k {
-			break
-		}
-	}
-	return total
-}
-
-// TxBurst charges the core for every byte it transmits but never
-// refuses on CPU grounds: by the time the stack hands a frame over, the
-// work has been done, and the TX descriptor ring — not a dropped frame
-// — is where a busy core's output waits. (Refusing here would silently
-// discard bare ACKs, which have no retransmit path; the throttle on the
-// send side is that every booked byte delays the core's own RX
-// processing, inflating the flow's RTT against its 64 KiB window.)
-func (d cpuDev) TxBurst(bufs []*dpdk.Mbuf) int {
-	// Capture lengths first: accepted mbufs pass to the driver and may
-	// be recycled before we charge for them.
-	lens := make([]int, len(bufs))
-	for i, m := range bufs {
-		lens[i] = m.Len()
-	}
-	n := d.dev.TxBurst(bufs)
-	for i := 0; i < n; i++ {
-		d.cpu.Book(lens[i])
-	}
-	return n
-}
-
-func (d cpuDev) Poll()             { d.dev.Poll() }
-func (d cpuDev) MAC() [6]byte      { return d.dev.MAC() }
-func (d cpuDev) Stats() dpdk.Stats { return d.dev.Stats() }
-
 // Scenario4Config parameterizes the multi-core scaling testbed.
 type Scenario4Config struct {
 	// Shards is the stack shard / NIC queue-pair count (1 disables RSS
@@ -134,22 +70,9 @@ type Scenario4Config struct {
 	CapMode bool
 }
 
-// Setup4 is a wired Scenario 4 topology.
-type Setup4 struct {
-	Clk     hostos.Clock
-	Local   *Machine
-	CVM     *intravisor.CVM // non-nil in capability mode
-	Seg     *dpdk.MemSeg
-	Pool    *dpdk.Mempool
-	Dev     *dpdk.EthDev
-	Sharded *fstack.ShardedStack
-	Peer    *Peer
-}
-
-// Loops lists every main loop (shards first, then the peer).
-func (s *Setup4) Loops() []*fstack.Loop {
-	return append(append([]*fstack.Loop{}, s.Sharded.Loops()...), s.Peer.Env.Loop)
-}
+// Setup4 is a wired Scenario 4 topology: the bed's Sharded and Dev
+// fields carry the sharded stack and its multi-queue device.
+type Setup4 = testbed.Bed
 
 // NewScenario4 builds the multi-core layout: one fast port with
 // cfg.Shards RSS-steered queue pairs, a ShardedStack with one
@@ -158,85 +81,34 @@ func NewScenario4(clk hostos.Clock, cfg Scenario4Config) (*Setup4, error) {
 	if cfg.Shards < 1 {
 		return nil, fmt.Errorf("core: scenario 4 needs at least one shard")
 	}
-	local, err := NewMachine(MachineConfig{
-		Name: "morello", Clk: clk, Ports: 1, LineRateBps: s4LineRate,
-		RxFifoBytes: s4RxFifoBytes, CapDMA: cfg.CapMode, MACLast: 1,
+	return testbed.Build(testbed.Spec{
+		Clk: clk,
+		Machine: testbed.MachineSpec{
+			Name: "morello", Ports: 1, LineRateBps: s4LineRate,
+			RxFifoBytes: s4RxFifoBytes, CapDMA: cfg.CapMode,
+		},
+		Compartments: []testbed.CompartmentSpec{
+			{
+				Name: "s4", CVM: cfg.CapMode, CVMName: "cvm1",
+				CVMBytes: s4CVMMem, SegBytes: s4SegSize,
+				PoolBufs: s4PoolBufs, PoolName: "s4-pkt",
+				Ifs: []testbed.IfSpec{{Port: 0}},
+				Stack: testbed.StackSpec{
+					Shards: cfg.Shards, RingSize: s4RingSize,
+					CPUBps: s4CPUBps, CPUWindowNS: s4CPUWindow,
+					RTOMinNS: s4RTOMin,
+				},
+			},
+		},
+		Peers: []testbed.PeerSpec{
+			{Port: 0, LineRateBps: s4LineRate, Stack: testbed.StackSpec{RTOMinNS: s4RTOMin}},
+		},
 	})
-	if err != nil {
-		return nil, err
-	}
-	s := &Setup4{Clk: clk, Local: local}
-
-	if cfg.CapMode {
-		cvm, err := local.NewCVMSized("cvm1", s4CVMMem)
-		if err != nil {
-			return nil, err
-		}
-		segBase := cvm.Base() + cvm.Size() - s4SegSize
-		segCap, err := cvm.DDC().SetAddr(segBase).SetBounds(s4SegSize)
-		if err != nil {
-			return nil, err
-		}
-		seg, err := dpdk.NewMemSeg(local.K.Mem, segBase, s4SegSize, segCap, true)
-		if err != nil {
-			return nil, err
-		}
-		s.CVM, s.Seg = cvm, seg
-	} else {
-		base, errno := local.K.Pages.Alloc(s4SegSize)
-		if errno != hostos.OK {
-			return nil, fmt.Errorf("core: allocating scenario 4 segment: %v", errno)
-		}
-		seg, err := dpdk.NewMemSeg(local.K.Mem, base, s4SegSize, cheri.NullCap, false)
-		if err != nil {
-			return nil, err
-		}
-		s.Seg = seg
-	}
-
-	pool, err := dpdk.NewMempool(s.Seg, "s4-pkt", s4PoolBufs, dpdk.DefaultDataroom)
-	if err != nil {
-		return nil, err
-	}
-	s.Pool = pool
-	dev, err := dpdk.Probe(local.K.PCI, local.Card.Port(0).BDF(), s.Seg)
-	if err != nil {
-		return nil, err
-	}
-	if err := dev.ConfigureQueues(cfg.Shards, s4RingSize, s4RingSize, pool); err != nil {
-		return nil, err
-	}
-	if err := dev.Start(); err != nil {
-		return nil, err
-	}
-	s.Dev = dev
-
-	ss, err := fstack.NewShardedStack(cfg.Shards, s.Seg, pool, clk)
-	if err != nil {
-		return nil, err
-	}
-	if err := ss.AddNetIF("eth0", dev, localIP(0), mask24, func(shard int, d fstack.EthDevice) fstack.EthDevice {
-		return cpuDev{dev: d, cpu: sim.NewSerializer(clk, s4CPUBps, s4CPUWindow)}
-	}); err != nil {
-		return nil, err
-	}
-	s.Sharded = ss
-
-	peer, err := NewPeerAtRate("peer0", clk, local.Card.Port(0), peerIP(0), mask24, 0x80, s4LineRate)
-	if err != nil {
-		return nil, err
-	}
-	s.Peer = peer
-	for i := 0; i < ss.NumShards(); i++ {
-		ss.Shard(i).SetRTOMin(s4RTOMin)
-	}
-	peer.Env.Stk.SetRTOMin(s4RTOMin)
-	return s, nil
 }
 
 // engineerCport picks a source port for inbound flow f toward dport so
 // that its tuple hashes to shard f modulo the shard count.
-func (s *Setup4) engineerCport(f int, dport uint16) uint16 {
+func engineerCport(s *Setup4, f int, dport uint16) uint16 {
 	want := f % s.Sharded.NumShards()
 	p := uint16(42000 + 97*f)
 	for try := 0; try < 2048; try++ {
@@ -277,7 +149,7 @@ func Scenario4Bandwidth(s *Setup4, dir Direction, flows int, durationNS int64) (
 	if flows < 1 {
 		return Scenario4Result{}, fmt.Errorf("core: scenario 4 needs at least one flow")
 	}
-	res := Scenario4Result{Shards: s.Sharded.NumShards(), Flows: flows, CapMode: s.CVM != nil, Dir: dir}
+	res := Scenario4Result{Shards: s.Sharded.NumShards(), Flows: flows, CapMode: s.Envs[0].CVM != nil, Dir: dir}
 
 	api := s.Sharded.API()
 	var appSteppers []func(now int64)
@@ -299,7 +171,7 @@ func Scenario4Bandwidth(s *Setup4, dir Direction, flows int, durationNS int64) (
 	// The peer carries the far end of every flow on its single stack.
 	var peerCli []*iperf.Client
 	var peerSrv []*iperf.Server
-	papi := s.Peer.Env.Loop.Locked()
+	papi := s.Peers[0].Env.Loop.Locked()
 	for f := 0; f < flows; f++ {
 		port := s4BasePort + uint16(f)
 		if dir == LocalIsClient {
@@ -310,11 +182,11 @@ func Scenario4Bandwidth(s *Setup4, dir Direction, flows int, durationNS int64) (
 			// flows round-robin the receiver's RSS queues, as hardware
 			// traffic generators (and RSS-aware client fleets) do;
 			// unengineered ports land wherever the hash scatters them.
-			cli.LocalPort = s.engineerCport(f, port)
+			cli.LocalPort = engineerCport(s, f, port)
 			peerCli = append(peerCli, cli)
 		}
 	}
-	s.Peer.Env.Loop.OnLoop = func(now int64) bool {
+	s.Peers[0].Env.Loop.OnLoop = func(now int64) bool {
 		for _, c := range peerCli {
 			c.Step(papi, now)
 		}

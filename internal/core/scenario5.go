@@ -9,6 +9,7 @@ import (
 	"repro/internal/iperf"
 	"repro/internal/netem"
 	"repro/internal/sim"
+	"repro/internal/testbed"
 )
 
 // Scenario 5 — the lossy high-BDP WAN. Every earlier scenario runs over
@@ -68,26 +69,30 @@ type Scenario5Config struct {
 	// Modern enables SACK + window scaling (+ BDP-sized buffers) on
 	// both ends; false reproduces the paper's stack (the A/B knob).
 	Modern bool
-	// Link is the impairment pipeline. Zero values get the Scenario 5
-	// defaults for rate, queue and seed — pass explicit fields to
-	// sweep loss and delay.
+	// Link is the impairment pipeline, applied symmetrically. Zero
+	// values get the Scenario 5 defaults for rate, queue and seed —
+	// pass explicit fields to sweep loss and delay.
 	Link netem.Config
+}
+
+// s5Tuning is the modern (SACK + window scaling) stack configuration.
+func s5Tuning() *fstack.TCPTuning {
+	return &fstack.TCPTuning{
+		SACK:        true,
+		WindowScale: s5WScale,
+		SndBufBytes: s5SndBuf,
+		RcvBufBytes: s5RcvBuf,
+	}
 }
 
 // Setup5 is a wired Scenario 5 topology.
 type Setup5 struct {
-	Clk   hostos.Clock
-	Cfg   Scenario5Config
-	Local *Machine
-	Env   *Env
-	Peer  *Peer
-	Link  *netem.Link
+	*testbed.Bed
+	Cfg Scenario5Config
 }
 
-// Loops lists the two main loops.
-func (s *Setup5) Loops() []*fstack.Loop {
-	return []*fstack.Loop{s.Env.Loop, s.Peer.Env.Loop}
-}
+// Link is the WAN impairment pipeline.
+func (s *Setup5) Link() *netem.Link { return s.Links[0] }
 
 // NewScenario5 builds the WAN layout: local box (process or cVM) and
 // one link partner, joined by the impairment pipeline.
@@ -101,51 +106,39 @@ func NewScenario5(clk hostos.Clock, cfg Scenario5Config) (*Setup5, error) {
 	if cfg.Link.Seed == 0 {
 		cfg.Link.Seed = s5Seed
 	}
-	local, err := NewMachine(MachineConfig{
-		Name: "morello", Clk: clk, Ports: 1, LineRateBps: s5LineRate,
-		CapDMA: cfg.CapMode, MACLast: 1,
+	stack := testbed.StackSpec{RTOMinNS: s5RTOMin}
+	if cfg.Modern {
+		stack.Tuning = s5Tuning()
+	}
+	name := "proc"
+	if cfg.CapMode {
+		name = "cvm1"
+	}
+	bed, err := testbed.Build(testbed.Spec{
+		Clk: clk,
+		Machine: testbed.MachineSpec{
+			Name: "morello", Ports: 1, LineRateBps: s5LineRate, CapDMA: cfg.CapMode,
+		},
+		Compartments: []testbed.CompartmentSpec{
+			{
+				Name: name, CVM: cfg.CapMode,
+				CVMBytes: s5CVMMem, SegBytes: s5SegSize, PoolBufs: s5PoolBufs,
+				Ifs:   []testbed.IfSpec{{Port: 0}},
+				Stack: stack,
+			},
+		},
+		Peers: []testbed.PeerSpec{
+			{
+				Port: 0, LineRateBps: s5LineRate,
+				Link:  testbed.SymmetricLink(cfg.Link),
+				Stack: stack,
+			},
+		},
 	})
 	if err != nil {
 		return nil, err
 	}
-	s := &Setup5{Clk: clk, Cfg: cfg, Local: local}
-
-	ifs := []IfCfg{{Port: 0, Name: "eth0", IP: localIP(0), Mask: mask24}}
-	if cfg.CapMode {
-		cvm, err := local.NewCVMSized("cvm1", s5CVMMem)
-		if err != nil {
-			return nil, err
-		}
-		s.Env, err = local.NewCVMEnvOnSized(cvm, ifs, s5SegSize, s5PoolBufs)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		s.Env, err = local.NewBaselineEnvSized("proc", ifs, s5SegSize, s5PoolBufs)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	peer, link, err := NewPeerOverLink("peer0", clk, local.Card.Port(0),
-		peerIP(0), mask24, 0x80, s5LineRate, cfg.Link)
-	if err != nil {
-		return nil, err
-	}
-	s.Peer, s.Link = peer, link
-
-	for _, stk := range []*fstack.Stack{s.Env.Stk, peer.Env.Stk} {
-		stk.SetRTOMin(s5RTOMin)
-		if cfg.Modern {
-			stk.SetTCPTuning(fstack.TCPTuning{
-				SACK:        true,
-				WindowScale: s5WScale,
-				SndBufBytes: s5SndBuf,
-				RcvBufBytes: s5RcvBuf,
-			})
-		}
-	}
-	return s, nil
+	return &Setup5{Bed: bed, Cfg: cfg}, nil
 }
 
 // Scenario5Result is one measured WAN point. Goodput is measured at
@@ -173,17 +166,17 @@ func Scenario5Bandwidth(s *Setup5, durationNS int64) (Scenario5Result, error) {
 	if !ok {
 		return Scenario5Result{}, fmt.Errorf("core: scenario 5 runs need the virtual clock")
 	}
-	res := Scenario5Result{CapMode: s.Cfg.CapMode, Modern: s.Cfg.Modern, Link: s.Link.Config()}
+	res := Scenario5Result{CapMode: s.Cfg.CapMode, Modern: s.Cfg.Modern, Link: s.Link().Config()}
 
 	cli := iperf.NewClient(peerIP(0), s5Port, durationNS)
-	attachInLoop(s.Env, cli.Step)
+	attachInLoop(s.Envs[0], cli.Step)
 	srv := iperf.NewServer(fstack.IPv4Addr{}, s5Port)
-	attachInLoop(s.Peer.Env, srv.Step)
+	attachInLoop(s.Peers[0].Env, srv.Step)
 
 	done := func() bool { return cli.Done() && srv.Done() }
 	// Loss recovery and the final drain ride WAN RTTs: give the run
 	// generous headroom beyond the traffic time.
-	deadline := durationNS + 8_000e6 + 200*2*s.Link.Config().DelayNS
+	deadline := durationNS + 8_000e6 + 200*2*s.Link().Config().DelayNS
 	if err := runVirtualUntil(clk, s.Loops(), nil, done, deadline); err != nil {
 		return res, err
 	}
@@ -194,10 +187,10 @@ func Scenario5Bandwidth(s *Setup5, durationNS int64) (Scenario5Result, error) {
 		return res, fmt.Errorf("core: scenario 5 server failed: %v", srv.Err())
 	}
 	res.Mbps = srv.Report().Mbps()
-	s.Env.Stk.Lock()
-	res.Stats = s.Env.Stk.Stats()
-	s.Env.Stk.Unlock()
-	res.Fwd = s.Link.Stats(0)
+	s.Envs[0].Stk.Lock()
+	res.Stats = s.Envs[0].Stk.Stats()
+	s.Envs[0].Stk.Unlock()
+	res.Fwd = s.Link().Stats(0)
 	return res, nil
 }
 

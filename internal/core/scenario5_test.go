@@ -8,8 +8,8 @@ import (
 	"repro/internal/fstack"
 	"repro/internal/iperf"
 	"repro/internal/netem"
-	"repro/internal/nic"
 	"repro/internal/sim"
+	"repro/internal/testbed"
 )
 
 // traceTap records a fingerprint of every frame crossing a stack:
@@ -30,32 +30,34 @@ func (t *traceTap) Frame(dir fstack.TapDir, tsNS int64, data []byte) {
 func runTransparencyRig(t *testing.T, linked bool) []string {
 	t.Helper()
 	clk := sim.NewVClock()
-	local, err := NewMachine(MachineConfig{Name: "morello", Clk: clk, Ports: 1, MACLast: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	env, err := local.NewBaselineEnv("proc", []IfCfg{{Port: 0, Name: "eth0", IP: localIP(0), Mask: mask24}})
-	if err != nil {
-		t.Fatal(err)
-	}
-	peer, err := newPeerUnwired("peer0", clk, peerIP(0), mask24, 0x80, 0, false)
-	if err != nil {
-		t.Fatal(err)
-	}
+	// Pin the peer sizing so both rigs differ ONLY in the conduit (a
+	// link implies the big sizing by default).
+	peer := testbed.PeerSpec{Port: 0, SegBytes: testbed.DefaultSegBytes, PoolBufs: testbed.DefaultPoolBufs}
 	if linked {
-		netem.Connect(clk, local.Card.Port(0), peer.M.Card.Port(0), netem.Config{})
-	} else {
-		nic.Connect(local.Card.Port(0), peer.M.Card.Port(0))
+		// A pristine netem link in place of the wire.
+		peer.Link = &testbed.LinkSpec{}
 	}
+	bed, err := testbed.Build(testbed.Spec{
+		Clk:     clk,
+		Machine: testbed.MachineSpec{Name: "morello", Ports: 1},
+		Compartments: []testbed.CompartmentSpec{
+			{Name: "proc", Ifs: []testbed.IfSpec{{Port: 0}}},
+		},
+		Peers: []testbed.PeerSpec{peer},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := bed.Envs[0]
 	tap := &traceTap{}
 	env.Stk.SetTap(tap)
 
 	cli := iperf.NewClient(peerIP(0), iperfPort, 100e6)
 	attachInLoop(env, cli.Step)
 	srv := iperf.NewServer(fstack.IPv4Addr{}, iperfPort)
-	attachInLoop(peer.Env, srv.Step)
+	attachInLoop(bed.Peers[0].Env, srv.Step)
 	done := func() bool { return cli.Done() && srv.Done() }
-	loops := []*fstack.Loop{env.Loop, peer.Env.Loop}
+	loops := []*fstack.Loop{env.Loop, bed.Peers[0].Env.Loop}
 	if err := runVirtual(clk, loops, nil, done); err != nil {
 		t.Fatal(err)
 	}

@@ -3,128 +3,56 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/fstack"
 	"repro/internal/hostos"
-	"repro/internal/intravisor"
+	"repro/internal/testbed"
 )
 
-// Setup is a fully wired experiment topology: the local Morello-like
-// box with its environments, plus one remote link partner per active
-// port.
-type Setup struct {
-	Clk   hostos.Clock
-	Local *Machine
-	// Envs are the local network environments, one per "cVM"/"process"
-	// that owns NIC ports (two in Baseline-dual and Scenario 1, one in
-	// the single-port layouts).
-	Envs []*Env
-	// Apps are application compartments without NIC ports (Scenario 2's
-	// cVM2/cVM3) and their gated API views.
-	Apps []*GatedAPI
-	// Peers are the remote machines, indexed by local port.
-	Peers []*Peer
-	// Gates is non-nil in Scenario 2.
-	Gates *StackGates
-}
-
-// Loops lists every main loop in the setup (local first, then peers).
-func (s *Setup) Loops() []*fstack.Loop {
-	var out []*fstack.Loop
-	for _, e := range s.Envs {
-		out = append(out, e.Loop)
-	}
-	for _, p := range s.Peers {
-		out = append(out, p.Env.Loop)
-	}
-	return out
-}
-
-// addPeers wires one link partner per port in ports.
-func (s *Setup) addPeers(ports []int) error {
-	for _, port := range ports {
-		p, err := NewPeer(fmt.Sprintf("peer%d", port), s.Clk,
-			s.Local.Card.Port(port), peerIP(port), mask24, byte(0x80+port))
-		if err != nil {
-			return err
-		}
-		s.Peers = append(s.Peers, p)
-	}
-	return nil
-}
+// The paper's topologies, each as a declarative spec. The constructor
+// names survive as one-line aliases so drivers, examples and tests read
+// the same, but every axis (sizing, capability mode, gates, peers) is a
+// spec field rather than a dedicated constructor.
 
 // NewBaselineDual builds the Baseline of §III-A as compared against
 // Scenario 1: two non-CHERI processes, each owning one port of the
 // shared 82576.
 func NewBaselineDual(clk hostos.Clock) (*Setup, error) {
-	local, err := NewMachine(MachineConfig{
-		Name: "morello", Clk: clk, Ports: 2, BusLimited: true, MACLast: 1,
+	return testbed.Build(testbed.Spec{
+		Clk:     clk,
+		Machine: testbed.MachineSpec{Name: "morello", Ports: 2, BusLimited: true},
+		Compartments: []testbed.CompartmentSpec{
+			{Name: "proc1", Ifs: []testbed.IfSpec{{Port: 0}}},
+			{Name: "proc2", Ifs: []testbed.IfSpec{{Port: 1}}},
+		},
+		Peers: []testbed.PeerSpec{{Port: 0}, {Port: 1}},
 	})
-	if err != nil {
-		return nil, err
-	}
-	s := &Setup{Clk: clk, Local: local}
-	for i := 0; i < 2; i++ {
-		env, err := local.NewBaselineEnv(fmt.Sprintf("proc%d", i+1), []IfCfg{
-			{Port: i, Name: fmt.Sprintf("eth%d", i), IP: localIP(i), Mask: mask24},
-		})
-		if err != nil {
-			return nil, err
-		}
-		s.Envs = append(s.Envs, env)
-	}
-	if err := s.addPeers([]int{0, 1}); err != nil {
-		return nil, err
-	}
-	return s, nil
 }
 
 // NewScenario1 builds Scenario 1: two cVMs, each containing the whole
 // application + F-Stack + DPDK stack on its own dedicated port, in
 // hybrid (capability) mode.
 func NewScenario1(clk hostos.Clock) (*Setup, error) {
-	local, err := NewMachine(MachineConfig{
-		Name: "morello", Clk: clk, Ports: 2, BusLimited: true, CapDMA: true, MACLast: 1,
+	return testbed.Build(testbed.Spec{
+		Clk:     clk,
+		Machine: testbed.MachineSpec{Name: "morello", Ports: 2, BusLimited: true, CapDMA: true},
+		Compartments: []testbed.CompartmentSpec{
+			{Name: "cvm1", CVM: true, Ifs: []testbed.IfSpec{{Port: 0}}},
+			{Name: "cvm2", CVM: true, Ifs: []testbed.IfSpec{{Port: 1}}},
+		},
+		Peers: []testbed.PeerSpec{{Port: 0}, {Port: 1}},
 	})
-	if err != nil {
-		return nil, err
-	}
-	s := &Setup{Clk: clk, Local: local}
-	for i := 0; i < 2; i++ {
-		env, err := local.NewCVMEnv(fmt.Sprintf("cvm%d", i+1), []IfCfg{
-			{Port: i, Name: fmt.Sprintf("eth%d", i), IP: localIP(i), Mask: mask24},
-		})
-		if err != nil {
-			return nil, err
-		}
-		s.Envs = append(s.Envs, env)
-	}
-	if err := s.addPeers([]int{0, 1}); err != nil {
-		return nil, err
-	}
-	return s, nil
 }
 
 // NewBaselineSingle builds the Baseline compared against Scenario 2:
 // one non-CHERI process owning one port, application in-process.
 func NewBaselineSingle(clk hostos.Clock) (*Setup, error) {
-	local, err := NewMachine(MachineConfig{
-		Name: "morello", Clk: clk, Ports: 2, BusLimited: true, MACLast: 1,
+	return testbed.Build(testbed.Spec{
+		Clk:     clk,
+		Machine: testbed.MachineSpec{Name: "morello", Ports: 2, BusLimited: true},
+		Compartments: []testbed.CompartmentSpec{
+			{Name: "proc", Ifs: []testbed.IfSpec{{Port: 0}}},
+		},
+		Peers: []testbed.PeerSpec{{Port: 0}},
 	})
-	if err != nil {
-		return nil, err
-	}
-	s := &Setup{Clk: clk, Local: local}
-	env, err := local.NewBaselineEnv("proc", []IfCfg{
-		{Port: 0, Name: "eth0", IP: localIP(0), Mask: mask24},
-	})
-	if err != nil {
-		return nil, err
-	}
-	s.Envs = append(s.Envs, env)
-	if err := s.addPeers([]int{0}); err != nil {
-		return nil, err
-	}
-	return s, nil
 }
 
 // NewScenario2 builds Scenario 2: cVM1 runs F-Stack + DPDK on one port;
@@ -134,37 +62,36 @@ func NewScenario2(clk hostos.Clock, apps int) (*Setup, error) {
 	if apps < 1 || apps > 2 {
 		return nil, fmt.Errorf("core: scenario 2 supports 1 or 2 application cVMs")
 	}
-	local, err := NewMachine(MachineConfig{
-		Name: "morello", Clk: clk, Ports: 2, BusLimited: true, CapDMA: true, MACLast: 1,
+	return testbed.Build(testbed.Spec{
+		Clk:     clk,
+		Machine: testbed.MachineSpec{Name: "morello", Ports: 2, BusLimited: true, CapDMA: true},
+		Compartments: []testbed.CompartmentSpec{
+			{
+				Name: "cvm1", CVM: true,
+				Ifs:     []testbed.IfSpec{{Port: 0}},
+				APIGate: true,
+				AppCVMs: []string{"cvm2", "cvm3"}[:apps],
+			},
+		},
+		Peers: []testbed.PeerSpec{{Port: 0}},
 	})
-	if err != nil {
-		return nil, err
-	}
-	s := &Setup{Clk: clk, Local: local}
-	stackEnv, err := local.NewCVMEnv("cvm1", []IfCfg{
-		{Port: 0, Name: "eth0", IP: localIP(0), Mask: mask24},
-	})
-	if err != nil {
-		return nil, err
-	}
-	s.Envs = append(s.Envs, stackEnv)
-	gates, err := NewStackGates(local.IV, stackEnv)
-	if err != nil {
-		return nil, err
-	}
-	s.Gates = gates
-	for i := 0; i < apps; i++ {
-		app, err := local.NewCVM(fmt.Sprintf("cvm%d", i+2))
-		if err != nil {
-			return nil, err
-		}
-		s.Apps = append(s.Apps, NewGatedAPI(gates, app, local.K.Mem))
-	}
-	if err := s.addPeers([]int{0}); err != nil {
-		return nil, err
-	}
-	return s, nil
 }
 
-// AppCVM returns the i-th application compartment (Scenario 2).
-func (s *Setup) AppCVM(i int) *intravisor.CVM { return s.Apps[i].App }
+// NewScenario3 builds the future-work layout (§VI): cVM1 = DPDK only,
+// cVM2 = F-Stack + application, one port, sealed gates on the datapath
+// between them.
+func NewScenario3(clk hostos.Clock) (*Setup, error) {
+	return testbed.Build(testbed.Spec{
+		Clk:     clk,
+		Machine: testbed.MachineSpec{Name: "morello", Ports: 2, BusLimited: true, CapDMA: true},
+		Compartments: []testbed.CompartmentSpec{
+			{
+				Name: "cvm2", CVM: true, CVMName: "cvm2-fstack",
+				PoolName:   "fstack-pkt",
+				Ifs:        []testbed.IfSpec{{Port: 0}},
+				DeviceGate: true, DevCVMName: "cvm1-dpdk",
+			},
+		},
+		Peers: []testbed.PeerSpec{{Port: 0}},
+	})
+}

@@ -70,6 +70,20 @@ type Config struct {
 	ReorderExtraNS int64
 }
 
+// GEFromStationary derives Gilbert–Elliott chain parameters from the
+// two numbers experimenters actually think in: the stationary loss
+// rate and the mean fade (outage) length in wire-slots. The bad state
+// loses everything (GELossBad defaults to 1), so stationary loss =
+// bad-state occupancy = GEBadProb/(GEBadProb+GERecoverProb).
+func GEFromStationary(loss, meanFadeSlots float64) (badProb, recoverProb float64) {
+	if loss <= 0 || loss >= 1 || meanFadeSlots <= 0 {
+		return 0, 0
+	}
+	recoverProb = 1 / meanFadeSlots
+	badProb = recoverProb * loss / (1 - loss)
+	return badProb, recoverProb
+}
+
 // pristine reports whether the config impairs nothing.
 func (c Config) pristine() bool {
 	return c.LossRate == 0 && c.GEBadProb == 0 && c.RateBps == 0 &&
@@ -144,18 +158,19 @@ type dirState struct {
 }
 
 // Link is a composable impairment pipeline between two endpoints. It
-// satisfies nic.Conduit, so it slots in wherever a nic.Wire would.
+// satisfies nic.Conduit, so it slots in wherever a nic.Wire would. The
+// two directions carry independent configurations (NewAsym), so slow
+// ACK channels and asymmetric loss are first-class; the symmetric
+// constructors simply apply one config to both.
 type Link struct {
 	clk  hostos.Clock
-	cfg  Config
+	cfg  [2]Config // per direction: 0 = a-to-b, 1 = b-to-a
 	ends [2]Endpoint
 	dirs [2]dirState
 }
 
-// New builds a link between two endpoints without attaching anything;
-// Connect is the usual entry point for nic ports. Direction d carries
-// frames from ends[d] to ends[1-d].
-func New(clk hostos.Clock, a, b Endpoint, cfg Config) *Link {
+// fillDefaults resolves a direction config's derived knobs.
+func fillDefaults(cfg Config) Config {
 	if cfg.GEBadProb > 0 && cfg.GELossBad == 0 {
 		cfg.GELossBad = 1
 	}
@@ -172,25 +187,52 @@ func New(clk hostos.Clock, a, b Endpoint, cfg Config) *Link {
 	if cfg.ReorderProb > 0 && cfg.ReorderExtraNS == 0 {
 		cfg.ReorderExtraNS = cfg.DelayNS
 	}
-	l := &Link{clk: clk, cfg: cfg, ends: [2]Endpoint{a, b}}
+	return cfg
+}
+
+// New builds a symmetric link between two endpoints without attaching
+// anything; Connect is the usual entry point for nic ports. Direction d
+// carries frames from ends[d] to ends[1-d].
+func New(clk hostos.Clock, a, b Endpoint, cfg Config) *Link {
+	return NewAsym(clk, a, b, cfg, cfg)
+}
+
+// NewAsym builds a link whose directions impair independently: ab
+// shapes frames from a to b, ba shapes frames from b to a. Each
+// direction draws from its own seed-derived PRNG stream (as the
+// symmetric link always has), so an impaired reverse path never
+// perturbs the forward path's randomness.
+func NewAsym(clk hostos.Clock, a, b Endpoint, ab, ba Config) *Link {
+	l := &Link{clk: clk, cfg: [2]Config{fillDefaults(ab), fillDefaults(ba)}, ends: [2]Endpoint{a, b}}
 	for d := range l.dirs {
 		// Distinct, seed-derived streams per direction.
-		l.dirs[d].rng = rand.New(rand.NewSource(cfg.Seed ^ (int64(d+1) * 0x6C62272E07BB0141)))
+		l.dirs[d].rng = rand.New(rand.NewSource(l.cfg[d].Seed ^ (int64(d+1) * 0x6C62272E07BB0141)))
 	}
 	return l
 }
 
-// Connect interposes a link between two NIC ports (where nic.Connect
-// would put a plain wire) and raises link-up on both.
+// Connect interposes a symmetric link between two NIC ports (where
+// nic.Connect would put a plain wire) and raises link-up on both.
 func Connect(clk hostos.Clock, a, b *nic.Port, cfg Config) *Link {
-	l := New(clk, a, b, cfg)
+	return ConnectAsym(clk, a, b, cfg, cfg)
+}
+
+// ConnectAsym is Connect with independent per-direction configs: ab
+// impairs frames leaving port a toward b, ba the reverse path.
+func ConnectAsym(clk hostos.Clock, a, b *nic.Port, ab, ba Config) *Link {
+	l := NewAsym(clk, a, b, ab, ba)
 	a.Attach(l, 0)
 	b.Attach(l, 1)
 	return l
 }
 
-// Config returns the link's effective configuration (defaults filled).
-func (l *Link) Config() Config { return l.cfg }
+// Config returns the a-to-b direction's effective configuration
+// (defaults filled) — the whole link's, when built symmetrically.
+func (l *Link) Config() Config { return l.cfg[0] }
+
+// DirConfig returns one direction's effective configuration
+// (0 = a-to-b, 1 = b-to-a).
+func (l *Link) DirConfig(dir int) Config { return l.cfg[dir] }
 
 // Stats snapshots one direction's counters (0 = a-to-b, 1 = b-to-a).
 func (l *Link) Stats(dir int) DirStats {
@@ -205,7 +247,8 @@ func (l *Link) Stats(dir int) DirStats {
 func (l *Link) Send(from int, data []byte, readyAt int64) {
 	dst := l.ends[1-from]
 	d := &l.dirs[from]
-	if l.cfg.pristine() {
+	cfg := l.cfg[from]
+	if cfg.pristine() {
 		// Bit-transparent: same bytes, same instant, same order, and no
 		// PRNG draws, so a pristine link is indistinguishable from a
 		// plain wire.
@@ -223,11 +266,11 @@ func (l *Link) Send(from int, data []byte, readyAt int64) {
 
 	// Loss first: a frame destroyed on the wire never occupies the
 	// bottleneck queue.
-	if l.cfg.GEBadProb > 0 {
-		d.stepGE(l.cfg, readyAt)
-		lossP := l.cfg.GELossGood
+	if cfg.GEBadProb > 0 {
+		d.stepGE(cfg, readyAt)
+		lossP := cfg.GELossGood
 		if d.geBad {
-			lossP = l.cfg.GELossBad
+			lossP = cfg.GELossBad
 		}
 		if lossP > 0 && d.rng.Float64() < lossP {
 			d.stats.LostBurst++
@@ -235,7 +278,7 @@ func (l *Link) Send(from int, data []byte, readyAt int64) {
 			return
 		}
 	}
-	if l.cfg.LossRate > 0 && d.rng.Float64() < l.cfg.LossRate {
+	if cfg.LossRate > 0 && d.rng.Float64() < cfg.LossRate {
 		d.stats.LostRandom++
 		d.mu.Unlock()
 		return
@@ -243,21 +286,21 @@ func (l *Link) Send(from int, data []byte, readyAt int64) {
 
 	// Bottleneck serializer with a bounded queue.
 	at := readyAt
-	if l.cfg.RateBps > 0 {
+	if cfg.RateBps > 0 {
 		if d.nextFree < at {
 			d.nextFree = at
 		}
-		backlogBytes := int(float64(d.nextFree-at) * l.cfg.RateBps / 8e9)
+		backlogBytes := int(float64(d.nextFree-at) * cfg.RateBps / 8e9)
 		drop := false
 		switch {
-		case backlogBytes+len(data) > l.cfg.QueueBytes:
+		case backlogBytes+len(data) > cfg.QueueBytes:
 			drop = true // tail drop (and RED's hard ceiling)
-		case l.cfg.RED:
+		case cfg.RED:
 			// Simple RED: linear ramp from 0 at half occupancy to 1 at
 			// the limit.
-			minTh := l.cfg.QueueBytes / 2
+			minTh := cfg.QueueBytes / 2
 			if backlogBytes > minTh {
-				p := float64(backlogBytes-minTh) / float64(l.cfg.QueueBytes-minTh)
+				p := float64(backlogBytes-minTh) / float64(cfg.QueueBytes-minTh)
 				drop = d.rng.Float64() < p
 			}
 		}
@@ -266,17 +309,17 @@ func (l *Link) Send(from int, data []byte, readyAt int64) {
 			d.mu.Unlock()
 			return
 		}
-		d.nextFree += int64(float64(len(data)+wireOverheadBytes) * 8e9 / l.cfg.RateBps)
+		d.nextFree += int64(float64(len(data)+wireOverheadBytes) * 8e9 / cfg.RateBps)
 		at = d.nextFree
 	}
 
 	// Delay, jitter, reordering.
-	at += l.cfg.DelayNS
-	if l.cfg.JitterNS > 0 {
-		at += d.rng.Int63n(l.cfg.JitterNS + 1)
+	at += cfg.DelayNS
+	if cfg.JitterNS > 0 {
+		at += d.rng.Int63n(cfg.JitterNS + 1)
 	}
-	if l.cfg.ReorderProb > 0 && d.rng.Float64() < l.cfg.ReorderProb {
-		at += l.cfg.ReorderExtraNS
+	if cfg.ReorderProb > 0 && d.rng.Float64() < cfg.ReorderProb {
+		at += cfg.ReorderExtraNS
 		d.stats.Reordered++
 	}
 

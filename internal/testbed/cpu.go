@@ -1,0 +1,75 @@
+package testbed
+
+import (
+	"repro/internal/dpdk"
+	"repro/internal/fstack"
+	"repro/internal/sim"
+)
+
+// cpuDev models one core's packet-processing budget in front of a
+// shard's queue pair: every frame byte moved in or out of the stack is
+// charged against a serializer, and when the core is booked out the
+// burst returns empty — ring backpressure, exactly how an overloaded
+// poll loop behaves. (The wire and the bus are modeled elsewhere; a
+// sharded environment needs the core to be the bottleneck, or shard
+// counts could not matter.)
+type cpuDev struct {
+	dev fstack.EthDevice
+	cpu *sim.Serializer
+}
+
+// cpuChunk bounds how many frames are harvested per admission check,
+// keeping the overshoot past the booking window small (a booked-out
+// core must come back quickly — the stack's ACKs ride the same budget,
+// and coarse gating would drop them for hundreds of µs at a time).
+const cpuChunk = 4
+
+// defaultCPUWindow is three full-size frame times at the given core
+// budget, the booking window used when a spec gives none.
+func defaultCPUWindow(cpuBps float64) int64 {
+	return int64(3 * 1538 * 8e9 / cpuBps)
+}
+
+func (d cpuDev) RxBurst(out []*dpdk.Mbuf) int {
+	total := 0
+	for total < len(out) {
+		if !d.cpu.CanAdmit() {
+			break
+		}
+		k := min(cpuChunk, len(out)-total)
+		n := d.dev.RxBurst(out[total : total+k])
+		for i := 0; i < n; i++ {
+			d.cpu.Book(out[total+i].Len())
+		}
+		total += n
+		if n < k {
+			break
+		}
+	}
+	return total
+}
+
+// TxBurst charges the core for every byte it transmits but never
+// refuses on CPU grounds: by the time the stack hands a frame over, the
+// work has been done, and the TX descriptor ring — not a dropped frame
+// — is where a busy core's output waits. (Refusing here would silently
+// discard bare ACKs, which have no retransmit path; the throttle on the
+// send side is that every booked byte delays the core's own RX
+// processing, inflating the flow's RTT against its window.)
+func (d cpuDev) TxBurst(bufs []*dpdk.Mbuf) int {
+	// Capture lengths first: accepted mbufs pass to the driver and may
+	// be recycled before we charge for them.
+	lens := make([]int, len(bufs))
+	for i, m := range bufs {
+		lens[i] = m.Len()
+	}
+	n := d.dev.TxBurst(bufs)
+	for i := 0; i < n; i++ {
+		d.cpu.Book(lens[i])
+	}
+	return n
+}
+
+func (d cpuDev) Poll()             { d.dev.Poll() }
+func (d cpuDev) MAC() [6]byte      { return d.dev.MAC() }
+func (d cpuDev) Stats() dpdk.Stats { return d.dev.Stats() }

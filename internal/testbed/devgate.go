@@ -1,4 +1,4 @@
-package core
+package testbed
 
 import (
 	"encoding/binary"
@@ -10,13 +10,13 @@ import (
 	"repro/internal/intravisor"
 )
 
-// Scenario 3 implements the first of the paper's future-work layouts
-// (§VI): "the separation of DPDK from F-Stack and the application".
-// cVM1 holds only the DPDK driver (and the NIC's DMA window); cVM2
-// holds F-Stack plus the application. Every RX/TX burst crosses a
-// sealed gate between the two compartments, with the frames copied
-// through a bounded staging buffer — neither compartment can reach the
-// other's memory.
+// Device gates implement the paper's first future-work layout (§VI):
+// "the separation of DPDK from F-Stack and the application". One cVM
+// holds only the DPDK driver (and the NIC's DMA window); another holds
+// F-Stack plus the application. Every RX/TX burst crosses a sealed
+// gate between the two compartments, with the frames copied through a
+// bounded staging buffer — neither compartment can reach the other's
+// memory. A CompartmentSpec with DeviceGate set builds this layout.
 
 // Device-gate staging layout inside the stack cVM's window (distinct
 // from the GatedAPI staging, which Scenario 3 does not use).
@@ -251,79 +251,4 @@ func (d *GatedEthDev) Stats() dpdk.Stats {
 		OBytes:   binary.LittleEndian.Uint64(buf[24:]),
 		IMissed:  binary.LittleEndian.Uint64(buf[32:]),
 	}
-}
-
-// NewScenario3 builds the future-work layout: cVM1 = DPDK only, cVM2 =
-// F-Stack + application, one port, gates between them.
-func NewScenario3(clk hostos.Clock) (*Setup, error) {
-	local, err := NewMachine(MachineConfig{
-		Name: "morello", Clk: clk, Ports: 2, BusLimited: true, CapDMA: true, MACLast: 1,
-	})
-	if err != nil {
-		return nil, err
-	}
-	s := &Setup{Clk: clk, Local: local}
-
-	// cVM1: the driver compartment — segment, pool, bound port.
-	dpdkCVM, err := local.NewCVM("cvm1-dpdk")
-	if err != nil {
-		return nil, err
-	}
-	devSegBase := dpdkCVM.Base() + dpdkCVM.Size() - segSize
-	devSegCap, err := dpdkCVM.DDC().SetAddr(devSegBase).SetBounds(segSize)
-	if err != nil {
-		return nil, err
-	}
-	devSeg, err := dpdk.NewMemSeg(local.K.Mem, devSegBase, segSize, devSegCap, true)
-	if err != nil {
-		return nil, err
-	}
-	devPool, err := dpdk.NewMempool(devSeg, "dpdk-pkt", poolBufs, dpdk.DefaultDataroom)
-	if err != nil {
-		return nil, err
-	}
-	dev, err := dpdk.Probe(local.K.PCI, local.Card.Port(0).BDF(), devSeg)
-	if err != nil {
-		return nil, err
-	}
-	if err := dev.Configure(ringSize, ringSize, devPool); err != nil {
-		return nil, err
-	}
-	if err := dev.Start(); err != nil {
-		return nil, err
-	}
-	gates, err := NewDevGates(local.IV, dpdkCVM, dev, devPool)
-	if err != nil {
-		return nil, err
-	}
-
-	// cVM2: F-Stack + application, no direct NIC access.
-	stackCVM, err := local.NewCVM("cvm2-fstack")
-	if err != nil {
-		return nil, err
-	}
-	segBase := stackCVM.Base() + stackCVM.Size() - segSize
-	segCap, err := stackCVM.DDC().SetAddr(segBase).SetBounds(segSize)
-	if err != nil {
-		return nil, err
-	}
-	seg, err := dpdk.NewMemSeg(local.K.Mem, segBase, segSize, segCap, true)
-	if err != nil {
-		return nil, err
-	}
-	pool, err := dpdk.NewMempool(seg, "fstack-pkt", poolBufs, dpdk.DefaultDataroom)
-	if err != nil {
-		return nil, err
-	}
-	stk := fstack.NewStack(seg, pool, clk)
-	gdev := NewGatedEthDev(gates, stackCVM, pool)
-	stk.AddNetIF("eth0", gdev, localIP(0), mask24)
-	env := &Env{Name: "cvm2", CVM: stackCVM, Seg: seg, Pool: pool, Stk: stk}
-	env.Loop = &fstack.Loop{Stk: stk}
-	s.Envs = append(s.Envs, env)
-
-	if err := s.addPeers([]int{0}); err != nil {
-		return nil, err
-	}
-	return s, nil
 }

@@ -1,4 +1,4 @@
-package core
+package testbed
 
 import (
 	"encoding/binary"
@@ -38,7 +38,7 @@ func u64FromIP4(ip fstack.IPv4Addr) uint64 {
 // cVM.
 func NewStackGates(iv *intravisor.Intravisor, stackEnv *Env) (*StackGates, error) {
 	if stackEnv.CVM == nil {
-		return nil, fmt.Errorf("core: gates need a cVM-hosted stack")
+		return nil, fmt.Errorf("testbed: gates need a cVM-hosted stack")
 	}
 	s := stackEnv.Stk
 	mem := iv.Mem()
@@ -140,10 +140,11 @@ func NewStackGates(iv *intravisor.Intravisor, stackEnv *Env) (*StackGates, error
 }
 
 // Staging-area layout inside an application cVM's window.
+// StageWriteSize is exported as the gated Write's per-call ceiling.
 const (
 	stageWriteOff  = 0x1000
-	stageWriteSize = 256 * 1024
-	stageReadOff   = stageWriteOff + stageWriteSize
+	StageWriteSize = 256 * 1024
+	stageReadOff   = stageWriteOff + StageWriteSize
 	stageReadSize  = 128 * 1024
 	stageAddrOff   = stageReadOff + stageReadSize // 8-byte sockaddr
 	stageEventsOff = stageAddrOff + 16
@@ -222,7 +223,7 @@ func (a *GatedAPI) Connect(fd int, ip fstack.IPv4Addr, port uint16) hostos.Errno
 // window once (it is the app's own memory) and its capability crosses
 // the gate — the measured ff_write path of Figs. 5 and 6.
 func (a *GatedAPI) Write(fd int, src []byte) (int, hostos.Errno) {
-	if len(src) == 0 || len(src) > stageWriteSize {
+	if len(src) == 0 || len(src) > StageWriteSize {
 		return -1, hostos.EINVAL
 	}
 	if a.stagedPtr != &src[0] || a.stagedLen != len(src) {

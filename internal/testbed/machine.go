@@ -1,0 +1,190 @@
+package testbed
+
+import (
+	"fmt"
+
+	"repro/internal/cheri"
+	"repro/internal/dpdk"
+	"repro/internal/fstack"
+	"repro/internal/hostos"
+	"repro/internal/intravisor"
+	"repro/internal/nic"
+)
+
+// Machine is one simulated computer: tagged memory + kernel + one NIC.
+type Machine struct {
+	Name string
+	K    *hostos.Kernel
+	Card *nic.Card
+	IV   *intravisor.Intravisor // created lazily by NewCVM
+	clk  hostos.Clock
+}
+
+// machineConfig is the resolved (defaults filled) machine description.
+type machineConfig struct {
+	Name        string
+	Clk         hostos.Clock
+	MemBytes    uint64
+	Ports       int
+	LineRateBps float64
+	RxFifoBytes int
+	BusLimited  bool
+	CapDMA      bool
+	MACLast     byte
+}
+
+// newMachine boots a machine per the config.
+func newMachine(cfg machineConfig) (*Machine, error) {
+	mem := cfg.MemBytes
+	if mem == 0 {
+		mem = DefaultMachineMem
+	}
+	k, err := hostos.NewKernel(mem)
+	if err != nil {
+		return nil, err
+	}
+	lineRate := cfg.LineRateBps
+	if lineRate <= 0 {
+		lineRate = defaultLineRate
+	}
+	ncfg := nic.Config{
+		BDFBase:     fmt.Sprintf("0000:03:%02x", cfg.MACLast),
+		Ports:       cfg.Ports,
+		LineRateBps: lineRate,
+		RxFifoBytes: cfg.RxFifoBytes,
+		MAC:         [6]byte{0x02, 0x82, 0x57, 0x60, 0x00, cfg.MACLast},
+		Clk:         cfg.Clk,
+		Mem:         k.Mem,
+		CapDMA:      cfg.CapDMA,
+	}
+	if cfg.BusLimited {
+		ncfg.BusRateBps, ncfg.BusCostTX, ncfg.BusCostRX = nic.DefaultBusConfig()
+	}
+	card, err := nic.New(ncfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := card.RegisterPCI(k.PCI); err != nil {
+		return nil, err
+	}
+	// Boot-time kernel configuration: detach every port from the kernel
+	// driver so user space (DPDK) can claim it.
+	for i := 0; i < cfg.Ports; i++ {
+		if errno := k.PCI.Unbind(card.Port(i).BDF()); errno != hostos.OK {
+			return nil, fmt.Errorf("testbed: unbinding port %d: %v", i, errno)
+		}
+	}
+	return &Machine{Name: cfg.Name, K: k, Card: card, clk: cfg.Clk}, nil
+}
+
+// NewCVM creates a default-sized cVM on this machine (boots the
+// Intravisor on first use).
+func (m *Machine) NewCVM(name string) (*intravisor.CVM, error) {
+	return m.NewCVMSized(name, DefaultCVMBytes)
+}
+
+// NewCVMSized creates a cVM with a non-default window (sharded or
+// window-scaled workloads need room for many connections' buffers).
+func (m *Machine) NewCVMSized(name string, size uint64) (*intravisor.CVM, error) {
+	if m.IV == nil {
+		iv, err := intravisor.New(m.K)
+		if err != nil {
+			return nil, err
+		}
+		m.IV = iv
+	}
+	c, err := m.IV.CreateCVM(name, size)
+	if err != nil {
+		return nil, err
+	}
+	c.Start()
+	return c, nil
+}
+
+// Env is one network environment — the DPDK segment, buffer pool,
+// bound ports, stack and main loop of either a Baseline process or a
+// cVM. A sharded environment (StackSpec.Shards > 0) carries a
+// ShardedStack instead of a single Stack, and its loops live there.
+type Env struct {
+	Name string
+	CVM  *intravisor.CVM // nil for Baseline processes
+	Seg  *dpdk.MemSeg
+	Pool *dpdk.Mempool
+	Devs []*dpdk.EthDev
+	// IFs are the stack's bound interfaces, in IfSpec order (empty for
+	// sharded environments, whose single interface spans every shard).
+	IFs  []*fstack.NetIF
+	Stk  *fstack.Stack // nil when Sharded is set
+	Loop *fstack.Loop  // nil when Sharded is set
+	// Sharded is the multi-queue stack of a sharded environment.
+	Sharded *fstack.ShardedStack
+}
+
+// CapMode reports whether the environment runs the CHERI port.
+func (e *Env) CapMode() bool { return e.Seg.CapMode() }
+
+// NowNS reads the clock the way this environment's code must: directly
+// for a Baseline process, through the Intravisor trampoline for a cVM
+// ("in cVMs we can't directly access the timers of the system", §IV).
+func (e *Env) NowNS(k *hostos.Kernel) int64 {
+	if e.CVM != nil {
+		return e.CVM.NowNS()
+	}
+	s, ns, _ := k.Syscall(hostos.SysClockGettime, hostos.Args{hostos.ClockMonotonicRaw})
+	return int64(s)*1e9 + int64(ns)
+}
+
+// Loops lists the environment's main loops (one, or one per shard).
+func (e *Env) Loops() []*fstack.Loop {
+	if e.Sharded != nil {
+		return e.Sharded.Loops()
+	}
+	return []*fstack.Loop{e.Loop}
+}
+
+// baselineSeg allocates a plain kernel-memory segment for a process
+// environment: accesses are raw, DMA is raw.
+func (m *Machine) baselineSeg(name string, segBytes uint64) (*dpdk.MemSeg, error) {
+	base, errno := m.K.Pages.Alloc(segBytes)
+	if errno != hostos.OK {
+		return nil, fmt.Errorf("testbed: allocating segment for %s: %v", name, errno)
+	}
+	return dpdk.NewMemSeg(m.K.Mem, base, segBytes, cheri.NullCap, false)
+}
+
+// cvmSeg derives a capability-checked segment in the upper part of a
+// cVM's window (the lower part stays for application data).
+func cvmSeg(m *Machine, cvm *intravisor.CVM, segBytes uint64) (*dpdk.MemSeg, error) {
+	segBase := cvm.Base() + cvm.Size() - segBytes
+	segCap, err := cvm.DDC().SetAddr(segBase).SetBounds(segBytes)
+	if err != nil {
+		return nil, err
+	}
+	return dpdk.NewMemSeg(m.K.Mem, segBase, segBytes, segCap, true)
+}
+
+// finishEnv probes the ports, builds the pool, stack and loop.
+func (m *Machine) finishEnv(name, poolName string, cvm *intravisor.CVM, seg *dpdk.MemSeg, ifs []IfSpec, poolN, ringSize int) (*Env, error) {
+	pool, err := dpdk.NewMempool(seg, poolName, poolN, dpdk.DefaultDataroom)
+	if err != nil {
+		return nil, err
+	}
+	stk := fstack.NewStack(seg, pool, m.clk)
+	env := &Env{Name: name, CVM: cvm, Seg: seg, Pool: pool, Stk: stk}
+	for _, ic := range ifs {
+		dev, err := dpdk.Probe(m.K.PCI, m.Card.Port(ic.Port).BDF(), seg)
+		if err != nil {
+			return nil, err
+		}
+		if err := dev.Configure(uint32(ringSize), uint32(ringSize), pool); err != nil {
+			return nil, err
+		}
+		if err := dev.Start(); err != nil {
+			return nil, err
+		}
+		env.IFs = append(env.IFs, stk.AddNetIF(ifName(ic), dev, ifIP(ic), ifMask(ic)))
+		env.Devs = append(env.Devs, dev)
+	}
+	env.Loop = &fstack.Loop{Stk: stk}
+	return env, nil
+}

@@ -1,0 +1,337 @@
+package testbed
+
+import (
+	"fmt"
+
+	"repro/internal/fstack"
+	"repro/internal/hostos"
+	"repro/internal/netem"
+)
+
+// Default sizing for the simulated machines. Every spec field that
+// admits a zero value falls back to one of these, which reproduce the
+// paper's testbed.
+const (
+	// DefaultMachineMem is a machine's tagged memory.
+	DefaultMachineMem = 64 << 20
+	// DefaultCVMBytes is a cVM's window.
+	DefaultCVMBytes = 12 << 20
+	// DefaultSegBytes is a DPDK segment inside a process/cVM.
+	DefaultSegBytes = 8 << 20
+	// DefaultPoolBufs is the mbufs per packet pool.
+	DefaultPoolBufs = 2048
+	// DefaultRingSize is the RX/TX descriptor count per queue.
+	DefaultRingSize = 512
+
+	// Big link partners (fast ports, WAN links) carry many flows or
+	// multi-MiB socket buffers; their environment is sized up so the
+	// peer is never the bottleneck.
+	bigPeerSegBytes  = 24 << 20
+	bigPeerPoolBufs  = 3072
+	defaultPeerMAC   = 0x80
+	defaultLocalMAC  = 0x01
+	defaultLineRate  = 1e9
+	defaultPeerPorts = 1
+)
+
+// Spec describes a complete experiment topology. Build wires it.
+type Spec struct {
+	// Clk drives every machine, device and stack in the bed.
+	Clk hostos.Clock
+	// Machine is the local box under test.
+	Machine MachineSpec
+	// Compartments are the local network environments, in order. Port
+	// ownership, addressing and gate policy are per compartment.
+	Compartments []CompartmentSpec
+	// Peers are the remote link partners, one per wired local port.
+	Peers []PeerSpec
+}
+
+// MachineSpec parameterizes the local machine: its NIC, bus model and
+// capability regime.
+type MachineSpec struct {
+	Name string
+	// MemBytes is the machine's tagged memory (0 = 64 MiB).
+	MemBytes uint64
+	// Ports on the machine's NIC.
+	Ports int
+	// LineRateBps overrides the per-port line rate; 0 means the paper's
+	// 1 GbE.
+	LineRateBps float64
+	// RxFifoBytes overrides the per-queue RX packet buffer; 0 keeps the
+	// 82576's 64 KiB.
+	RxFifoBytes int
+	// BusLimited installs the calibrated 82576 shared-bus model.
+	BusLimited bool
+	// CapDMA bounds device DMA with capabilities (CHERI scenarios).
+	CapDMA bool
+	// MACLast seeds the card's MAC addresses (0 = 0x01).
+	MACLast byte
+}
+
+// StackSpec tunes one environment's network stack.
+type StackSpec struct {
+	// Shards, when positive, runs a ShardedStack over that many NIC
+	// RX/TX queue pairs (1 is the single-queue layout over the same
+	// multi-queue hardware). Zero keeps the plain single stack of the
+	// paper's scenarios.
+	Shards int
+	// RingSize overrides the per-queue descriptor count (0 = 512).
+	RingSize int
+	// CPUBps, when positive, charges every frame byte a shard moves
+	// against a per-shard core budget of this many bits per second —
+	// the multi-core CPU model. It requires a sharded stack and is
+	// rejected on peers (ideal cores). CPUWindowNS bounds how far
+	// ahead a core may be booked (0 = three full-size frame times at
+	// CPUBps).
+	CPUBps      float64
+	CPUWindowNS int64
+	// Tuning, when non-nil, applies modern TCP knobs (SACK, window
+	// scaling, buffer sizes); nil keeps the paper's stack.
+	Tuning *fstack.TCPTuning
+	// RTOMinNS, when positive, raises the retransmission-timer floor.
+	RTOMinNS int64
+}
+
+// IfSpec binds one NIC port to an interface of a compartment's stack.
+// The zero address takes the testbed addressing plan: port i is subnet
+// 10.0.i.0/24 with .1 local and .2 remote.
+type IfSpec struct {
+	Port int
+	// Name defaults to eth<Port>.
+	Name string
+	// IP and Mask default to LocalIP(Port) and Mask24.
+	IP   fstack.IPv4Addr
+	Mask fstack.IPv4Addr
+}
+
+// CompartmentSpec describes one local network environment: a Baseline
+// process or a capability cVM, its sizing, the ports it owns, its
+// stack tuning, and its gate policy.
+type CompartmentSpec struct {
+	Name string
+	// CVM runs the environment inside a capability cVM; false is a
+	// plain process over raw kernel memory.
+	CVM bool
+	// CVMName overrides the cVM's name (defaults to Name).
+	CVMName string
+	// CVMBytes sizes the cVM window (0 = 12 MiB).
+	CVMBytes uint64
+	// SegBytes sizes the DPDK segment (0 = 8 MiB).
+	SegBytes uint64
+	// PoolBufs sizes the packet pool (0 = 2048); PoolName overrides the
+	// pool's name (defaults to Name+"-pkt").
+	PoolBufs int
+	PoolName string
+	// Ifs are the NIC ports this compartment owns.
+	Ifs []IfSpec
+	// Stack tunes the compartment's stack (sharding, TCP knobs).
+	Stack StackSpec
+	// APIGate exports the stack's API through sealed cross-compartment
+	// gates, and AppCVMs names the application cVMs created to call
+	// through them (Scenario 2's layout). Requires CVM.
+	APIGate bool
+	AppCVMs []string
+	// DeviceGate splits the DPDK driver into its own cVM (named
+	// DevCVMName, default Name+"-dpdk"): the stack reaches the NIC only
+	// through sealed per-burst gates (Scenario 3's layout). Requires
+	// CVM.
+	DeviceGate bool
+	DevCVMName string
+}
+
+// LinkSpec describes an impaired link in place of the direct cable,
+// with independent per-direction netem configurations — asymmetric
+// loss and slow-ACK-channel experiments are two fields, not new
+// topology code.
+type LinkSpec struct {
+	// ToPeer impairs frames leaving the local box toward the peer.
+	ToPeer netem.Config
+	// ToLocal impairs the reverse path.
+	ToLocal netem.Config
+}
+
+// SymmetricLink applies one netem config to both directions.
+func SymmetricLink(cfg netem.Config) *LinkSpec {
+	return &LinkSpec{ToPeer: cfg, ToLocal: cfg}
+}
+
+// PeerSpec describes one remote link partner: its own machine with an
+// ideal NIC and a Baseline environment, wired (directly or through a
+// netem link) to one local port.
+type PeerSpec struct {
+	// Port is the local NIC port this peer faces.
+	Port int
+	// Name defaults to peer<Port>.
+	Name string
+	// MACLast seeds the peer card's MACs (0 = 0x80+Port).
+	MACLast byte
+	// LineRateBps is the peer port's serialization rate; 0 means the
+	// paper's 1 GbE. Both ends of a cable must serialize at the same
+	// rate, so this should match the local port for direct wires.
+	LineRateBps float64
+	// Big forces the large environment sizing. It is implied by a fast
+	// line (> 1 GbE) or an impaired link, whose window-scaled flows
+	// buffer multi-MiB per connection.
+	Big bool
+	// SegBytes / PoolBufs override the environment sizing explicitly.
+	SegBytes uint64
+	PoolBufs int
+	// Link, when non-nil, interposes a netem impairment pipeline in
+	// place of the direct cable.
+	Link *LinkSpec
+	// Stack tunes the peer's stack (TCP knobs only; peers never shard).
+	Stack StackSpec
+}
+
+// validate checks a spec's internal consistency and its address plan,
+// returning an error instead of silently overlapping resources.
+func (s Spec) validate() error {
+	if s.Clk == nil {
+		return fmt.Errorf("testbed: spec needs a clock")
+	}
+	if s.Machine.Ports <= 0 {
+		return fmt.Errorf("testbed: machine needs at least one NIC port")
+	}
+	if len(s.Compartments) == 0 {
+		return fmt.Errorf("testbed: spec has no compartments")
+	}
+	plan := newAddrPlan()
+	localMAC := s.Machine.MACLast
+	if localMAC == 0 {
+		localMAC = defaultLocalMAC
+	}
+	if err := plan.claimMAC(localMAC, "machine "+s.Machine.Name); err != nil {
+		return err
+	}
+	names := map[string]string{}
+	claimName := func(name, what string) error {
+		if prev, ok := names[name]; ok {
+			return fmt.Errorf("testbed: name %q claimed by both %s and %s", name, prev, what)
+		}
+		names[name] = what
+		return nil
+	}
+	for i, cs := range s.Compartments {
+		what := fmt.Sprintf("compartment %s", cs.Name)
+		if cs.Name == "" {
+			return fmt.Errorf("testbed: compartment %d has no name", i)
+		}
+		if err := claimName(cs.Name, what); err != nil {
+			return err
+		}
+		if (cs.APIGate || cs.DeviceGate) && !cs.CVM {
+			return fmt.Errorf("testbed: %s: gates need a cVM-hosted stack", what)
+		}
+		if len(cs.AppCVMs) > 0 && !cs.APIGate {
+			return fmt.Errorf("testbed: %s: application cVMs need APIGate", what)
+		}
+		if cs.Stack.Shards > 0 && len(cs.Ifs) != 1 {
+			return fmt.Errorf("testbed: %s: a sharded stack drives exactly one port", what)
+		}
+		if cs.DeviceGate && len(cs.Ifs) != 1 {
+			return fmt.Errorf("testbed: %s: a device-gated stack drives exactly one port", what)
+		}
+		if cs.Stack.Shards > 0 && (cs.APIGate || cs.DeviceGate) {
+			return fmt.Errorf("testbed: %s: sharding does not compose with gates yet", what)
+		}
+		if cs.Stack.CPUBps > 0 && cs.Stack.Shards == 0 {
+			return fmt.Errorf("testbed: %s: a CPU budget needs a sharded stack (set Shards >= 1)", what)
+		}
+		if cs.CVMName != "" && cs.CVMName != cs.Name {
+			if err := claimName(cs.CVMName, fmt.Sprintf("cVM of %s", cs.Name)); err != nil {
+				return err
+			}
+		}
+		if cs.DeviceGate {
+			devName := cs.DevCVMName
+			if devName == "" {
+				devName = cs.Name + "-dpdk"
+			}
+			if err := claimName(devName, fmt.Sprintf("driver cVM of %s", cs.Name)); err != nil {
+				return err
+			}
+		}
+		for _, app := range cs.AppCVMs {
+			if err := claimName(app, fmt.Sprintf("app cVM of %s", cs.Name)); err != nil {
+				return err
+			}
+		}
+		for _, ic := range cs.Ifs {
+			if ic.Port < 0 || ic.Port >= s.Machine.Ports {
+				return fmt.Errorf("testbed: %s: port %d out of range [0,%d)", what, ic.Port, s.Machine.Ports)
+			}
+			if err := plan.claimLocalPort(ic.Port, what); err != nil {
+				return err
+			}
+			if err := plan.claimIP(ifIP(ic), what); err != nil {
+				return err
+			}
+		}
+	}
+	for _, ps := range s.Peers {
+		what := fmt.Sprintf("peer %s", peerName(ps))
+		if ps.Port < 0 || ps.Port >= s.Machine.Ports {
+			return fmt.Errorf("testbed: %s: port %d out of range [0,%d)", what, ps.Port, s.Machine.Ports)
+		}
+		if ps.Stack.Shards > 0 {
+			return fmt.Errorf("testbed: %s: peers never shard", what)
+		}
+		if ps.Stack.CPUBps > 0 || ps.Stack.CPUWindowNS > 0 {
+			return fmt.Errorf("testbed: %s: peers stand in for the other end of the cable and have ideal cores", what)
+		}
+		if err := claimName(peerName(ps), what); err != nil {
+			return err
+		}
+		if err := plan.claimPeerPort(ps.Port, what); err != nil {
+			return err
+		}
+		if err := plan.claimIP(PeerIP(ps.Port), what); err != nil {
+			return err
+		}
+		if err := plan.claimMAC(peerMAC(ps), what); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ifIP resolves an interface spec's address against the plan.
+func ifIP(ic IfSpec) fstack.IPv4Addr {
+	if ic.IP != (fstack.IPv4Addr{}) {
+		return ic.IP
+	}
+	return LocalIP(ic.Port)
+}
+
+// ifMask resolves an interface spec's netmask.
+func ifMask(ic IfSpec) fstack.IPv4Addr {
+	if ic.Mask != (fstack.IPv4Addr{}) {
+		return ic.Mask
+	}
+	return Mask24
+}
+
+// ifName resolves an interface spec's name.
+func ifName(ic IfSpec) string {
+	if ic.Name != "" {
+		return ic.Name
+	}
+	return fmt.Sprintf("eth%d", ic.Port)
+}
+
+// peerName resolves a peer spec's name.
+func peerName(ps PeerSpec) string {
+	if ps.Name != "" {
+		return ps.Name
+	}
+	return fmt.Sprintf("peer%d", ps.Port)
+}
+
+// peerMAC resolves a peer spec's MAC seed.
+func peerMAC(ps PeerSpec) byte {
+	if ps.MACLast != 0 {
+		return ps.MACLast
+	}
+	return defaultPeerMAC + byte(ps.Port)
+}

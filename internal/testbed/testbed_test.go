@@ -1,0 +1,223 @@
+package testbed
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fstack"
+	"repro/internal/sim"
+)
+
+// minimalSpec is a valid one-process, one-peer topology.
+func minimalSpec() Spec {
+	return Spec{
+		Clk:     sim.NewVClock(),
+		Machine: MachineSpec{Name: "morello", Ports: 2},
+		Compartments: []CompartmentSpec{
+			{Name: "proc", Ifs: []IfSpec{{Port: 0}}},
+		},
+		Peers: []PeerSpec{{Port: 0}},
+	}
+}
+
+func wantBuildError(t *testing.T, spec Spec, fragment string) {
+	t.Helper()
+	_, err := Build(spec)
+	if err == nil {
+		t.Fatalf("spec built; want error containing %q", fragment)
+	}
+	if !strings.Contains(err.Error(), fragment) {
+		t.Fatalf("error %q does not mention %q", err, fragment)
+	}
+}
+
+func TestBuildMinimalSpec(t *testing.T) {
+	bed, err := Build(minimalSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bed.Envs) != 1 || len(bed.Peers) != 1 || len(bed.Links) != 1 {
+		t.Fatalf("bed shape: %d envs, %d peers, %d links", len(bed.Envs), len(bed.Peers), len(bed.Links))
+	}
+	if bed.Links[0] != nil {
+		t.Fatal("plain wire reported a netem link")
+	}
+	if got := len(bed.Loops()); got != 2 {
+		t.Fatalf("loops: %d, want 2", got)
+	}
+	if bed.Envs[0].CapMode() {
+		t.Fatal("baseline process reports capability mode")
+	}
+}
+
+func TestSpecValidationErrors(t *testing.T) {
+	s := minimalSpec()
+	s.Clk = nil
+	wantBuildError(t, s, "clock")
+
+	s = minimalSpec()
+	s.Machine.Ports = 0
+	wantBuildError(t, s, "port")
+
+	s = minimalSpec()
+	s.Compartments = nil
+	wantBuildError(t, s, "no compartments")
+
+	s = minimalSpec()
+	s.Compartments[0].Ifs[0].Port = 7
+	wantBuildError(t, s, "out of range")
+
+	s = minimalSpec()
+	s.Compartments[0].APIGate = true // gates need a cVM
+	wantBuildError(t, s, "cVM")
+
+	s = minimalSpec()
+	s.Compartments[0].AppCVMs = []string{"app"}
+	wantBuildError(t, s, "APIGate")
+
+	s = minimalSpec()
+	s.Compartments[0].Stack.Shards = 2
+	s.Compartments[0].Ifs = append(s.Compartments[0].Ifs, IfSpec{Port: 1})
+	wantBuildError(t, s, "exactly one port")
+
+	s = minimalSpec()
+	s.Peers[0].Stack.Shards = 2
+	wantBuildError(t, s, "peers never shard")
+
+	s = minimalSpec()
+	s.Compartments[0].CVM = true
+	s.Compartments[0].DeviceGate = true
+	s.Compartments[0].Ifs = nil
+	wantBuildError(t, s, "exactly one port")
+}
+
+// TestAddressCollisionsAreErrors pins the satellite: the centralized
+// plan rejects overlapping IPs, MACs, port owners and duplicate names
+// instead of silently wiring them.
+func TestAddressCollisionsAreErrors(t *testing.T) {
+	// Two compartments owning the same NIC port.
+	s := minimalSpec()
+	s.Compartments = append(s.Compartments, CompartmentSpec{Name: "proc2", Ifs: []IfSpec{{Port: 0}}})
+	wantBuildError(t, s, "local port 0")
+
+	// Explicit IP colliding with the plan's peer address.
+	s = minimalSpec()
+	s.Compartments[0].Ifs[0].IP = PeerIP(0)
+	wantBuildError(t, s, "IP")
+
+	// Two compartments with explicit IPs colliding across subnets.
+	s = minimalSpec()
+	s.Compartments = append(s.Compartments, CompartmentSpec{
+		Name: "proc2",
+		Ifs:  []IfSpec{{Port: 1, IP: LocalIP(0)}},
+	})
+	wantBuildError(t, s, "IP")
+
+	// Two peers on one cable.
+	s = minimalSpec()
+	s.Peers = append(s.Peers, PeerSpec{Port: 0, Name: "peer0b", MACLast: 0x90})
+	wantBuildError(t, s, "share the cable")
+
+	// MAC collision between a peer and the local card.
+	s = minimalSpec()
+	s.Peers[0].MACLast = defaultLocalMAC
+	wantBuildError(t, s, "MAC")
+
+	// Duplicate compartment/app names.
+	s = minimalSpec()
+	s.Compartments = append(s.Compartments, CompartmentSpec{Name: "proc", Ifs: []IfSpec{{Port: 1}}})
+	wantBuildError(t, s, "name")
+
+	// cVM names collide even when the compartment names differ.
+	s = minimalSpec()
+	s.Compartments[0].CVM = true
+	s.Compartments[0].CVMName = "cvm1"
+	s.Compartments = append(s.Compartments, CompartmentSpec{
+		Name: "other", CVM: true, CVMName: "cvm1", Ifs: []IfSpec{{Port: 1}},
+	})
+	wantBuildError(t, s, "cvm1")
+}
+
+// TestSpecDefaultsResolve pins the fallback chain: zero-valued fields
+// take the documented defaults, explicit fields win.
+func TestSpecDefaultsResolve(t *testing.T) {
+	s := minimalSpec()
+	s.Compartments[0].Ifs[0] = IfSpec{Port: 0} // all defaults
+	bed, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := bed.Envs[0]
+	if env.Stk == nil || env.Loop == nil || env.Sharded != nil {
+		t.Fatal("plain compartment shape wrong")
+	}
+	// The default plan addressed the interface.
+	if got := env.IFs[0].IP; got != LocalIP(0) {
+		t.Fatalf("interface address %v, want %v", got, LocalIP(0))
+	}
+	if env.IFs[0].Name != "eth0" {
+		t.Fatalf("interface name %q, want eth0", env.IFs[0].Name)
+	}
+	// Peer took the plan's .2 and the default MAC scheme.
+	if bed.Peers[0].Env.IFs[0].IP != PeerIP(0) {
+		t.Fatal("peer address off plan")
+	}
+	if mac := bed.Peers[0].M.Card.Port(0).MAC(); mac[5] != defaultPeerMAC {
+		t.Fatalf("peer MAC suffix %#02x, want %#02x", mac[5], defaultPeerMAC)
+	}
+}
+
+// TestShardedSpecBuildsShardedEnv: the sharded path produces a
+// ShardedStack with per-shard loops and exposes the multi-queue device.
+func TestShardedSpecBuildsShardedEnv(t *testing.T) {
+	s := Spec{
+		Clk:     sim.NewVClock(),
+		Machine: MachineSpec{Name: "morello", Ports: 1, LineRateBps: 4e9},
+		Compartments: []CompartmentSpec{
+			{
+				Name: "mq", SegBytes: 16 << 20, PoolBufs: 3072,
+				Ifs:   []IfSpec{{Port: 0}},
+				Stack: StackSpec{Shards: 4, RingSize: 256, CPUBps: 1e9, RTOMinNS: 20e6},
+			},
+		},
+		Peers: []PeerSpec{{Port: 0, LineRateBps: 4e9}},
+	}
+	bed, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bed.Sharded == nil || bed.Dev == nil {
+		t.Fatal("sharded bed missing Sharded/Dev")
+	}
+	if bed.Sharded.NumShards() != 4 || bed.Dev.NumRxQueues() != 4 {
+		t.Fatalf("shards %d, queues %d, want 4/4", bed.Sharded.NumShards(), bed.Dev.NumRxQueues())
+	}
+	// 4 shard loops + 1 peer loop.
+	if got := len(bed.Loops()); got != 5 {
+		t.Fatalf("loops: %d, want 5", got)
+	}
+	// RTOMin applied to every shard.
+	for i := 0; i < 4; i++ {
+		if bed.Sharded.Shard(i) == nil {
+			t.Fatalf("shard %d missing", i)
+		}
+	}
+}
+
+// TestTuningReachesBothEnds: a StackSpec with TCP tuning lands on the
+// compartment's stack and the peer's.
+func TestTuningReachesBothEnds(t *testing.T) {
+	tun := &fstack.TCPTuning{SACK: true, WindowScale: 5, SndBufBytes: 1 << 20, RcvBufBytes: 1 << 20}
+	s := minimalSpec()
+	s.Compartments[0].Stack.Tuning = tun
+	s.Peers[0].Stack.Tuning = tun
+	bed, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stk := range []*fstack.Stack{bed.Envs[0].Stk, bed.Peers[0].Env.Stk} {
+		if got := stk.TCPTuning(); !got.SACK || got.WindowScale != 5 {
+			t.Fatalf("tuning not applied: %+v", got)
+		}
+	}
+}
