@@ -244,6 +244,31 @@ func BenchmarkScenario6(b *testing.B) {
 	}
 }
 
+// BenchmarkScenario7 measures the congestion-control comparison on the
+// gated WAN point: one flow through the seeded 100 Mbit/s × 100 ms RTT
+// deep-queue link with sparse fades, Reno vs CUBIC over the fstack CC
+// seam. The Mbit/s metric should show CUBIC at least doubling Reno and
+// clearing 70% of the bottleneck.
+func BenchmarkScenario7(b *testing.B) {
+	for _, cc := range []string{"reno", "cubic"} {
+		cc := cc
+		b.Run(cc, func(b *testing.B) {
+			var last core.Scenario7Result
+			for i := 0; i < b.N; i++ {
+				r, err := core.RunScenario7(core.Scenario7Config{Congestion: cc},
+					core.DefaultScenario7Duration)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+			b.ReportMetric(last.Mbps, "Mbit/s")
+			b.ReportMetric(last.Utilization()*100, "util-pct")
+			b.ReportMetric(float64(last.Stats.Retransmit), "retx")
+		})
+	}
+}
+
 // --- Ablations (design choices called out in DESIGN.md) ---
 
 // BenchmarkAblationCapChecks compares the datapath memory access with

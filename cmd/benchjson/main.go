@@ -1,0 +1,134 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// document, one record per benchmark result line, so CI can archive a
+// run as a machine-readable BENCH_*.json artifact and the performance
+// trajectory can be diffed across commits.
+//
+// Usage:
+//
+//	go test -run xxx -bench Scenario -benchtime 1x . | benchjson -out BENCH_scenarios.json
+//
+// A benchmark line like
+//
+//	BenchmarkScenario7/cubic-8   1   5123 ns/op   87.8 Mbit/s   88 util-pct
+//
+// becomes
+//
+//	{"name":"Scenario7/cubic","procs":8,"n":1,"metrics":{"ns/op":5123,"Mbit/s":87.8,"util-pct":88}}
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix go test appends to the name.
+	Procs int `json:"procs,omitempty"`
+	// N is the iteration count of the run.
+	N int64 `json:"n"`
+	// Metrics maps unit -> value for every "value unit" pair on the
+	// line (ns/op, MB/s, B/op, allocs/op and custom ReportMetric
+	// units alike).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Doc is the archived document.
+type Doc struct {
+	// Goos/Goarch/Pkg echo the `go test` banner lines when present.
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	Benches []Result `json:"benches"`
+}
+
+// parseLine decodes one "Benchmark..." result line; ok is false for
+// anything else (PASS, ok, banners, failures).
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	procs := 0
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			procs = p
+			name = name[:i]
+		}
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Procs: procs, N: n, Metrics: map[string]float64{}}
+	// The rest alternates value unit [value unit ...].
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}
+
+// parse consumes go test -bench output and builds the document.
+func parse(in io.Reader) (Doc, error) {
+	var doc Doc
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			doc.Pkg = strings.TrimPrefix(line, "pkg: ")
+		default:
+			if r, ok := parseLine(line); ok {
+				doc.Benches = append(doc.Benches, r)
+			}
+		}
+	}
+	return doc, sc.Err()
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(doc.Benches) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkScenario7/reno-8         	       1	5123456789 ns/op	        38.10 Mbit/s	       971.0 retx	        38.00 util-pct
+BenchmarkScenario7/cubic-8        	       1	5234567890 ns/op	        87.80 Mbit/s	      1973.0 retx	        88.00 util-pct
+BenchmarkTable1LoCCount           	     100	  10000000 ns/op	       123.0 cap-lines	         0.9900 pct
+PASS
+ok  	repro	12.345s
+`
+	doc, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.Pkg != "repro" {
+		t.Fatalf("banner not parsed: %+v", doc)
+	}
+	if len(doc.Benches) != 3 {
+		t.Fatalf("parsed %d benches, want 3", len(doc.Benches))
+	}
+	b := doc.Benches[1]
+	if b.Name != "Scenario7/cubic" || b.Procs != 8 || b.N != 1 {
+		t.Fatalf("bench header wrong: %+v", b)
+	}
+	if b.Metrics["Mbit/s"] != 87.8 || b.Metrics["util-pct"] != 88 {
+		t.Fatalf("metrics wrong: %+v", b.Metrics)
+	}
+	// The unsuffixed name keeps its zero procs.
+	if doc.Benches[2].Name != "Table1LoCCount" || doc.Benches[2].Procs != 0 {
+		t.Fatalf("unsuffixed bench wrong: %+v", doc.Benches[2])
+	}
+}
+
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  	repro	12.3s",
+		"--- FAIL: TestX",
+		"Benchmark", // no fields
+		"BenchmarkBroken 	notanumber	 5 ns/op",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Fatalf("line %q parsed as a benchmark", line)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/fstack"
 )
 
 func usage() {
@@ -53,8 +54,16 @@ func main() {
 	s5dur := fs.Int64("s5duration", def.S5DurationNS, "scenario5 traffic time per point (virtual ns)")
 	ackrate := fs.Float64("ackrate", 0, "scenario6 reverse (ACK) channel bottleneck (bits/s; 0 = clean)")
 	s6dur := fs.Int64("s6duration", def.S6DurationNS, "scenario6 traffic time per point (virtual ns)")
+	mode := fs.String("mode", def.Mode, "scenario6 traffic direction: upload (sharded box sends) or download (peer sends into the cloned listeners)")
+	cc := fs.String("cc", "", fmt.Sprintf("congestion control %v: modern stacks of scenarios 5-6, restricts the scenario7 sweep (empty = reno / both)", fstack.CongestionAlgos()))
+	s7dur := fs.Int64("s7duration", def.S7DurationNS, "scenario7 traffic time per point (virtual ns)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		usage()
+	}
+	if !fstack.ValidCongestion(*cc) {
+		fmt.Fprintf(os.Stderr, "cherinet: -cc %q is not a registered algorithm (have %v)\n",
+			*cc, fstack.CongestionAlgos())
+		os.Exit(2)
 	}
 	opts := core.RunOptions{
 		FFWrite:      core.FFWriteConfig{Iterations: *iters, IntervalNS: *interval, Payload: *payload},
@@ -67,6 +76,9 @@ func main() {
 		S5DurationNS: *s5dur,
 		AckRateBps:   *ackrate,
 		S6DurationNS: *s6dur,
+		Mode:         *mode,
+		Congestion:   *cc,
+		S7DurationNS: *s7dur,
 	}
 
 	var entries []core.ScenarioEntry

@@ -102,7 +102,7 @@ func TestGoldenScenario4(t *testing.T) {
 // loss, 20 ms RTT, 100 Mbit/s bottleneck, both modes and both stacks).
 func TestGoldenScenario5(t *testing.T) {
 	skipUnderRace(t)
-	results, err := RunScenario5LossSweep([]float64{0, 0.005}, 10e6, 100e6, 300e6)
+	results, err := RunScenario5LossSweep([]float64{0, 0.005}, 10e6, 100e6, "", 300e6)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/fstack"
 	"repro/internal/netem"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -42,6 +43,16 @@ type RunOptions struct {
 	// 6's per-point traffic time.
 	AckRateBps   float64
 	S6DurationNS int64
+	// Mode selects scenario 6's traffic direction: "upload" (the
+	// sharded box sends) or "download" (the peer sends into the
+	// RSS-cloned listeners through the impaired link).
+	Mode string
+	// Congestion picks the congestion-control algorithm for the modern
+	// stacks of scenarios 5 and 6, and restricts scenario 7's sweep to
+	// one controller ("" sweeps reno and cubic). S7DurationNS is
+	// scenario 7's per-point traffic time.
+	Congestion   string
+	S7DurationNS int64
 }
 
 // DefaultRunOptions mirrors the cherinet flag defaults.
@@ -56,6 +67,8 @@ func DefaultRunOptions() RunOptions {
 		RateBps:      100e6,
 		S5DurationNS: DefaultScenario5Duration,
 		S6DurationNS: DefaultScenario6Duration,
+		Mode:         "upload",
+		S7DurationNS: DefaultScenario7Duration,
 	}
 }
 
@@ -190,10 +203,10 @@ var Registry = []ScenarioEntry{
 	{
 		Name:  "scenario5",
 		Desc:  "lossy high-BDP WAN: goodput vs loss and vs BDP, go-back-N vs SACK+WS",
-		Flags: "-loss -delay -rate -s5duration",
+		Flags: "-loss -delay -rate -cc -s5duration",
 		Run: func(o RunOptions, w io.Writer) error {
 			losses := []float64{0, o.Loss / 4, o.Loss / 2, o.Loss}
-			lossResults, err := RunScenario5LossSweep(losses, o.DelayNS, o.RateBps, o.S5DurationNS)
+			lossResults, err := RunScenario5LossSweep(losses, o.DelayNS, o.RateBps, o.Congestion, o.S5DurationNS)
 			if err != nil {
 				return err
 			}
@@ -202,7 +215,7 @@ var Registry = []ScenarioEntry{
 					o.RateBps/1e6, float64(2*o.DelayNS)/1e6), lossResults))
 			fmt.Fprintln(w)
 			bdpResults, err := RunScenario5BDPSweep(
-				[]int64{1e6, 5e6, 20e6, 50e6}, o.Loss/4, o.RateBps, o.S5DurationNS)
+				[]int64{1e6, 5e6, 20e6, 50e6}, o.Loss/4, o.RateBps, o.Congestion, o.S5DurationNS)
 			if err != nil {
 				return err
 			}
@@ -215,12 +228,19 @@ var Registry = []ScenarioEntry{
 	{
 		Name:  "scenario6",
 		Desc:  "composed: sharded stack over an impaired WAN, paper stack vs shards+SACK",
-		Flags: "-shards -flows -ackrate -s6duration",
+		Flags: "-shards -flows -mode -ackrate -cc -s6duration",
 		Run: func(o RunOptions, w io.Writer) error {
 			if o.Shards < 1 {
 				return fmt.Errorf("-shards must be at least 1")
 			}
-			base := Scenario6Config{}
+			base := Scenario6Config{Congestion: o.Congestion}
+			switch o.Mode {
+			case "", "upload":
+			case "download":
+				base.Download = true
+			default:
+				return fmt.Errorf("-mode must be upload or download, not %q", o.Mode)
+			}
 			if o.AckRateBps > 0 {
 				// Squeeze only the ACK channel; propagation stays
 				// symmetric.
@@ -231,6 +251,29 @@ var Registry = []ScenarioEntry{
 				return err
 			}
 			fmt.Fprint(w, FormatScenario6(results))
+			return nil
+		},
+	},
+	{
+		Name:  "scenario7",
+		Desc:  "WAN utilization vs congestion control: reno vs cubic across the RTT ladder",
+		Flags: "-cc -rate -s7duration",
+		Run: func(o RunOptions, w io.Writer) error {
+			ccs := []string{fstack.CCReno, fstack.CCCubic}
+			if o.Congestion != "" {
+				if !fstack.ValidCongestion(o.Congestion) {
+					return fmt.Errorf("-cc must be one of %v, not %q",
+						fstack.CongestionAlgos(), o.Congestion)
+				}
+				ccs = []string{o.Congestion}
+			}
+			// The paper's BDP ladder: 10/50/100/200 ms RTT.
+			results, err := RunScenario7RTTSweep(
+				[]int64{5e6, 25e6, 50e6, 100e6}, ccs, o.RateBps, o.S7DurationNS)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(w, FormatScenario7(results))
 			return nil
 		},
 	},

@@ -69,6 +69,10 @@ type Scenario5Config struct {
 	// Modern enables SACK + window scaling (+ BDP-sized buffers) on
 	// both ends; false reproduces the paper's stack (the A/B knob).
 	Modern bool
+	// Congestion selects the modern stack's congestion controller
+	// (fstack.CCReno / fstack.CCCubic; "" = reno). Ignored — like the
+	// rest of the tuning — when Modern is false.
+	Congestion string
 	// Link is the impairment pipeline, applied symmetrically. Zero
 	// values get the Scenario 5 defaults for rate, queue and seed —
 	// pass explicit fields to sweep loss and delay.
@@ -76,12 +80,13 @@ type Scenario5Config struct {
 }
 
 // s5Tuning is the modern (SACK + window scaling) stack configuration.
-func s5Tuning() *fstack.TCPTuning {
+func s5Tuning(cc string) *fstack.TCPTuning {
 	return &fstack.TCPTuning{
 		SACK:        true,
 		WindowScale: s5WScale,
 		SndBufBytes: s5SndBuf,
 		RcvBufBytes: s5RcvBuf,
+		Congestion:  cc,
 	}
 }
 
@@ -108,7 +113,7 @@ func NewScenario5(clk hostos.Clock, cfg Scenario5Config) (*Setup5, error) {
 	}
 	stack := testbed.StackSpec{RTOMinNS: s5RTOMin}
 	if cfg.Modern {
-		stack.Tuning = s5Tuning()
+		stack.Tuning = s5Tuning(cfg.Congestion)
 	}
 	name := "proc"
 	if cfg.CapMode {
@@ -209,13 +214,13 @@ func RunScenario5(cfg Scenario5Config, durationNS int64) (Scenario5Result, error
 // RunScenario5LossSweep measures goodput vs loss rate: for every loss
 // point, go-back-N vs SACK in both Baseline and capability mode, at
 // equal link settings.
-func RunScenario5LossSweep(losses []float64, delayNS int64, rateBps float64, durationNS int64) ([]Scenario5Result, error) {
+func RunScenario5LossSweep(losses []float64, delayNS int64, rateBps float64, cc string, durationNS int64) ([]Scenario5Result, error) {
 	var out []Scenario5Result
 	for _, loss := range losses {
 		for _, capMode := range []bool{false, true} {
 			for _, modern := range []bool{false, true} {
 				cfg := Scenario5Config{
-					CapMode: capMode, Modern: modern,
+					CapMode: capMode, Modern: modern, Congestion: cc,
 					Link: netem.Config{LossRate: loss, DelayNS: delayNS, RateBps: rateBps},
 				}
 				r, err := RunScenario5(cfg, durationNS)
@@ -232,13 +237,13 @@ func RunScenario5LossSweep(losses []float64, delayNS int64, rateBps float64, dur
 // RunScenario5BDPSweep measures goodput vs path BDP (the one-way delay
 // swept at a fixed bottleneck rate), go-back-N vs SACK+window-scaling,
 // in both Baseline and capability mode.
-func RunScenario5BDPSweep(delaysNS []int64, lossRate float64, rateBps float64, durationNS int64) ([]Scenario5Result, error) {
+func RunScenario5BDPSweep(delaysNS []int64, lossRate float64, rateBps float64, cc string, durationNS int64) ([]Scenario5Result, error) {
 	var out []Scenario5Result
 	for _, d := range delaysNS {
 		for _, capMode := range []bool{false, true} {
 			for _, modern := range []bool{false, true} {
 				cfg := Scenario5Config{
-					CapMode: capMode, Modern: modern,
+					CapMode: capMode, Modern: modern, Congestion: cc,
 					Link: netem.Config{LossRate: lossRate, DelayNS: d, RateBps: rateBps},
 				}
 				r, err := RunScenario5(cfg, durationNS)

@@ -89,6 +89,17 @@ type Scenario6Config struct {
 	// Modern enables SACK + window scaling (+ sized buffers) on both
 	// ends; false reproduces the paper's go-back-N stack.
 	Modern bool
+	// Congestion selects the modern stacks' congestion controller
+	// (fstack.CCReno / fstack.CCCubic; "" = reno). Ignored — like the
+	// rest of the tuning — when Modern is false.
+	Congestion string
+	// Download flips the traffic direction: the peer uploads M flows
+	// through the impaired link into listeners cloned across the local
+	// shards, exercising RSS acceptance under loss (each SYN lands
+	// wherever the hash steers it). False is the original upload
+	// layout. Fwd/Rev keep their meaning — Fwd impairs the data
+	// direction, Rev the ACK direction — whichever way data flows.
+	Download bool
 	// Fwd impairs the data direction (local box toward peer). The
 	// zero value gets the full Scenario 6 default link, including the
 	// seeded bursty loss; a non-zero config only has its zero
@@ -102,12 +113,13 @@ type Scenario6Config struct {
 }
 
 // s6Tuning is the modern stack configuration for this scenario.
-func s6Tuning() *fstack.TCPTuning {
+func s6Tuning(cc string) *fstack.TCPTuning {
 	return &fstack.TCPTuning{
 		SACK:        true,
 		WindowScale: s6WScale,
 		SndBufBytes: s6SndBuf,
 		RcvBufBytes: s6RcvBuf,
+		Congestion:  cc,
 	}
 }
 
@@ -164,8 +176,14 @@ func NewScenario6(clk hostos.Clock, cfg Scenario6Config) (*Setup6, error) {
 	}
 	peerStack := testbed.StackSpec{RTOMinNS: s6RTOMin}
 	if cfg.Modern {
-		stack.Tuning = s6Tuning()
-		peerStack.Tuning = s6Tuning()
+		stack.Tuning = s6Tuning(cfg.Congestion)
+		peerStack.Tuning = s6Tuning(cfg.Congestion)
+	}
+	// Fwd impairs the data direction: toward the peer for uploads,
+	// toward the local box for downloads.
+	link := &testbed.LinkSpec{ToPeer: fwd, ToLocal: rev}
+	if cfg.Download {
+		link = &testbed.LinkSpec{ToPeer: rev, ToLocal: fwd}
 	}
 	bed, err := testbed.Build(testbed.Spec{
 		Clk: clk,
@@ -186,7 +204,7 @@ func NewScenario6(clk hostos.Clock, cfg Scenario6Config) (*Setup6, error) {
 			{
 				Port: 0, LineRateBps: s6LineRate,
 				SegBytes: s6SegSize, PoolBufs: s6PoolBufs,
-				Link:  &testbed.LinkSpec{ToPeer: fwd, ToLocal: rev},
+				Link:  link,
 				Stack: peerStack,
 			},
 		},
@@ -201,10 +219,13 @@ func NewScenario6(clk hostos.Clock, cfg Scenario6Config) (*Setup6, error) {
 // receivers (the far end of the impaired path), so retransmissions and
 // sender-side buffering cannot inflate it.
 type Scenario6Result struct {
-	Shards  int
-	Flows   int
-	CapMode bool
-	Modern  bool
+	Shards   int
+	Flows    int
+	CapMode  bool
+	Modern   bool
+	Download bool
+	// Fwd is the data direction's link config, whichever way data
+	// flows.
 	Fwd     netem.Config
 	Mbps    float64   // aggregate receiver goodput over all flows
 	PerFlow []float64 // per-flow receiver goodput
@@ -216,10 +237,15 @@ type Scenario6Result struct {
 	RevStats netem.DirStats
 }
 
-// Scenario6Bandwidth drives flows concurrent iperf uploads from the
-// sharded local box through the impaired link for durationNS of
-// virtual traffic time. The steering oracle places each connection on
-// the shard its ACK stream will hit, as in Scenario 4's client mode.
+// Scenario6Bandwidth drives flows concurrent iperf transfers between
+// the sharded local box and the peer through the impaired link for
+// durationNS of virtual traffic time. Uploads (the default) send from
+// the local shards — the steering oracle places each connection on the
+// shard its ACK stream will hit, as in Scenario 4's client mode.
+// Downloads (Cfg.Download) send from the peer into listeners cloned
+// across every shard, each SYN accepted wherever RSS lands it; the
+// load generator engineers its source ports to round-robin the
+// receiver's queues, as in Scenario 4's server mode.
 func Scenario6Bandwidth(s *Setup6, flows int, durationNS int64) (Scenario6Result, error) {
 	clk, ok := s.Clk.(*sim.VClock)
 	if !ok {
@@ -228,42 +254,64 @@ func Scenario6Bandwidth(s *Setup6, flows int, durationNS int64) (Scenario6Result
 	if flows < 1 {
 		return Scenario6Result{}, fmt.Errorf("core: scenario 6 needs at least one flow")
 	}
+	dataDir := 0 // link direction the data crosses
+	if s.Cfg.Download {
+		dataDir = 1
+	}
 	res := Scenario6Result{
 		Shards: s.Sharded.NumShards(), Flows: flows,
-		CapMode: s.Cfg.CapMode, Modern: s.Cfg.Modern, Fwd: s.Link().DirConfig(0),
+		CapMode: s.Cfg.CapMode, Modern: s.Cfg.Modern, Download: s.Cfg.Download,
+		Fwd: s.Link().DirConfig(dataDir),
 	}
 
 	api := s.Sharded.API()
 	var appSteppers []func(now int64)
 	var localCli []*iperf.Client
+	var localSrv []*iperf.Server
+	var peerCli []*iperf.Client
 	var peerSrv []*iperf.Server
 	for f := 0; f < flows; f++ {
 		port := s6BasePort + uint16(f)
-		cli := iperf.NewClient(peerIP(0), port, durationNS)
-		localCli = append(localCli, cli)
-		appSteppers = append(appSteppers, func(now int64) { cli.Step(api, now) })
-		peerSrv = append(peerSrv, iperf.NewServer(fstack.IPv4Addr{}, port))
+		if s.Cfg.Download {
+			srv := iperf.NewServer(fstack.IPv4Addr{}, port)
+			localSrv = append(localSrv, srv)
+			appSteppers = append(appSteppers, func(now int64) { srv.Step(api, now) })
+			cli := iperf.NewClient(localIP(0), port, durationNS)
+			cli.LocalPort = engineerCport(s.Bed, f, port)
+			peerCli = append(peerCli, cli)
+		} else {
+			cli := iperf.NewClient(peerIP(0), port, durationNS)
+			localCli = append(localCli, cli)
+			appSteppers = append(appSteppers, func(now int64) { cli.Step(api, now) })
+			peerSrv = append(peerSrv, iperf.NewServer(fstack.IPv4Addr{}, port))
+		}
 	}
 	papi := s.Peers[0].Env.Loop.Locked()
 	s.Peers[0].Env.Loop.OnLoop = func(now int64) bool {
+		for _, c := range peerCli {
+			c.Step(papi, now)
+		}
 		for _, sv := range peerSrv {
 			sv.Step(papi, now)
 		}
 		return true
 	}
 
-	done := func() bool {
-		for _, c := range localCli {
+	allDone := func(clis []*iperf.Client, srvs []*iperf.Server) bool {
+		for _, c := range clis {
 			if !c.Done() {
 				return false
 			}
 		}
-		for _, sv := range peerSrv {
+		for _, sv := range srvs {
 			if !sv.Done() {
 				return false
 			}
 		}
 		return true
+	}
+	done := func() bool {
+		return allDone(localCli, localSrv) && allDone(peerCli, peerSrv)
 	}
 	// Recovery and the final drain ride WAN RTTs through a deep queue:
 	// generous headroom beyond the traffic time.
@@ -272,20 +320,39 @@ func Scenario6Bandwidth(s *Setup6, flows int, durationNS int64) (Scenario6Result
 		return res, err
 	}
 
+	// Goodput is read at the data receivers, behind the impaired path.
+	recv := peerSrv
+	if s.Cfg.Download {
+		recv = localSrv
+	}
 	for f := 0; f < flows; f++ {
-		if localCli[f].Err() != 0 {
-			return res, fmt.Errorf("core: scenario 6 client %d failed: %v", f, localCli[f].Err())
+		var cErr, sErr hostos.Errno
+		if s.Cfg.Download {
+			cErr, sErr = peerCli[f].Err(), localSrv[f].Err()
+		} else {
+			cErr, sErr = localCli[f].Err(), peerSrv[f].Err()
 		}
-		if peerSrv[f].Err() != 0 {
-			return res, fmt.Errorf("core: scenario 6 server %d failed: %v", f, peerSrv[f].Err())
+		if cErr != 0 {
+			return res, fmt.Errorf("core: scenario 6 client %d failed: %v", f, cErr)
 		}
-		rep := peerSrv[f].Report()
+		if sErr != 0 {
+			return res, fmt.Errorf("core: scenario 6 server %d failed: %v", f, sErr)
+		}
+		rep := recv[f].Report()
 		res.PerFlow = append(res.PerFlow, rep.Mbps())
 		res.Mbps += rep.Mbps()
 	}
-	res.Stats = s.Sharded.Stats()
-	res.FwdStats = s.Link().Stats(0)
-	res.RevStats = s.Link().Stats(1)
+	// Stats carry the data sender's recovery story: the local shards
+	// for uploads, the peer stack for downloads.
+	if s.Cfg.Download {
+		s.Peers[0].Env.Stk.Lock()
+		res.Stats = s.Peers[0].Env.Stk.Stats()
+		s.Peers[0].Env.Stk.Unlock()
+	} else {
+		res.Stats = s.Sharded.Stats()
+	}
+	res.FwdStats = s.Link().Stats(dataDir)
+	res.RevStats = s.Link().Stats(1 - dataDir)
 	return res, nil
 }
 
@@ -326,7 +393,11 @@ func RunScenario6Sweep(shardCounts []int, flows int, durationNS int64, base Scen
 // the composed win of sharding and modern recovery together.
 func FormatScenario6(results []Scenario6Result) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "SCENARIO 6 — sharded stack over an impaired WAN: aggregate goodput\n")
+	mode := ""
+	if len(results) > 0 && results[0].Download {
+		mode = " (download: peer into RSS-cloned listeners)"
+	}
+	fmt.Fprintf(&b, "SCENARIO 6 — sharded stack over an impaired WAN: aggregate goodput%s\n", mode)
 	if len(results) > 0 {
 		f := results[0].Fwd
 		loss := f.LossRate

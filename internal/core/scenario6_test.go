@@ -75,6 +75,59 @@ func TestScenario6ReversePathImpairment(t *testing.T) {
 	}
 }
 
+// TestScenario6DownloadMode exercises the server-mode sweep: M
+// download flows land in the listeners cloned across the shards
+// through the impaired link, so RSS acceptance is exercised under
+// loss. The flows must spread over the shards, the data must cross
+// the impaired direction, and the sender stats must come from the
+// peer (the data sender in this mode).
+func TestScenario6DownloadMode(t *testing.T) {
+	s, err := NewScenario6(sim.NewVClock(), Scenario6Config{Shards: 4, Modern: true, Download: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Scenario6Bandwidth(s, 8, s6TestDuration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("download: %.0f Mbit/s aggregate over %d shards [%s]", r.Mbps, r.Shards, r.Stats.RecoverySummary())
+	if !r.Download {
+		t.Fatal("result not marked as download mode")
+	}
+	busy := 0
+	for _, mbps := range r.PerFlow {
+		if mbps > 0 {
+			busy++
+		}
+	}
+	if busy != 8 {
+		t.Fatalf("only %d of 8 download flows moved data", busy)
+	}
+	// The data direction (peer -> local) is the impaired one.
+	if r.FwdStats.Lost() == 0 {
+		t.Fatal("impaired data direction recorded no loss")
+	}
+	if r.FwdStats.Delivered < r.RevStats.Delivered {
+		t.Fatalf("data direction carried fewer frames (%d) than the ACK path (%d)",
+			r.FwdStats.Delivered, r.RevStats.Delivered)
+	}
+	// RSS acceptance really spread the SYNs: more than one shard took
+	// traffic.
+	active := 0
+	for i := 0; i < s.Sharded.NumShards(); i++ {
+		if st := s.Sharded.ShardStats(i); st.RxFrames > 0 {
+			active++
+		}
+	}
+	if active < 2 {
+		t.Fatalf("downloads landed on %d shard(s); RSS acceptance not exercised", active)
+	}
+	// The recovery story belongs to the data sender — the peer.
+	if r.Stats.Retransmit == 0 {
+		t.Fatal("peer (sender) stats show no retransmissions on a lossy path")
+	}
+}
+
 // TestScenario6Validation pins the constructor's error paths.
 func TestScenario6Validation(t *testing.T) {
 	if _, err := NewScenario6(sim.NewVClock(), Scenario6Config{Shards: 0}); err == nil {

@@ -37,10 +37,21 @@
 // exceeds the MTU), ICMP echo, UDP, and TCP with the features the
 // evaluation exercises: 3-way handshake, sliding window, timestamp
 // options (12 bytes, giving the canonical 1448-byte MSS payload and the
-// 941 Mbit/s GbE goodput ceiling), delayed ACKs, slow start + AIMD
-// congestion control, fast retransmit, and RTO with exponential backoff.
-// Loss recovery is go-back-N (out-of-order segments are not queued);
-// DESIGN.md discusses why this suffices for the reproduced experiments,
-// and why stacks on paths with ms-scale queueing must raise the
-// retransmission-timer floor (SetRTOMin).
+// 941 Mbit/s GbE goodput ceiling), delayed ACKs, fast retransmit, RTO
+// with exponential backoff, and a persist timer probing zero receive
+// windows so a lost window update cannot stall a connection.
+//
+// With the zero-value TCPTuning the stack reproduces the paper
+// exactly: no SACK (loss recovery is go-back-N — out-of-order segments
+// are not queued), no window scaling (64 KiB windows), Reno congestion
+// control. Stack.SetTCPTuning opts into the modern machinery per
+// stack: RFC 2018 SACK with an RFC 6675 pipe-driven sender scoreboard
+// (RFC 6582 NewReno as the non-SACK fallback), RFC 7323 window
+// scaling, sized socket buffers, and a pluggable congestion controller
+// (cc.go: the extracted renoCC default or RFC 8312 cubicCC, selected
+// by TCPTuning.Congestion). The connection reports ACK/loss events
+// through the CongestionController seam and reads back cwnd/ssthresh;
+// DESIGN.md §2 and §7 discuss both layers, and why stacks on paths
+// with ms-scale queueing must raise the retransmission-timer floor
+// (SetRTOMin).
 package fstack

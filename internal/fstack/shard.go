@@ -114,16 +114,7 @@ func (ss *ShardedStack) ShardStats(i int) StackStats {
 func (ss *ShardedStack) Stats() StackStats {
 	var total StackStats
 	for i := range ss.shards {
-		st := ss.ShardStats(i)
-		total.RxFrames += st.RxFrames
-		total.TxFrames += st.TxFrames
-		total.RxDropped += st.RxDropped
-		total.Retransmit += st.Retransmit
-		total.FastRetransmit += st.FastRetransmit
-		total.SACKRetransmit += st.SACKRetransmit
-		total.RTORetransmit += st.RTORetransmit
-		total.DupAcks += st.DupAcks
-		total.ArpTx += st.ArpTx
+		total.Add(ss.ShardStats(i))
 	}
 	return total
 }

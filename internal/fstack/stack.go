@@ -56,7 +56,24 @@ type StackStats struct {
 	SACKRetransmit uint64 // scoreboard-guided hole fills
 	RTORetransmit  uint64 // segments resent after a timeout rewind
 	DupAcks        uint64 // duplicate ACKs received
+	PersistProbes  uint64 // zero-window probes sent (persist timer)
 	ArpTx          uint64
+}
+
+// Add accumulates another stack's counters into st — the one place
+// that knows every field, so aggregators (the sharded stack) cannot
+// silently drop a newly added counter.
+func (st *StackStats) Add(o StackStats) {
+	st.RxFrames += o.RxFrames
+	st.TxFrames += o.TxFrames
+	st.RxDropped += o.RxDropped
+	st.Retransmit += o.Retransmit
+	st.FastRetransmit += o.FastRetransmit
+	st.SACKRetransmit += o.SACKRetransmit
+	st.RTORetransmit += o.RTORetransmit
+	st.DupAcks += o.DupAcks
+	st.PersistProbes += o.PersistProbes
+	st.ArpTx += o.ArpTx
 }
 
 // RecoverySummary formats the retransmit breakdown for scenario
@@ -86,6 +103,12 @@ type TCPTuning struct {
 	// paths must raise it.
 	SndBufBytes int
 	RcvBufBytes int
+	// Congestion selects the congestion-control algorithm for new
+	// connections (net.inet.tcp.cc.algorithm): CCReno or CCCubic, with
+	// "" meaning the CCReno default — the extracted paper-stack
+	// behavior. Validate names early with ValidCongestion; an unknown
+	// name makes connection creation fail.
+	Congestion string
 }
 
 // Stack is a user-space TCP/IP instance: interfaces, connection tables
@@ -166,8 +189,9 @@ func (s *Stack) rtoFloor() int64 {
 	return rtoMin
 }
 
-// SetTCPTuning configures SACK, window scaling and socket buffer sizes
-// for connections created after the call. Like SetRTOMin it is a
+// SetTCPTuning configures SACK, window scaling, socket buffer sizes
+// and the congestion-control algorithm for connections created after
+// the call. Like SetRTOMin it is a
 // boot-time knob: set it before traffic starts, on both ends of the
 // path that needs it (an un-tuned peer simply declines the options and
 // the connection runs exactly as before).
@@ -206,6 +230,7 @@ func (s *Stack) Stats() StackStats {
 		st.SACKRetransmit += c.sackRetrans
 		st.RTORetransmit += c.rtoRetrans
 		st.DupAcks += c.dupAcksIn
+		st.PersistProbes += c.persistProbes
 	}
 	return st
 }
@@ -489,6 +514,7 @@ func (s *Stack) acceptSyn(nif *NetIF, l *listener, tuple fourTuple, h TCPHeader)
 	}
 	if h.MSS != 0 {
 		c.sndMSS = min(int(h.MSS)-tsOptionLen, MaxSegData)
+		c.cc.SetMSS(c.sndMSS)
 	}
 	// Feature negotiation: only echo what the client offered AND the
 	// stack's tuning enables; the SYN|ACK then carries our side of the
@@ -554,7 +580,9 @@ func (s *Stack) removeConn(c *tcpConn) {
 	s.stats.SACKRetransmit += c.sackRetrans
 	s.stats.RTORetransmit += c.rtoRetrans
 	s.stats.DupAcks += c.dupAcksIn
-	c.retransSegs, c.fastRetrans, c.sackRetrans, c.rtoRetrans, c.dupAcksIn = 0, 0, 0, 0, 0
+	s.stats.PersistProbes += c.persistProbes
+	c.retransSegs, c.fastRetrans, c.sackRetrans, c.rtoRetrans = 0, 0, 0, 0
+	c.dupAcksIn, c.persistProbes = 0, 0
 	delete(s.conns, c.tuple)
 }
 
@@ -604,7 +632,7 @@ func (s *Stack) DebugConnDump() string {
 	out := ""
 	for _, c := range s.conns {
 		out += fmt.Sprintf("[%s una=%d nxt=%d max=%d cwnd=%d pipe=%d wnd=%d sacked=%d rec=%v rtxAt=%d rto=%d buf=%d]",
-			c.state, c.sndUna, c.sndNxt, c.sndMax, c.cwnd, c.pipe(), c.sndWnd, len(c.sacked), c.inRecovery, c.rtxAt, c.rto, c.sndBuf.Len())
+			c.state, c.sndUna, c.sndNxt, c.sndMax, c.cc.Cwnd(), c.pipe(), c.sndWnd, len(c.sacked), c.inRecovery, c.rtxAt, c.rto, c.sndBuf.Len())
 	}
 	return out
 }

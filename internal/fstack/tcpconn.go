@@ -128,10 +128,16 @@ type tcpConn struct {
 	recoverPt  uint32 // sndMax when recovery began (RFC 6582 "recover")
 	rtxNxt     uint32 // next hole-fill candidate during SACK recovery
 
-	// congestion control (RFC 5681 style)
-	cwnd     int
-	ssthresh int
-	dupAcks  int
+	// congestion control: the connection reports ACK/loss events and
+	// the controller owns cwnd/ssthresh (see cc.go).
+	cc      CongestionController
+	dupAcks int
+
+	// persist timer (zero-window probing): armed when a zero peer
+	// window with data waiting leaves nothing in flight, so a lost
+	// window update cannot stall the connection forever.
+	persistAt int64 // probe deadline; 0 = off
+	persistN  int   // consecutive probe backoffs
 
 	// RTT estimation (RFC 6298 via timestamps)
 	srtt   int64
@@ -145,11 +151,12 @@ type tcpConn struct {
 	sockErr    hostos.Errno // sticky error (ECONNRESET etc.)
 
 	// counters (exposed via stack stats)
-	retransSegs uint64 // total retransmitted segments
-	fastRetrans uint64 // dup-ACK fast retransmits (incl. NewReno partial-ACK resends)
-	sackRetrans uint64 // scoreboard-guided hole fills
-	rtoRetrans  uint64 // segments resent after a timeout rewind
-	dupAcksIn   uint64 // duplicate ACKs received
+	retransSegs   uint64 // total retransmitted segments
+	fastRetrans   uint64 // dup-ACK fast retransmits (incl. NewReno partial-ACK resends)
+	sackRetrans   uint64 // scoreboard-guided hole fills
+	rtoRetrans    uint64 // segments resent after a timeout rewind
+	dupAcksIn     uint64 // duplicate ACKs received
+	persistProbes uint64 // zero-window probes sent
 }
 
 // newTCPConn builds a connection in the given state with buffers from
@@ -170,6 +177,10 @@ func (s *Stack) newTCPConn(nif *NetIF, tuple fourTuple) (*tcpConn, error) {
 	if err != nil {
 		return nil, err
 	}
+	cc, err := newCongestionController(s.tuning.Congestion)
+	if err != nil {
+		return nil, err
+	}
 	c := &tcpConn{
 		stk:       s,
 		nif:       nif,
@@ -179,19 +190,12 @@ func (s *Stack) newTCPConn(nif *NetIF, tuple fourTuple) (*tcpConn, error) {
 		rcvBuf:    rcv,
 		oooCap:    max(oooMaxBytes, rcvSize),
 		sndMSS:    MaxSegData,
-		cwnd:      10 * MaxSegData,
-		ssthresh:  256 * 1024,
+		cc:        cc,
 		rto:       rtoInitial,
 		offerSACK: s.tuning.SACK,
 		offerWS:   s.tuning.WindowScale > 0,
 	}
-	if c.offerWS {
-		// A scaled window is bounded by the receive buffer, so slow
-		// start must be allowed to probe past the unscaled 64 KiB
-		// regime; modern stacks start ssthresh effectively unbounded
-		// (RFC 5681 §3.1).
-		c.ssthresh = 1 << 30
-	}
+	c.cc.OnInit(c.sndMSS, c.offerWS)
 	return c, nil
 }
 
@@ -362,7 +366,7 @@ func (c *tcpConn) output() {
 	default:
 		return
 	}
-	wnd := min(int(c.sndWnd), c.cwnd)
+	wnd := min(int(c.sndWnd), c.cc.Cwnd())
 	for {
 		// After a timeout rewind sndNxt sits below sndMax; the
 		// scoreboard lets the resend pass skip runs the peer already
@@ -424,6 +428,55 @@ func (c *tcpConn) output() {
 			}
 		}
 	}
+	// Persist timer: a zero peer window with data waiting and nothing
+	// in flight means the peer's window update is the only event that
+	// can restart this sender — and a lost update would stall the
+	// connection forever. Arm the zero-window probe (RFC 9293
+	// §3.8.6.1); the top-of-function state switch already restricted
+	// this path to the sending states.
+	if c.persistAt == 0 && c.rtxAt == 0 && c.sndWnd == 0 &&
+		c.inflight() == 0 && c.sndBuf.Len() > 0 {
+		c.persistN = 0
+		c.persistAt = c.stk.now() + c.persistInterval()
+	}
+}
+
+// persistInterval is the current zero-window probe backoff: the RTO
+// doubled per unanswered probe, capped like the RTO itself.
+func (c *tcpConn) persistInterval() int64 {
+	return min(c.rto<<uint(min(c.persistN, 10)), int64(rtoMax))
+}
+
+// onPersist fires when the persist timer expires: force one byte past
+// the zero window. The peer must answer any in-window-or-not segment
+// with an ACK carrying its current window, which repairs a lost window
+// update. The probe byte rides at sndUna so repeated probes stay
+// idempotent; the first probe advances sndNxt over it so a peer that
+// has room can accept it.
+func (c *tcpConn) onPersist() {
+	c.persistAt = 0
+	if c.sndWnd > 0 || c.sndBuf.Len() == 0 {
+		c.persistN = 0 // window opened (or data drained) while pending
+		c.output()
+		return
+	}
+	switch c.state {
+	case tcpEstablished, tcpCloseWait, tcpFinWait1, tcpClosing, tcpLastAck:
+	default:
+		c.persistN = 0
+		return
+	}
+	if c.sendSegment(TCPAck, c.sndUna, 1, false) {
+		c.persistProbes++
+		if c.sndNxt == c.sndUna {
+			c.sndNxt++
+			c.sndMax = seqMax(c.sndMax, c.sndNxt)
+		}
+	}
+	if c.persistN < 16 {
+		c.persistN++
+	}
+	c.persistAt = c.stk.now() + c.persistInterval()
 }
 
 // --- input ---
@@ -568,7 +621,7 @@ func (c *tcpConn) retransmitHead() {
 // multi-loss window fills all its holes within one round trip instead
 // of one per returning ACK.
 func (c *tcpConn) sackFill() {
-	for len(c.sacked) > 0 && c.pipe() < c.cwnd {
+	for len(c.sacked) > 0 && c.pipe() < c.cc.Cwnd() {
 		top := c.sacked[len(c.sacked)-1].end
 		seq := c.rtxNxt
 		if seqLT(seq, c.sndUna) {
@@ -601,13 +654,15 @@ func (c *tcpConn) sackFill() {
 func (c *tcpConn) enterRecovery() {
 	c.inRecovery = true
 	c.recoverPt = c.sndMax
-	c.ssthresh = max(c.pipe()/2, 2*c.sndMSS)
+	// The pipe estimate reads rtxNxt (via lostBytes), so it must be
+	// taken before the hole-fill cursor resets — the order the
+	// pre-refactor inline code used.
+	pipe := c.pipe()
 	c.rtxNxt = c.sndUna
+	c.cc.OnEnterRecovery(pipe, c.sackOK, c.stk.now())
 	if c.sackOK {
-		c.cwnd = c.ssthresh
 		c.sackFill()
 	} else {
-		c.cwnd = c.ssthresh + 3*c.sndMSS
 		c.retransmitHead()
 	}
 }
@@ -619,7 +674,11 @@ func (c *tcpConn) handleAck(h TCPHeader) {
 		c.sackUpdate(h.SACK)
 	}
 	if seqLE(ack, c.sndUna) {
-		if ack == c.sndUna && c.inflight() > 0 && c.peerWnd(h) == c.sndWnd {
+		// A zero-window probe's rejection echoes ack == sndUna with the
+		// same (zero) window; while the persist timer runs those are
+		// probe answers, not loss signals.
+		if ack == c.sndUna && c.inflight() > 0 && c.peerWnd(h) == c.sndWnd &&
+			c.persistAt == 0 {
 			c.dupAcks++
 			c.dupAcksIn++
 			switch {
@@ -628,12 +687,24 @@ func (c *tcpConn) handleAck(h TCPHeader) {
 			case c.inRecovery && c.sackOK:
 				c.sackFill()
 			case c.inRecovery:
-				c.cwnd += c.sndMSS // NewReno window inflation
+				c.cc.OnDupAck() // NewReno window inflation
 				c.output()
 			}
 		}
 		if seqGE(ack, c.sndUna) {
 			c.sndWnd = c.peerWnd(h)
+			if c.persistAt != 0 && c.sndWnd > 0 {
+				// The window update the probes were fishing for: leave
+				// persist and disown any probe byte still unacked
+				// (sndMax too, so the in-order resend is fresh data to
+				// the stats, not a phantom RTO retransmit). If the
+				// peer did take the byte, the resend is a partial
+				// overlap its receiver already handles.
+				c.persistAt = 0
+				c.persistN = 0
+				c.sndNxt = c.sndUna
+				c.sndMax = c.sndUna
+			}
 		}
 		return
 	}
@@ -666,10 +737,12 @@ func (c *tcpConn) handleAck(h TCPHeader) {
 	c.sndWnd = c.peerWnd(h)
 	c.dupAcks = 0
 	c.rtxN = 0
+	c.persistAt = 0 // forward progress: the probe cycle (if any) is over
+	c.persistN = 0
 	if h.HasTS && h.TSEcr != 0 {
 		c.rttSample((int64(c.nowUS()) - int64(h.TSEcr)) * 1e3)
 	}
-	// Congestion control.
+	// Congestion control: classify the ACK and report the event.
 	switch {
 	case c.inRecovery && seqLT(ack, c.recoverPt) && c.sackOK:
 		// Partial ACK with SACK: keep cwnd pinned at ssthresh and let
@@ -679,15 +752,13 @@ func (c *tcpConn) handleAck(h TCPHeader) {
 		// Partial ACK (RFC 6582): the next hole starts at the new
 		// sndUna; resend it immediately, deflate instead of grow.
 		c.retransmitHead()
-		c.cwnd = max(c.cwnd-dataAcked+c.sndMSS, 2*c.sndMSS)
+		c.cc.OnPartialAck(dataAcked)
 	case c.inRecovery:
 		// Full ACK at or past the recovery point: done.
 		c.inRecovery = false
-		c.cwnd = c.ssthresh
-	case c.cwnd < c.ssthresh:
-		c.cwnd += min(dataAcked, c.sndMSS) // slow start
+		c.cc.OnExitRecovery(c.stk.now())
 	default:
-		c.cwnd += max(1, c.sndMSS*c.sndMSS/c.cwnd) // AIMD
+		c.cc.OnAck(dataAcked, c.stk.now(), c.srtt) // slow start / avoidance
 	}
 	if c.inflight() == 0 {
 		c.rtxAt = 0
@@ -733,8 +804,7 @@ func (c *tcpConn) onRTO() {
 		c.rtxAt = 0
 		return
 	}
-	c.ssthresh = max(c.pipe()/2, 2*c.sndMSS)
-	c.cwnd = c.sndMSS
+	c.cc.OnRTO(c.pipe(), c.stk.now())
 	c.dupAcks = 0
 	c.inRecovery = false
 	// Rewind and let output() resend (it classifies the resends and
@@ -946,6 +1016,7 @@ func (c *tcpConn) enterTimeWait() {
 	c.setState(tcpTimeWait)
 	c.timeWaitAt = c.stk.now() + timeWaitDur
 	c.rtxAt = 0
+	c.persistAt = 0
 }
 
 // setState transitions the connection.
@@ -956,6 +1027,7 @@ func (c *tcpConn) abort(errno hostos.Errno) {
 	c.sockErr = errno
 	c.setState(tcpClosed)
 	c.rtxAt = 0
+	c.persistAt = 0
 	c.stk.removeConn(c)
 }
 
@@ -986,6 +1058,7 @@ func (c *tcpConn) input(h TCPHeader, payload []byte) {
 		c.sndWnd = c.peerWnd(h)
 		if h.MSS != 0 {
 			c.sndMSS = min(int(h.MSS)-tsOptionLen, MaxSegData)
+			c.cc.SetMSS(c.sndMSS)
 		}
 		// Feature negotiation: each option is on only if both sides
 		// offered it (RFC 7323 §2.2, RFC 2018 §3).
@@ -1052,6 +1125,9 @@ func (c *tcpConn) input(h TCPHeader, payload []byte) {
 func (c *tcpConn) onTimers(now int64) {
 	if c.rtxAt != 0 && now >= c.rtxAt {
 		c.onRTO()
+	}
+	if c.persistAt != 0 && now >= c.persistAt {
+		c.onPersist()
 	}
 	if c.delackAt != 0 && now >= c.delackAt {
 		c.sendAckNow()

@@ -87,7 +87,8 @@ type StackSpec struct {
 	CPUBps      float64
 	CPUWindowNS int64
 	// Tuning, when non-nil, applies modern TCP knobs (SACK, window
-	// scaling, buffer sizes); nil keeps the paper's stack.
+	// scaling, buffer sizes, congestion-control selection); nil keeps
+	// the paper's stack. An unknown Congestion name is a spec error.
 	Tuning *fstack.TCPTuning
 	// RTOMinNS, when positive, raises the retransmission-timer floor.
 	RTOMinNS int64
@@ -238,6 +239,9 @@ func (s Spec) validate() error {
 		if cs.Stack.CPUBps > 0 && cs.Stack.Shards == 0 {
 			return fmt.Errorf("testbed: %s: a CPU budget needs a sharded stack (set Shards >= 1)", what)
 		}
+		if err := validStackTuning(cs.Stack, what); err != nil {
+			return err
+		}
 		if cs.CVMName != "" && cs.CVMName != cs.Name {
 			if err := claimName(cs.CVMName, fmt.Sprintf("cVM of %s", cs.Name)); err != nil {
 				return err
@@ -280,6 +284,9 @@ func (s Spec) validate() error {
 		if ps.Stack.CPUBps > 0 || ps.Stack.CPUWindowNS > 0 {
 			return fmt.Errorf("testbed: %s: peers stand in for the other end of the cable and have ideal cores", what)
 		}
+		if err := validStackTuning(ps.Stack, what); err != nil {
+			return err
+		}
 		if err := claimName(peerName(ps), what); err != nil {
 			return err
 		}
@@ -292,6 +299,17 @@ func (s Spec) validate() error {
 		if err := plan.claimMAC(peerMAC(ps), what); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// validStackTuning rejects TCP tunings the stack would refuse at
+// connection time — validation belongs here, where the spec's author
+// gets the error, not inside a failing connect mid-experiment.
+func validStackTuning(ss StackSpec, what string) error {
+	if ss.Tuning != nil && !fstack.ValidCongestion(ss.Tuning.Congestion) {
+		return fmt.Errorf("testbed: %s: unknown congestion-control algorithm %q (have %v)",
+			what, ss.Tuning.Congestion, fstack.CongestionAlgos())
 	}
 	return nil
 }

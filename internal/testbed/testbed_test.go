@@ -89,6 +89,17 @@ func TestSpecValidationErrors(t *testing.T) {
 	s.Compartments[0].DeviceGate = true
 	s.Compartments[0].Ifs = nil
 	wantBuildError(t, s, "exactly one port")
+
+	// An unknown congestion-control name is rejected at spec time, on
+	// compartments and peers alike, instead of failing the first
+	// connect mid-experiment.
+	s = minimalSpec()
+	s.Compartments[0].Stack.Tuning = &fstack.TCPTuning{Congestion: "vegas"}
+	wantBuildError(t, s, "congestion")
+
+	s = minimalSpec()
+	s.Peers[0].Stack.Tuning = &fstack.TCPTuning{Congestion: "vegas"}
+	wantBuildError(t, s, "congestion")
 }
 
 // TestAddressCollisionsAreErrors pins the satellite: the centralized
