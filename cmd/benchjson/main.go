@@ -6,6 +6,7 @@
 // Usage:
 //
 //	go test -run xxx -bench Scenario -benchtime 1x . | benchjson -out BENCH_scenarios.json
+//	benchjson -compare old.json new.json [-threshold 10]
 //
 // A benchmark line like
 //
@@ -14,6 +15,13 @@
 // becomes
 //
 //	{"name":"Scenario7/cubic","procs":8,"n":1,"metrics":{"ns/op":5123,"Mbit/s":87.8,"util-pct":88}}
+//
+// Compare mode diffs two archived documents: it prints a markdown
+// table of per-benchmark metric deltas (suitable for a CI job
+// summary) and exits non-zero when any directional metric regressed
+// by more than the threshold percentage — which is what turns the
+// per-commit artifacts into an actionable trajectory instead of a
+// write-only archive.
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -103,9 +112,191 @@ func parse(in io.Reader) (Doc, error) {
 	return doc, sc.Err()
 }
 
+// metricDirection classifies a metric unit: +1 when larger values are
+// better (rates, utilization), -1 when smaller values are better
+// (times, allocations, retransmissions), 0 when the metric carries no
+// quality direction (counts like cap-lines) and is reported only.
+func metricDirection(unit string) int {
+	switch unit {
+	case "Mbit/s", "MB/s", "util-pct":
+		return +1
+	case "ns/op", "B/op", "allocs/op", "retx", "ns-mean", "ns-med":
+		return -1
+	}
+	// Custom ReportMetric units with a known prefix (ns-mean:label).
+	switch {
+	case strings.HasPrefix(unit, "ns-mean:"), strings.HasPrefix(unit, "ns-med:"):
+		return -1
+	case strings.HasPrefix(unit, "Mbit/s:"):
+		return +1
+	}
+	return 0
+}
+
+// delta is one compared metric.
+type delta struct {
+	bench, unit string
+	old, new    float64
+	pct         float64 // signed percent change, new vs old
+	regressed   bool
+	gone        bool // metric present in old, absent from new
+	added       bool // metric present in new, absent from old
+}
+
+// compareDocs diffs two archived documents benchmark-by-benchmark.
+// thresholdPct is how many percent a directional metric may move in
+// the "worse" direction before it counts as a regression.
+func compareDocs(old, new Doc, thresholdPct float64) (deltas []delta, onlyOld, onlyNew []string) {
+	oldBy := map[string]Result{}
+	for _, b := range old.Benches {
+		oldBy[b.Name] = b
+	}
+	seen := map[string]bool{}
+	for _, nb := range new.Benches {
+		seen[nb.Name] = true
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			onlyNew = append(onlyNew, nb.Name)
+			continue
+		}
+		units := make([]string, 0, len(nb.Metrics))
+		for unit := range nb.Metrics {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			nv := nb.Metrics[unit]
+			ov, ok := ob.Metrics[unit]
+			if !ok {
+				// Symmetric to the "metric removed" rows below: a new
+				// metric's first appearance is visible, not silent.
+				deltas = append(deltas, delta{bench: nb.Name, unit: unit, new: nv, added: true})
+				continue
+			}
+			d := delta{bench: nb.Name, unit: unit, old: ov, new: nv}
+			if ov != 0 {
+				d.pct = (nv - ov) / ov * 100
+			}
+			switch metricDirection(unit) {
+			case +1:
+				d.regressed = ov != 0 && d.pct < -thresholdPct
+			case -1:
+				// A zero baseline growing to anything is a regression
+				// no percentage can express — exactly the case a
+				// zero-alloc guarantee regressing must not slip
+				// through.
+				d.regressed = (ov != 0 && d.pct > thresholdPct) || (ov == 0 && nv > 0)
+			}
+			deltas = append(deltas, d)
+		}
+		// A metric that vanished (a dropped ReportAllocs, a renamed
+		// unit) must show up, or a guarded baseline could silently
+		// leave the trajectory.
+		oldUnits := make([]string, 0, len(ob.Metrics))
+		for unit := range ob.Metrics {
+			if _, ok := nb.Metrics[unit]; !ok {
+				oldUnits = append(oldUnits, unit)
+			}
+		}
+		sort.Strings(oldUnits)
+		for _, unit := range oldUnits {
+			deltas = append(deltas, delta{bench: nb.Name, unit: unit, old: ob.Metrics[unit], gone: true})
+		}
+	}
+	for _, ob := range old.Benches {
+		if !seen[ob.Name] {
+			onlyOld = append(onlyOld, ob.Name)
+		}
+	}
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return deltas, onlyOld, onlyNew
+}
+
+// formatCompare renders the diff as a markdown table (CI job
+// summaries render it directly; it reads fine as plain text too).
+func formatCompare(deltas []delta, onlyOld, onlyNew []string, thresholdPct float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "| benchmark | metric | old | new | delta | |\n")
+	fmt.Fprintf(&b, "|---|---|---:|---:|---:|---|\n")
+	for _, d := range deltas {
+		if d.gone {
+			fmt.Fprintf(&b, "| %s | %s | %.4g | | | metric removed |\n", d.bench, d.unit, d.old)
+			continue
+		}
+		if d.added {
+			fmt.Fprintf(&b, "| %s | %s | | %.4g | | metric added |\n", d.bench, d.unit, d.new)
+			continue
+		}
+		flag := ""
+		if d.regressed {
+			flag = fmt.Sprintf("REGRESSION (>%.0f%%)", thresholdPct)
+		}
+		pct := fmt.Sprintf("%+.1f%%", d.pct)
+		if d.old == 0 && d.new != 0 {
+			pct = "new nonzero"
+		}
+		fmt.Fprintf(&b, "| %s | %s | %.4g | %.4g | %s | %s |\n",
+			d.bench, d.unit, d.old, d.new, pct, flag)
+	}
+	for _, name := range onlyOld {
+		fmt.Fprintf(&b, "| %s | | | | | removed |\n", name)
+	}
+	for _, name := range onlyNew {
+		fmt.Fprintf(&b, "| %s | | | | | new |\n", name)
+	}
+	return b.String()
+}
+
+// loadDoc reads one archived document.
+func loadDoc(path string) (Doc, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Doc{}, err
+	}
+	defer f.Close()
+	var doc Doc
+	if err := json.NewDecoder(f).Decode(&doc); err != nil {
+		return Doc{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
+	compare := flag.Bool("compare", false, "compare two archived JSON documents: benchjson -compare old.json new.json")
+	threshold := flag.Float64("threshold", 10, "regression threshold in percent (compare mode)")
 	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		oldDoc, err := loadDoc(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		newDoc, err := loadDoc(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		deltas, onlyOld, onlyNew := compareDocs(oldDoc, newDoc, *threshold)
+		fmt.Print(formatCompare(deltas, onlyOld, onlyNew, *threshold))
+		failed := false
+		for _, d := range deltas {
+			if d.regressed {
+				failed = true
+				fmt.Fprintf(os.Stderr, "benchjson: %s %s regressed %.1f%% (%.4g -> %.4g)\n",
+					d.bench, d.unit, d.pct, d.old, d.new)
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
 	doc, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)

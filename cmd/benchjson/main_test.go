@@ -38,6 +38,105 @@ ok  	repro	12.345s
 	}
 }
 
+func TestCompareDocsFlagsRegressions(t *testing.T) {
+	old := Doc{Benches: []Result{
+		{Name: "Scenario5/SACK", Metrics: map[string]float64{"Mbit/s": 80, "ns/op": 1000, "retx": 400}},
+		{Name: "Removed", Metrics: map[string]float64{"ns/op": 5}},
+	}}
+	new := Doc{Benches: []Result{
+		// Mbit/s fell 25% (regression at 10%), ns/op improved, retx
+		// within threshold.
+		{Name: "Scenario5/SACK", Metrics: map[string]float64{"Mbit/s": 60, "ns/op": 900, "retx": 430}},
+		{Name: "Added", Metrics: map[string]float64{"ns/op": 7}},
+	}}
+	deltas, onlyOld, onlyNew := compareDocs(old, new, 10)
+	byUnit := map[string]delta{}
+	for _, d := range deltas {
+		if d.bench == "Scenario5/SACK" {
+			byUnit[d.unit] = d
+		}
+	}
+	if d := byUnit["Mbit/s"]; !d.regressed || d.pct != -25 {
+		t.Fatalf("Mbit/s drop not flagged: %+v", d)
+	}
+	if d := byUnit["ns/op"]; d.regressed {
+		t.Fatalf("ns/op improvement flagged as regression: %+v", d)
+	}
+	if d := byUnit["retx"]; d.regressed {
+		t.Fatalf("retx within threshold flagged: %+v", d)
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "Removed" {
+		t.Fatalf("removed benches wrong: %v", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "Added" {
+		t.Fatalf("added benches wrong: %v", onlyNew)
+	}
+}
+
+func TestCompareDocsThresholdAndNeutralMetrics(t *testing.T) {
+	old := Doc{Benches: []Result{{Name: "X", Metrics: map[string]float64{"ns/op": 100, "cap-lines": 10}}}}
+	new := Doc{Benches: []Result{{Name: "X", Metrics: map[string]float64{"ns/op": 109, "cap-lines": 99}}}}
+	deltas, _, _ := compareDocs(old, new, 10)
+	for _, d := range deltas {
+		if d.regressed {
+			t.Fatalf("nothing should regress (9%% ns/op, neutral cap-lines): %+v", d)
+		}
+	}
+	// Past the threshold it flags.
+	new.Benches[0].Metrics["ns/op"] = 120
+	deltas, _, _ = compareDocs(old, new, 10)
+	found := false
+	for _, d := range deltas {
+		if d.unit == "ns/op" && d.regressed {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("20% ns/op growth not flagged at 10% threshold")
+	}
+}
+
+func TestCompareDocsZeroBaselineRegression(t *testing.T) {
+	// allocs/op going 0 -> anything must flag even though no percent
+	// change is computable (the zero-alloc guarantee regressing).
+	old := Doc{Benches: []Result{{Name: "DatapathFrame", Metrics: map[string]float64{"allocs/op": 0}}}}
+	new := Doc{Benches: []Result{{Name: "DatapathFrame", Metrics: map[string]float64{"allocs/op": 214}}}}
+	deltas, _, _ := compareDocs(old, new, 10)
+	if len(deltas) != 1 || !deltas[0].regressed {
+		t.Fatalf("0 -> 214 allocs/op not flagged: %+v", deltas)
+	}
+	out := formatCompare(deltas, nil, nil, 10)
+	if !strings.Contains(out, "new nonzero") || !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("zero-baseline delta rendered wrong:\n%s", out)
+	}
+	// Staying at zero is clean.
+	new.Benches[0].Metrics["allocs/op"] = 0
+	deltas, _, _ = compareDocs(old, new, 10)
+	if deltas[0].regressed {
+		t.Fatalf("0 -> 0 flagged as regression: %+v", deltas[0])
+	}
+	// A metric disappearing entirely (dropped ReportAllocs) must
+	// still leave a visible row.
+	delete(new.Benches[0].Metrics, "allocs/op")
+	deltas, _, _ = compareDocs(old, new, 10)
+	if len(deltas) != 1 || !deltas[0].gone {
+		t.Fatalf("vanished metric not reported: %+v", deltas)
+	}
+	if out := formatCompare(deltas, nil, nil, 10); !strings.Contains(out, "metric removed") {
+		t.Fatalf("vanished metric row missing:\n%s", out)
+	}
+}
+
+func TestFormatCompareIsMarkdown(t *testing.T) {
+	deltas := []delta{{bench: "A", unit: "Mbit/s", old: 10, new: 5, pct: -50, regressed: true}}
+	out := formatCompare(deltas, []string{"Gone"}, []string{"New"}, 10)
+	for _, want := range []string{"| benchmark |", "| A | Mbit/s |", "REGRESSION", "| Gone |", "removed", "| New |", "new"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestParseLineRejectsNoise(t *testing.T) {
 	for _, line := range []string{
 		"PASS",

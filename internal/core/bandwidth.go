@@ -51,17 +51,45 @@ const (
 	iperfPort  = uint16(5201)
 )
 
+// deadliner reports the next virtual instant a component may act of
+// its own accord (math.MaxInt64 = never): the hook iperf endpoints and
+// the testbed expose for the event-driven driver. A value at or before
+// `now` means the component has work right now.
+type deadliner interface{ NextDeadline(now int64) int64 }
+
+// leapEnabled gates the event-driven clock: when true (the default),
+// runVirtualUntil leaps over tick rounds in which provably nothing is
+// due. The quiescence-leap test flips it to compare the event-driven
+// run against the tick-stepped reference.
+var leapEnabled = true
+
+// visitHook, when non-nil, observes every iteration the driver runs:
+// the instant and whether the bed reported due work there. Test-only.
+var visitHook func(now int64, active bool)
+
 // runVirtual steps every loop (and the extra app steppers) in lockstep
 // virtual time until done() or the deadline.
-func runVirtual(clk *sim.VClock, loops []*fstack.Loop, apps []func(now int64), done func() bool) error {
-	return runVirtualUntil(clk, loops, apps, done, bwDeadline)
+func runVirtual(clk *sim.VClock, bed *Setup, apps []func(now int64), timed []deadliner, done func() bool) error {
+	return runVirtualUntil(clk, bed, apps, timed, done, bwDeadline)
 }
 
 // runVirtualUntil is runVirtual with an explicit deadline, for runs
 // whose drain time scales with the path RTT (Scenario 5's WAN paths
 // retransmit across hundred-ms round trips).
-func runVirtualUntil(clk *sim.VClock, loops []*fstack.Loop, apps []func(now int64), done func() bool, deadlineNS int64) error {
+//
+// The clock is event-driven: each iteration steps every loop and app
+// stepper at the current instant, then asks the bed (Bed.NextDeadline:
+// connection timers, RX FIFOs, serializers, netem delay lines) and the
+// timed components (iperf duration/interval ends) for the earliest
+// future instant anything could happen. When that instant lies beyond
+// the next 5 µs tick, the clock leaps directly to the grid point
+// containing it — the same instant the tick-stepped loop would first
+// have noticed the event at, with every skipped grid point a provable
+// no-op — so observable behavior is bit-identical while wall-clock
+// cost scales with events rather than virtual duration.
+func runVirtualUntil(clk *sim.VClock, bed *Setup, apps []func(now int64), timed []deadliner, done func() bool, deadlineNS int64) error {
 	start := clk.Now()
+	loops := bed.Loops()
 	for clk.Now()-start < deadlineNS {
 		if done() {
 			return nil
@@ -73,9 +101,53 @@ func runVirtualUntil(clk *sim.VClock, loops []*fstack.Loop, apps []func(now int6
 		for _, f := range apps {
 			f(now)
 		}
-		clk.Advance(bwTick)
+		step := int64(bwTick)
+		if leapEnabled || visitHook != nil {
+			next := bed.NextDeadline(now)
+			for _, d := range timed {
+				if next <= now {
+					break
+				}
+				if at := d.NextDeadline(now); at < next {
+					next = at
+				}
+			}
+			if visitHook != nil {
+				visitHook(now, next <= now)
+			}
+			if next > now+bwTick {
+				// Land exactly on the tick-grid point containing the
+				// deadline (never past the run deadline), so the event
+				// is handled at the same instant the tick loop would
+				// have handled it.
+				if end := start + deadlineNS; next > end {
+					next = end
+				}
+				if k := (next - now + bwTick - 1) / bwTick; k > 1 && leapEnabled {
+					step = k * bwTick
+				}
+			}
+		}
+		clk.Advance(step)
 	}
 	return fmt.Errorf("core: bandwidth run did not finish within %.0f ms virtual", float64(deadlineNS)/1e6)
+}
+
+// timedOf collects the deadline hooks of a run's iperf endpoints (nil
+// entries are skipped, so optional endpoints can be passed directly).
+func timedOf(clis []*iperf.Client, srvs []*iperf.Server) []deadliner {
+	var out []deadliner
+	for _, c := range clis {
+		if c != nil {
+			out = append(out, c)
+		}
+	}
+	for _, s := range srvs {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // attachInLoop embeds an iperf endpoint in a loop's user callback, the
@@ -212,7 +284,14 @@ func BandwidthPair(s *Setup, dir Direction) ([]BWResult, error) {
 		}
 		return true
 	}
-	if err := runVirtual(clk, s.Loops(), appSteppers, done); err != nil {
+	var epCli []*iperf.Client
+	var epSrv []*iperf.Server
+	for _, ep := range eps {
+		epCli = append(epCli, ep.client)
+		epSrv = append(epSrv, ep.server)
+	}
+	timed := append(timedOf(epCli, epSrv), timedOf(peerCli, peerSrv)...)
+	if err := runVirtual(clk, s, appSteppers, timed, done); err != nil {
 		return nil, err
 	}
 

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// The event-driven driver's correctness contract: leaping the clock
+// over quiescent tick rounds must be invisible. This file pins it on a
+// recorded Scenario 5 run — the seeded lossy WAN exercises every
+// deadline source at once (netem delay lines, the bottleneck
+// serializer, RTO/delack/persist timers, iperf's duration end) — by
+// running the identical configuration under the tick-stepped reference
+// driver and the leaping driver and comparing what each did.
+
+// leapRecording is one instrumented run.
+type leapRecording struct {
+	visited map[int64]bool // grid points the driver iterated at
+	active  []int64        // grid points where the bed reported due work
+	frames  []string       // the local stack's frame trace (dir, ns, len, hash)
+	result  string         // the formatted scenario output
+}
+
+// recordScenario5 runs the golden Scenario 5 configuration with the
+// given driver mode and records every visited grid point plus the
+// local stack's full frame trace.
+func recordScenario5(t *testing.T, leap bool) leapRecording {
+	t.Helper()
+	rec := leapRecording{visited: map[int64]bool{}}
+	oldLeap, oldHook := leapEnabled, visitHook
+	leapEnabled = leap
+	visitHook = func(now int64, active bool) {
+		rec.visited[now] = true
+		if active {
+			rec.active = append(rec.active, now)
+		}
+	}
+	defer func() { leapEnabled, visitHook = oldLeap, oldHook }()
+
+	s, err := NewScenario5(sim.NewVClock(), Scenario5Config{Modern: true, Link: s5TestLossyLink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tap := &traceTap{}
+	s.Envs[0].Stk.SetTap(tap)
+	r, err := Scenario5Bandwidth(s, 300e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.frames = tap.events
+	rec.result = FormatScenario5("leap equivalence", []Scenario5Result{r})
+	return rec
+}
+
+// TestLeapVisitsSameEventGridPoints asserts the tentpole invariant:
+// the leaping driver visits exactly the grid points at which the tick
+// loop found work due (every event lands on the same 5 µs instant),
+// every point it visits lies on the tick grid, and the measured result
+// is byte-identical.
+func TestLeapVisitsSameEventGridPoints(t *testing.T) {
+	skipUnderRace(t)
+	tick := recordScenario5(t, false)
+	leap := recordScenario5(t, true)
+
+	if tick.result != leap.result {
+		t.Errorf("results differ:\n-- tick driver --\n%s\n-- leap driver --\n%s", tick.result, leap.result)
+	}
+	// Every frame the stack saw must cross at the same virtual instant
+	// with identical bytes — the event history, not just its summary.
+	if len(tick.frames) != len(leap.frames) {
+		t.Errorf("frame counts differ: tick %d, leap %d", len(tick.frames), len(leap.frames))
+	}
+	for i := 0; i < len(tick.frames) && i < len(leap.frames); i++ {
+		if tick.frames[i] != leap.frames[i] {
+			t.Fatalf("frame %d differs:\n  tick: %s\n  leap: %s", i, tick.frames[i], leap.frames[i])
+		}
+	}
+	if len(tick.active) == 0 {
+		t.Fatal("tick run recorded no active grid points; the workload is broken")
+	}
+	if len(tick.active) != len(leap.active) {
+		t.Errorf("active grid point counts differ: tick %d, leap %d", len(tick.active), len(leap.active))
+	}
+	for i := 0; i < len(tick.active) && i < len(leap.active); i++ {
+		if tick.active[i] != leap.active[i] {
+			t.Fatalf("active grid point %d differs: tick %d ns, leap %d ns", i, tick.active[i], leap.active[i])
+		}
+	}
+	for at := range leap.visited {
+		if at%bwTick != 0 {
+			t.Fatalf("leap driver visited off-grid instant %d ns", at)
+		}
+		if !tick.visited[at] {
+			t.Fatalf("leap driver visited %d ns, which the tick driver never reached", at)
+		}
+	}
+	saved := 1 - float64(len(leap.visited))/float64(len(tick.visited))
+	if len(leap.visited) >= len(tick.visited) {
+		t.Errorf("leap driver visited %d grid points, tick driver %d: no iterations were saved",
+			len(leap.visited), len(tick.visited))
+	}
+	t.Logf("tick iterations %d, leap iterations %d (%.1f%% skipped), events %d",
+		len(tick.visited), len(leap.visited), saved*100, len(tick.active))
+}
+
+// TestLeapLandsOnTickGrid pins the grid-alignment arithmetic in
+// isolation: deadlines that fall between grid points must be handled
+// at the first grid point past them, exactly where the tick loop
+// notices them.
+func TestLeapLandsOnTickGrid(t *testing.T) {
+	clk := sim.NewVClock()
+	clk.Advance(3 * bwTick)
+	start := clk.Now()
+	// A deadline 12.3 µs past now sits inside the grid cell ending at
+	// +15 µs; the tick loop first sees it there.
+	next := start + 12_300
+	k := (next - start + bwTick - 1) / bwTick
+	if got, want := start+k*bwTick, start+int64(3*bwTick); got != want {
+		t.Fatalf("leap target %d, want %d", got, want)
+	}
+	// A deadline exactly on the grid is its own target.
+	next = start + 2*bwTick
+	k = (next - start + bwTick - 1) / bwTick
+	if got, want := start+k*bwTick, next; got != want {
+		t.Fatalf("on-grid leap target %d, want %d", got, want)
+	}
+}

@@ -219,7 +219,8 @@ func Scenario4Bandwidth(s *Setup4, dir Direction, flows int, durationNS int64) (
 		}
 		return true
 	}
-	if err := runVirtual(clk, s.Loops(), appSteppers, done); err != nil {
+	timed := append(timedOf(localCli, localSrv), timedOf(peerCli, peerSrv)...)
+	if err := runVirtual(clk, s, appSteppers, timed, done); err != nil {
 		return res, err
 	}
 

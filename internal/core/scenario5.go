@@ -182,7 +182,7 @@ func Scenario5Bandwidth(s *Setup5, durationNS int64) (Scenario5Result, error) {
 	// Loss recovery and the final drain ride WAN RTTs: give the run
 	// generous headroom beyond the traffic time.
 	deadline := durationNS + 8_000e6 + 200*2*s.Link().Config().DelayNS
-	if err := runVirtualUntil(clk, s.Loops(), nil, done, deadline); err != nil {
+	if err := runVirtualUntil(clk, s.Bed, nil, timedOf([]*iperf.Client{cli}, []*iperf.Server{srv}), done, deadline); err != nil {
 		return res, err
 	}
 	if cli.Err() != 0 {

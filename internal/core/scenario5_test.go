@@ -57,8 +57,7 @@ func runTransparencyRig(t *testing.T, linked bool) []string {
 	srv := iperf.NewServer(fstack.IPv4Addr{}, iperfPort)
 	attachInLoop(bed.Peers[0].Env, srv.Step)
 	done := func() bool { return cli.Done() && srv.Done() }
-	loops := []*fstack.Loop{env.Loop, bed.Peers[0].Env.Loop}
-	if err := runVirtual(clk, loops, nil, done); err != nil {
+	if err := runVirtual(clk, bed, nil, timedOf([]*iperf.Client{cli}, []*iperf.Server{srv}), done); err != nil {
 		t.Fatal(err)
 	}
 	if len(tap.events) == 0 {

@@ -316,7 +316,8 @@ func Scenario6Bandwidth(s *Setup6, flows int, durationNS int64) (Scenario6Result
 	// Recovery and the final drain ride WAN RTTs through a deep queue:
 	// generous headroom beyond the traffic time.
 	deadline := durationNS + 8_000e6 + 200*2*res.Fwd.DelayNS
-	if err := runVirtualUntil(clk, s.Loops(), appSteppers, done, deadline); err != nil {
+	timed := append(timedOf(localCli, localSrv), timedOf(peerCli, peerSrv)...)
+	if err := runVirtualUntil(clk, s.Bed, appSteppers, timed, done, deadline); err != nil {
 		return res, err
 	}
 

@@ -211,7 +211,7 @@ func Scenario7Bandwidth(s *Setup7, durationNS int64) (Scenario7Result, error) {
 
 	done := func() bool { return cli.Done() && srv.Done() }
 	deadline := durationNS + 8_000e6 + 200*2*s.Link().Config().DelayNS
-	if err := runVirtualUntil(clk, s.Loops(), nil, done, deadline); err != nil {
+	if err := runVirtualUntil(clk, s.Bed, nil, timedOf([]*iperf.Client{cli}, []*iperf.Server{srv}), done, deadline); err != nil {
 		return res, err
 	}
 	if cli.Err() != 0 {

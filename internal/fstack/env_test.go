@@ -13,7 +13,7 @@ import (
 // testEnv is a two-machine rig: stack A (10.0.0.1) and stack B
 // (10.0.0.2) wired back-to-back at 1 Gbit/s, driven in virtual time.
 type testEnv struct {
-	t    *testing.T
+	t    testing.TB
 	clk  *sim.VClock
 	stkA *Stack
 	stkB *Stack
@@ -21,7 +21,7 @@ type testEnv struct {
 
 // buildMachine makes one machine: memory, card, segment, pool, ethdev,
 // stack.
-func buildMachine(t *testing.T, clk *sim.VClock, bdf string, macLast byte, ip IPv4Addr, capMode bool) (*Stack, *nic.Card) {
+func buildMachine(t testing.TB, clk *sim.VClock, bdf string, macLast byte, ip IPv4Addr, capMode bool) (*Stack, *nic.Card) {
 	t.Helper()
 	mem := cheri.NewTMem(16 << 20)
 	pci := hostos.NewPCI()
@@ -74,7 +74,7 @@ func buildMachine(t *testing.T, clk *sim.VClock, bdf string, macLast byte, ip IP
 }
 
 // newEnv builds the rig.
-func newEnv(t *testing.T, capMode bool) *testEnv {
+func newEnv(t testing.TB, capMode bool) *testEnv {
 	t.Helper()
 	clk := sim.NewVClock()
 	stkA, cardA := buildMachine(t, clk, "0000:03:00", 1, IP4(10, 0, 0, 1), capMode)

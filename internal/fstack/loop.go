@@ -60,6 +60,17 @@ func (l *Loop) Run() {
 // Stop makes Run return after the current iteration.
 func (l *Loop) Stop() { l.stopped.Store(true) }
 
+// NextDeadline reports the earliest virtual instant at which this
+// loop's next iteration could do anything: a connection timer firing,
+// a frame becoming harvestable, a serializer freeing up. A value <=
+// now means the loop has work right now; math.MaxInt64 means it is
+// fully quiescent. Event-driven drivers aggregate this over every loop
+// (and the applications they host) to leap the virtual clock over
+// iterations that would provably be no-ops.
+func (l *Loop) NextDeadline(now int64) int64 {
+	return l.Stk.NextDeadline(now)
+}
+
 // Iterations reports completed loop iterations.
 func (l *Loop) Iterations() uint64 { return l.iterations.Load() }
 

@@ -32,6 +32,10 @@ type MultiQueueDevice interface {
 	// RxQueueOf is the steering oracle: which RX queue the device's RSS
 	// hash sends an inbound packet with this flow tuple to.
 	RxQueueOf(src, dst [4]byte, proto byte, sport, dport uint16) int
+	// NextDeadline mirrors EthDevice's hook (compile-enforced for the
+	// same reason: a forgetful wrapper must not silently read as
+	// quiescent to the event-driven clock).
+	NextDeadline(now int64) int64
 }
 
 // queueDev is one shard's single-queue view of a multi-queue device; it
@@ -46,6 +50,11 @@ func (d queueDev) TxBurst(bufs []*dpdk.Mbuf) int { return d.dev.TxBurstQ(d.q, bu
 func (d queueDev) Poll()                         { d.dev.PollQ(d.q) }
 func (d queueDev) MAC() [6]byte                  { return d.dev.MAC() }
 func (d queueDev) Stats() dpdk.Stats             { return d.dev.QueueStats(d.q) }
+
+// NextDeadline delegates to the whole device. The port-wide answer is
+// conservative — another queue's frame may wake this shard for a
+// no-op iteration — which costs a visit, never a missed event.
+func (d queueDev) NextDeadline(now int64) int64 { return d.dev.NextDeadline(now) }
 
 // ShardedStack is N independent Stacks over one multi-queue device.
 type ShardedStack struct {

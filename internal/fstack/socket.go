@@ -191,7 +191,7 @@ func (s *Stack) connectLocked(fd int, ip IPv4Addr, port uint16) hostos.Errno {
 	iss := s.iss()
 	c.sndUna, c.sndNxt, c.sndMax = iss, iss+1, iss+1
 	c.state = tcpSynSent
-	s.conns[tuple] = c
+	s.addConn(tuple, c)
 	sk.conn = c
 	sk.bound = local
 	c.sendSegment(TCPSyn, iss, 0, true)
@@ -333,7 +333,19 @@ func (s *Stack) readLocked(fd int, dst []byte) (int, hostos.Errno) {
 	if err != nil {
 		return -1, hostos.EFAULT
 	}
+	s.noteReadDrain(c)
 	return n, hostos.OK
+}
+
+// noteReadDrain runs after an application read freed receive-buffer
+// space: if the drain re-opens a window we advertised as (near) zero,
+// the next poll's timer pass will send the window update — flag that
+// pending work so the event-driven driver visits that iteration
+// instead of leaping over it to the peer's (much later) persist probe.
+func (s *Stack) noteReadDrain(c *tcpConn) {
+	if c.needsWindowUpdate() {
+		s.wantPoll = true
+	}
 }
 
 // ReadCap is the CHERI ff_read: stores into the caller's capability
@@ -363,6 +375,7 @@ func (s *Stack) readCapLocked(fd int, mem *cheri.TMem, buf cheri.Cap, n int) (in
 	if err != nil {
 		return -1, hostos.EFAULT
 	}
+	s.noteReadDrain(c)
 	return read, hostos.OK
 }
 

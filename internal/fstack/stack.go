@@ -2,6 +2,7 @@ package fstack
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"repro/internal/dpdk"
@@ -19,6 +20,14 @@ type EthDevice interface {
 	Poll()
 	MAC() [6]byte
 	Stats() dpdk.Stats
+	// NextDeadline reports the earliest virtual instant the device
+	// could make progress (harvestable frame, admissible TX, conduit
+	// release); math.MaxInt64 = quiescent, <= now = work right now.
+	// Part of the interface — not an optional assertion — so a device
+	// wrapper that forgets to forward it fails to compile instead of
+	// silently reporting "never" and letting the event-driven clock
+	// leap past its frames.
+	NextDeadline(now int64) int64
 }
 
 // NetIF is a configured network interface: one Ethernet device plus its
@@ -123,8 +132,14 @@ type Stack struct {
 	// duration of an iteration; API entry points hold it per call.
 	mu sync.Mutex
 
-	nifs      []*NetIF
-	conns     map[fourTuple]*tcpConn
+	nifs  []*NetIF
+	conns map[fourTuple]*tcpConn
+	// connOrder lists the live connections in creation order. The poll
+	// loop iterates it instead of the conns map so timer firing and
+	// output interleaving are identical run to run — map iteration
+	// order is randomized per process, and the goldens must not depend
+	// on winning that lottery.
+	connOrder []*tcpConn
 	listeners map[tcpEndpoint]*listener
 	udps      map[tcpEndpoint]*udpSock
 	socks     map[int]*socket
@@ -136,6 +151,29 @@ type Stack struct {
 	ephemeral  uint16
 	rtoMinNS   int64 // 0 = package default (SetRTOMin)
 	tuning     TCPTuning
+
+	// wantPoll marks state-driven work an API call queued for the next
+	// poll's timer pass (currently: a read re-opened a closed receive
+	// window, so a window-update ACK is owed). The event-driven driver
+	// must visit the next iteration rather than leap.
+	wantPoll bool
+
+	// timerMin is a conservative lower bound on the earliest armed
+	// connection timer (rtxAt/persistAt/delackAt/timeWaitAt), kept
+	// incrementally: arming notes the new deadline, and a stale bound
+	// (a timer fired or was disarmed) is recomputed lazily the next
+	// time nextDeadlineLocked crosses it. math.MaxInt64 = none armed.
+	timerMin int64
+
+	// rxBurst is the poll loop's harvest scratch. As a local it would
+	// escape through the EthDevice interface call and cost one heap
+	// allocation per poll — the simulator's single hottest allocation
+	// site before it moved here. txOne is the same story for the
+	// transmit path's one-frame bursts (one allocation per frame).
+	// Both are safe as fields: all use is under the stack mutex and
+	// the device never retains the slice.
+	rxBurst [32]*dpdk.Mbuf
+	txOne   [1]*dpdk.Mbuf
 
 	tap   Tap
 	stats StackStats
@@ -154,7 +192,76 @@ func NewStack(seg *dpdk.MemSeg, pool *dpdk.Mempool, clk hostos.Clock) *Stack {
 		epolls:    make(map[int]*epollInstance),
 		nextFD:    3,
 		ephemeral: 32768,
+		timerMin:  math.MaxInt64,
 	}
+}
+
+// addConn registers a connection in the table and the ordered list.
+func (s *Stack) addConn(tuple fourTuple, c *tcpConn) {
+	s.conns[tuple] = c
+	s.connOrder = append(s.connOrder, c)
+}
+
+// noteTimer records a newly armed connection deadline in the cached
+// minimum. Disarming needs no call: the stale bound is corrected by
+// the lazy recompute in nextDeadlineLocked.
+func (s *Stack) noteTimer(at int64) {
+	if at < s.timerMin {
+		s.timerMin = at
+	}
+}
+
+// connDeadline is the earliest armed timer of one connection.
+func connDeadline(c *tcpConn) int64 {
+	d := int64(math.MaxInt64)
+	if c.rtxAt != 0 && c.rtxAt < d {
+		d = c.rtxAt
+	}
+	if c.persistAt != 0 && c.persistAt < d {
+		d = c.persistAt
+	}
+	if c.delackAt != 0 && c.delackAt < d {
+		d = c.delackAt
+	}
+	if c.state == tcpTimeWait && c.timeWaitAt < d {
+		d = c.timeWaitAt
+	}
+	return d
+}
+
+// nextDeadlineLocked reports the stack's earliest future work: the
+// cached connection-timer minimum (recomputed when stale) and whatever
+// the attached devices hold. Callers hold the stack mutex.
+func (s *Stack) nextDeadlineLocked(now int64) int64 {
+	if s.wantPoll {
+		return now
+	}
+	if s.timerMin <= now {
+		// The bound was reached (a timer fired, or was disarmed at or
+		// before it): recompute the exact minimum.
+		s.timerMin = math.MaxInt64
+		for _, c := range s.connOrder {
+			if d := connDeadline(c); d < s.timerMin {
+				s.timerMin = d
+			}
+		}
+	}
+	d := s.timerMin
+	for _, nif := range s.nifs {
+		if at := nif.dev.NextDeadline(now); at < d {
+			d = at
+		}
+	}
+	return d
+}
+
+// NextDeadline reports the earliest virtual instant at which this
+// stack (its connection timers or its devices) could make progress;
+// math.MaxInt64 means none, a value <= now means work is due already.
+func (s *Stack) NextDeadline(now int64) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextDeadlineLocked(now)
 }
 
 // AddNetIF attaches a started ethdev with its IPv4 configuration.
@@ -312,7 +419,8 @@ func (s *Stack) sendIPv4(nif *NetIF, m *dpdk.Mbuf, frame []byte, dst IPv4Addr, p
 // txSubmit hands a finished frame to the device, maintaining statistics
 // and the capture tap. It frees the mbuf on refusal.
 func (s *Stack) txSubmit(nif *NetIF, m *dpdk.Mbuf, frame []byte) bool {
-	if nif.dev.TxBurst([]*dpdk.Mbuf{m}) != 1 {
+	s.txOne[0] = m
+	if nif.dev.TxBurst(s.txOne[:]) != 1 {
 		m.Free()
 		return false
 	}
@@ -529,7 +637,7 @@ func (s *Stack) acceptSyn(nif *NetIF, l *listener, tuple fourTuple, h TCPHeader)
 	iss := s.iss()
 	c.sndUna, c.sndNxt, c.sndMax = iss, iss+1, iss+1
 	c.sndWnd = uint32(h.Window)
-	s.conns[tuple] = c
+	s.addConn(tuple, c)
 	l.halfOpen++
 	c.sendSegment(TCPSyn|TCPAck, iss, 0, true)
 	c.armRTO()
@@ -584,15 +692,22 @@ func (s *Stack) removeConn(c *tcpConn) {
 	c.retransSegs, c.fastRetrans, c.sackRetrans, c.rtoRetrans = 0, 0, 0, 0
 	c.dupAcksIn, c.persistProbes = 0, 0
 	delete(s.conns, c.tuple)
+	for i, o := range s.connOrder {
+		if o == c {
+			s.connOrder = append(s.connOrder[:i], s.connOrder[i+1:]...)
+			break
+		}
+	}
 }
 
 // poll is one stack iteration: drain RX, run timers, flush output.
 // Callers hold the stack mutex.
 func (s *Stack) poll() {
-	var burst [32]*dpdk.Mbuf
+	s.wantPoll = false // the timer pass below answers any queued work
+	burst := s.rxBurst[:]
 	for _, nif := range s.nifs {
 		for {
-			n := nif.dev.RxBurst(burst[:])
+			n := nif.dev.RxBurst(burst)
 			for i := 0; i < n; i++ {
 				s.input(nif, burst[i])
 			}
@@ -602,7 +717,12 @@ func (s *Stack) poll() {
 		}
 	}
 	now := s.now()
-	for _, c := range s.conns {
+	// Creation order, not map order: reproducible timer and output
+	// interleaving. A connection that removes itself mid-iteration
+	// splices the list; the element sliding into its slot is simply
+	// visited on the next poll, exactly one iteration later.
+	for i := 0; i < len(s.connOrder); i++ {
+		c := s.connOrder[i]
 		c.onTimers(now)
 		c.output()
 	}
@@ -630,7 +750,7 @@ func (s *Stack) DebugConnDump() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := ""
-	for _, c := range s.conns {
+	for _, c := range s.connOrder {
 		out += fmt.Sprintf("[%s una=%d nxt=%d max=%d cwnd=%d pipe=%d wnd=%d sacked=%d rec=%v rtxAt=%d rto=%d buf=%d]",
 			c.state, c.sndUna, c.sndNxt, c.sndMax, c.cc.Cwnd(), c.pipe(), c.sndWnd, len(c.sacked), c.inRecovery, c.rtxAt, c.rto, c.sndBuf.Len())
 	}

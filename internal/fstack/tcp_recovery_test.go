@@ -2,6 +2,7 @@ package fstack
 
 import (
 	"bytes"
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -39,6 +40,10 @@ func (w *hookWire) Send(from int, data []byte, readyAt int64) {
 }
 
 func (w *hookWire) Pump(int64) {}
+
+// NextDeadline implements nic.Conduit: the hook delays frames via
+// readyAt, so held work already shows up as far-FIFO deadlines.
+func (w *hookWire) NextDeadline(int64) int64 { return math.MaxInt64 }
 
 // newHookedEnv is newEnv with a hookWire instead of a plain cable.
 func newHookedEnv(t *testing.T, hook func(from int, data []byte, readyAt int64) (int64, bool)) *testEnv {

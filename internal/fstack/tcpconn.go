@@ -305,6 +305,7 @@ func (c *tcpConn) sendAckNow() {
 // armRTO (re)arms the retransmission timer.
 func (c *tcpConn) armRTO() {
 	c.rtxAt = c.stk.now() + c.rto
+	c.stk.noteTimer(c.rtxAt)
 }
 
 // inflight returns un-acknowledged bytes.
@@ -438,6 +439,7 @@ func (c *tcpConn) output() {
 		c.inflight() == 0 && c.sndBuf.Len() > 0 {
 		c.persistN = 0
 		c.persistAt = c.stk.now() + c.persistInterval()
+		c.stk.noteTimer(c.persistAt)
 	}
 }
 
@@ -477,6 +479,7 @@ func (c *tcpConn) onPersist() {
 		c.persistN++
 	}
 	c.persistAt = c.stk.now() + c.persistInterval()
+	c.stk.noteTimer(c.persistAt)
 }
 
 // --- input ---
@@ -1008,6 +1011,7 @@ func (c *tcpConn) acceptData(h TCPHeader, payload []byte) {
 		c.sendAckNow()
 	} else if c.delackAt == 0 {
 		c.delackAt = c.stk.now() + delackTimeout
+		c.stk.noteTimer(c.delackAt)
 	}
 }
 
@@ -1015,6 +1019,7 @@ func (c *tcpConn) acceptData(h TCPHeader, payload []byte) {
 func (c *tcpConn) enterTimeWait() {
 	c.setState(tcpTimeWait)
 	c.timeWaitAt = c.stk.now() + timeWaitDur
+	c.stk.noteTimer(c.timeWaitAt)
 	c.rtxAt = 0
 	c.persistAt = 0
 }
@@ -1138,9 +1143,21 @@ func (c *tcpConn) onTimers(now int64) {
 	}
 	// Window update: if we advertised (near) zero and space opened, tell
 	// the peer.
-	if c.state == tcpEstablished || c.state == tcpFinWait1 || c.state == tcpFinWait2 {
-		if c.advWnd < uint32(c.sndMSS) && c.rcvWnd() >= uint32(2*c.sndMSS) {
-			c.sendAckNow()
-		}
+	if c.needsWindowUpdate() {
+		c.sendAckNow()
 	}
+}
+
+// needsWindowUpdate reports whether the timer pass owes the peer a
+// window update: we advertised (near) zero and buffer space has since
+// opened. ONE predicate shared between onTimers (which sends the
+// update) and Stack.noteReadDrain (which tells the event-driven driver
+// to visit that iteration) — if the two drifted apart, the leap driver
+// could skip exactly the iteration the update is due in.
+func (c *tcpConn) needsWindowUpdate() bool {
+	switch c.state {
+	case tcpEstablished, tcpFinWait1, tcpFinWait2:
+		return c.advWnd < uint32(c.sndMSS) && c.rcvWnd() >= uint32(2*c.sndMSS)
+	}
+	return false
 }

@@ -2,6 +2,7 @@ package iperf
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/fstack"
 	"repro/internal/hostos"
@@ -102,6 +103,13 @@ type Client struct {
 	ivStartNS int64
 	ivBytes   uint64
 	failure   hostos.Errno
+	// wantStep marks a state transition whose follow-up work happens
+	// on the NEXT Step call (the first write after connecting): the
+	// event-driven driver must visit that iteration rather than wait
+	// for a network event. Cleared by the next running Step, after
+	// which the client is provably blocked on stack events (its write
+	// loop always runs the socket buffer to EAGAIN or a short write).
+	wantStep bool
 }
 
 // NewClient prepares a sender toward ip:port running for duration ns.
@@ -115,6 +123,28 @@ func NewClient(ip fstack.IPv4Addr, port uint16, durationNS int64) *Client {
 
 // Done reports completion.
 func (c *Client) Done() bool { return c.state == clientDone }
+
+// NextDeadline reports the next virtual instant at which Step would do
+// something on its own clock rather than in reaction to stack events:
+// the transfer-duration end and the next interval-report boundary. All
+// other client activity (connecting, refilling the socket buffer) is
+// unblocked by stack events, which the testbed's own deadlines cover.
+// math.MaxInt64 = no timed work pending.
+func (c *Client) NextDeadline(now int64) int64 {
+	if c.wantStep {
+		return now
+	}
+	if c.state != clientRunning {
+		return math.MaxInt64
+	}
+	d := c.report.StartNS + c.DurationNS
+	if c.IntervalNS > 0 {
+		if iv := c.ivStartNS + c.IntervalNS; iv < d {
+			d = iv
+		}
+	}
+	return d
+}
 
 // Err returns the sticky failure, if any.
 func (c *Client) Err() hostos.Errno { return c.failure }
@@ -175,10 +205,12 @@ func (c *Client) Step(api API, now int64) {
 				c.state = clientRunning
 				c.report.StartNS = now
 				c.ivStartNS = now
+				c.wantStep = true // first write happens next Step
 			}
 		}
 
 	case clientRunning:
+		c.wantStep = false
 		if now-c.report.StartNS >= c.DurationNS {
 			c.finish(api, now)
 			return
@@ -243,6 +275,9 @@ type Server struct {
 	report   Report
 	failure  hostos.Errno
 	haveData bool
+	// wantStep mirrors Client.wantStep: the first read after accepting
+	// happens on the next Step call and must not be leapt over.
+	wantStep bool
 }
 
 // NewServer prepares a receiver on ip:port (zero IP = all interfaces).
@@ -252,6 +287,17 @@ func NewServer(ip fstack.IPv4Addr, port uint16) *Server {
 
 // Done reports completion.
 func (s *Server) Done() bool { return s.state == serverDone }
+
+// NextDeadline implements the same hook as Client's: a server is
+// event-driven (it reacts to accepted connections and received data),
+// so apart from the post-accept catch-up step it never holds timed
+// work.
+func (s *Server) NextDeadline(now int64) int64 {
+	if s.wantStep {
+		return now
+	}
+	return math.MaxInt64
+}
 
 // Err returns the sticky failure, if any.
 func (s *Server) Err() hostos.Errno { return s.failure }
@@ -314,9 +360,11 @@ func (s *Server) Step(api API, now int64) {
 				return
 			}
 			s.state = serverRunning
+			s.wantStep = true // first read happens next Step
 		}
 
 	case serverRunning:
+		s.wantStep = false
 		for {
 			n, errno := api.Read(s.cfd, s.buf)
 			if errno == hostos.EAGAIN {

@@ -3,6 +3,7 @@ package netem
 import (
 	"container/heap"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 
@@ -155,6 +156,13 @@ type dirState struct {
 	held     frameHeap
 	seq      uint64
 	stats    DirStats
+	// due is the reusable scratch takeDueLocked fills — allocating a
+	// fresh slice per release was one of the datapath's per-frame
+	// allocation sites. It is LOANED: takeDueLocked hands it out and
+	// nils the field, putDue returns it after delivery, so even
+	// concurrent steppers of the two endpoints can never iterate the
+	// same backing array (the loser of the race just allocates).
+	due []heldFrame
 }
 
 // Link is a composable impairment pipeline between two endpoints. It
@@ -275,12 +283,14 @@ func (l *Link) Send(from int, data []byte, readyAt int64) {
 		if lossP > 0 && d.rng.Float64() < lossP {
 			d.stats.LostBurst++
 			d.mu.Unlock()
+			nic.FreeFrame(data)
 			return
 		}
 	}
 	if cfg.LossRate > 0 && d.rng.Float64() < cfg.LossRate {
 		d.stats.LostRandom++
 		d.mu.Unlock()
+		nic.FreeFrame(data)
 		return
 	}
 
@@ -307,6 +317,7 @@ func (l *Link) Send(from int, data []byte, readyAt int64) {
 		if drop {
 			d.stats.DroppedQueue++
 			d.mu.Unlock()
+			nic.FreeFrame(data)
 			return
 		}
 		d.nextFree += int64(float64(len(data)+wireOverheadBytes) * 8e9 / cfg.RateBps)
@@ -327,7 +338,10 @@ func (l *Link) Send(from int, data []byte, readyAt int64) {
 	d.seq++
 	due := d.takeDueLocked(now)
 	d.mu.Unlock()
-	deliverAll(dst, due)
+	if len(due) > 0 {
+		deliverAll(dst, due)
+		d.putDue(due)
+	}
 }
 
 // Pump implements nic.Conduit: release every held frame that is due.
@@ -339,8 +353,28 @@ func (l *Link) Pump(now int64) {
 		d.mu.Lock()
 		due := d.takeDueLocked(now)
 		d.mu.Unlock()
-		deliverAll(l.ends[1-dir], due)
+		if len(due) > 0 {
+			deliverAll(l.ends[1-dir], due)
+			d.putDue(due)
+		}
 	}
+}
+
+// NextDeadline reports the earliest instant at which a held frame (in
+// either direction) becomes due, or math.MaxInt64 when the delay lines
+// are empty. The attached ports fold this into their own deadlines, so
+// the event-driven driver leaps straight to the next delivery.
+func (l *Link) NextDeadline(int64) int64 {
+	d := int64(math.MaxInt64)
+	for dir := range l.dirs {
+		ds := &l.dirs[dir]
+		ds.mu.Lock()
+		if len(ds.held) > 0 && ds.held[0].deliverAt < d {
+			d = ds.held[0].deliverAt
+		}
+		ds.mu.Unlock()
+	}
+	return d
 }
 
 // stepGE advances the Gilbert–Elliott chain to time `at`, one
@@ -379,14 +413,31 @@ func (d *dirState) stepGE(cfg Config, at int64) {
 	}
 }
 
-// takeDueLocked pops the frames due at `now`, in delivery order.
+// takeDueLocked pops the frames due at `now`, in delivery order, into
+// the direction's loaned scratch slice. A non-empty result must be
+// handed back via putDue once delivered.
 func (d *dirState) takeDueLocked(now int64) []heldFrame {
-	var due []heldFrame
+	if len(d.held) == 0 || d.held[0].deliverAt > now {
+		return nil // fast path: nothing due, no loan
+	}
+	due := d.due[:0]
+	d.due = nil // loaned out until putDue
 	for len(d.held) > 0 && d.held[0].deliverAt <= now {
 		due = append(due, heap.Pop(&d.held).(heldFrame))
 		d.stats.Delivered++
 	}
 	return due
+}
+
+// putDue returns the delivery scratch after its frames were handed
+// over. If a concurrent release already replaced it, the older slice
+// is simply dropped.
+func (d *dirState) putDue(due []heldFrame) {
+	d.mu.Lock()
+	if d.due == nil {
+		d.due = due[:0]
+	}
+	d.mu.Unlock()
 }
 
 // deliverAll hands released frames to the endpoint outside the

@@ -1,0 +1,46 @@
+package nic
+
+import "sync"
+
+// The frame arena recycles the per-frame byte buffers that carry
+// Ethernet frames between a port's TX path and the far port's RX FIFO
+// (directly over a Wire, or held in a netem delay line in between).
+// Before the arena every transmitted frame cost one make([]byte) — the
+// dominant allocation site of the whole simulator once the poll-loop
+// scratch was fixed — and the buffers died as soon as the receiving
+// port DMAed them into its descriptor ring.
+//
+// Ownership contract: a frame handed to Conduit.Send or
+// Endpoint.DeliverFrame belongs to the receiving side. Whoever
+// consumes it (the RX path after copying it into descriptor memory, an
+// impairment pipeline that drops it) calls FreeFrame; nobody may
+// retain the slice afterward. Code that needs the bytes past that
+// point (taps, traces) must copy.
+
+// framePool holds *[maxFrame]byte so Get/Put move a single pointer —
+// pooling []byte directly would allocate a slice header per Put.
+var framePool = sync.Pool{
+	New: func() any { return new([maxFrame]byte) },
+}
+
+// AllocFrame returns an n-byte frame buffer from the arena. Buffers
+// always carry cap == maxFrame, which is how FreeFrame recognizes
+// arena frames.
+func AllocFrame(n int) []byte {
+	if n > maxFrame {
+		// Oversized (never the case for port traffic, which enforces
+		// the MTU): fall back to the allocator; FreeFrame will ignore it.
+		return make([]byte, n)
+	}
+	return framePool.Get().(*[maxFrame]byte)[:n]
+}
+
+// FreeFrame returns a frame buffer to the arena. Foreign slices (tests
+// hand-deliver their own buffers) are recognized by capacity and left
+// to the garbage collector.
+func FreeFrame(b []byte) {
+	if cap(b) != maxFrame {
+		return
+	}
+	framePool.Put((*[maxFrame]byte)(b[:maxFrame]))
+}

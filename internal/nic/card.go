@@ -188,3 +188,20 @@ func (c *Card) busCanAdmit(port int) bool {
 	}
 	return c.busTouch(port).CanAdmit()
 }
+
+// busLimited reports whether the card models a finite PCI bus.
+func (c *Card) busLimited() bool { return c.busShare != nil }
+
+// busNextAdmitAt reports when the port's bus share could next admit a
+// transfer, WITHOUT recording activity: deadline queries are simulator
+// introspection, and touching the arbiter from them would perturb the
+// active-set accounting the tick-stepped reference driver produces.
+func (c *Card) busNextAdmitAt(port int, now int64) int64 {
+	if c.busShare == nil {
+		return now
+	}
+	c.busMu.Lock()
+	s := c.busShare[port]
+	c.busMu.Unlock()
+	return s.NextAdmitAt(now)
+}

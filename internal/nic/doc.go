@@ -27,6 +27,12 @@
 //
 // The device is interrupt-less: Step drains rings when called, and the
 // DPDK PMD calls it from rx_burst/tx_burst — polling mode, as DPDK does.
+// For the event-driven virtual clock each port also answers deadline
+// queries (Port.NextDeadline): when could it next act — a FIFO head
+// becoming harvestable, a pending TX descriptor becoming admissible,
+// the attached conduit releasing a frame. Frame buffers crossing a
+// conduit come from a sync.Pool arena (arena.go) whose ownership rules
+// are documented there and in DESIGN.md §8.
 //
 // Beyond the paper's single-queue setup, each port carries up to
 // MaxQueues RX/TX queue pairs with receive-side scaling: a symmetric

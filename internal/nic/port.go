@@ -2,6 +2,7 @@ package nic
 
 import (
 	"encoding/binary"
+	"math"
 	"sync"
 
 	"repro/internal/cheri"
@@ -338,11 +339,19 @@ func (p *Port) stepTX(q int) {
 		return
 	}
 
+	// Stats batch per burst: taking p.mu twice per transmitted frame
+	// was measurable lock churn on the simulator's hottest path.
+	var sentFrames, sentBytes uint64
 	for burst := 0; burst < maxBurst && head != tail; burst++ {
 		descAddr := base + uint64(head)*DescSize
 		desc, ok := p.dmaRO(descAddr, DescSize)
 		if !ok {
-			return // DMA fault: silently stop, like a master abort
+			// DMA fault: silently stop, like a master abort. Deliberate
+			// change from the pre-batching code, which returned without
+			// committing head — frames sent before a mid-burst fault
+			// were re-read and re-transmitted on the next step; now
+			// their head advance (and stats) are written back below.
+			break
 		}
 		bufAddr := binary.LittleEndian.Uint64(desc[0:8])
 		length := int(binary.LittleEndian.Uint16(desc[8:10]))
@@ -366,19 +375,18 @@ func (p *Port) stepTX(q int) {
 		}
 		doneAt, _ := p.line.Admit(length + wireOverhead)
 		p.card.busAdmit(p.idx, int(p.card.cfg.BusCostTX*float64(length+wireOverhead)))
-		data := make([]byte, length)
+		data := AllocFrame(length)
 		copy(data, buf)
 		p.pipe.Send(p.pipeEnd, data, doneAt+PropagationDelayNS)
 
 		p.writeBackStatus(descAddr, StatDD)
 		head = (head + 1) % n
-
-		p.mu.Lock()
-		p.gptc++
-		p.gotc += uint64(length)
-		p.mu.Unlock()
+		sentFrames++
+		sentBytes += uint64(length)
 	}
 	p.mu.Lock()
+	p.gptc += sentFrames
+	p.gotc += sentBytes
 	p.regs.txq[q].head = head
 	p.mu.Unlock()
 }
@@ -401,6 +409,7 @@ func (p *Port) stepRX(q int) {
 	}
 
 	now := p.clk.Now()
+	var gotFrames, gotBytes uint64
 	for burst := 0; burst < maxBurst && head != tail; burst++ {
 		// Bus budget gate BEFORE popping, so refused frames stay queued.
 		if !p.card.busCanAdmit(p.idx) {
@@ -413,12 +422,14 @@ func (p *Port) stepRX(q int) {
 		descAddr := base + uint64(head)*DescSize
 		desc, ok := p.dmaRO(descAddr, DescSize)
 		if !ok {
+			FreeFrame(fr.data) // popped, so ours to release
 			break
 		}
 		bufAddr := binary.LittleEndian.Uint64(desc[0:8])
 		dst, ok := p.dmaRW(bufAddr, len(fr.data))
 		if !ok {
 			// Bad buffer: drop the frame, consume the descriptor.
+			FreeFrame(fr.data)
 			p.writeBackRX(descAddr, 0)
 			head = (head + 1) % n
 			continue
@@ -427,13 +438,15 @@ func (p *Port) stepRX(q int) {
 		p.card.busAdmit(p.idx, int(p.card.cfg.BusCostRX*float64(len(fr.data)+wireOverhead)))
 		p.writeBackRX(descAddr, uint16(len(fr.data)))
 		head = (head + 1) % n
-
-		p.mu.Lock()
-		p.gprc++
-		p.gorc += uint64(len(fr.data))
-		p.mu.Unlock()
+		gotFrames++
+		gotBytes += uint64(len(fr.data))
+		// The frame now lives in descriptor memory; its wire buffer
+		// returns to the arena (see the ownership contract in arena.go).
+		FreeFrame(fr.data)
 	}
 	p.mu.Lock()
+	p.gprc += gotFrames
+	p.gorc += gotBytes
 	p.regs.rxq[q].head = head
 	p.mu.Unlock()
 }
@@ -480,3 +493,64 @@ func (p *Port) PendingRX() int {
 // PendingRXQueue reports frames waiting in one queue's FIFO (testing
 // hook).
 func (p *Port) PendingRXQueue(q int) int { return p.fifos[q].pending() }
+
+// NextDeadline reports the earliest virtual instant at or after which
+// this port could make progress: the head frame of an armed RX queue
+// becoming harvestable, a pending TX descriptor becoming admissible on
+// the line and the bus, or the attached conduit releasing a held
+// frame. math.MaxInt64 means the port holds no time-based work. A
+// value <= now means the port has work right now.
+//
+// The query is side-effect free — in particular it must not touch the
+// bus arbiter, whose activity window is part of the simulated machine
+// state (see busNextAdmitAt).
+func (p *Port) NextDeadline(now int64) int64 {
+	p.mu.Lock()
+	pipe := p.pipe
+	rxEn := p.regs.rctl&RctlEN != 0
+	txEn := p.regs.tctl&TctlEN != 0 && pipe != nil
+	var rxArmed [MaxQueues]bool
+	txPending := false
+	for q := 0; q < MaxQueues; q++ {
+		rxArmed[q] = rxEn && p.regs.rxq[q].length >= DescSize
+		if txEn && p.regs.txq[q].length >= DescSize && p.regs.txq[q].head != p.regs.txq[q].tail {
+			txPending = true
+		}
+	}
+	p.mu.Unlock()
+
+	d := int64(math.MaxInt64)
+	for q := 0; q < MaxQueues; q++ {
+		if !rxArmed[q] {
+			continue
+		}
+		if at, ok := p.fifos[q].headReadyAt(); ok && at < d {
+			d = at
+		}
+	}
+	if txPending {
+		at := p.line.NextAdmitAt(now)
+		if busAt := p.card.busNextAdmitAt(p.idx, now); busAt > at {
+			at = busAt
+		}
+		if at < d {
+			d = at
+		}
+	}
+	if pipe != nil {
+		if at := pipe.NextDeadline(now); at < d {
+			d = at
+		}
+	}
+	// On a bus-limited card the polling itself is state: every armed
+	// port's Step touches the fair-share arbiter each iteration, and a
+	// port that stays silent past busActivityWindow changes the active
+	// set (and everyone's rates). Capping the leap at half the window
+	// keeps the arbiter's view identical to the tick-stepped driver's.
+	if rxEn && p.card.busLimited() {
+		if cap := now + busActivityWindow/2; cap < d {
+			d = cap
+		}
+	}
+	return d
+}

@@ -1,6 +1,9 @@
 package nic
 
-import "sync"
+import (
+	"math"
+	"sync"
+)
 
 // PropagationDelayNS is the cable's one-way latency. A metre of copper
 // plus PHY latency is well under a microsecond; 500 ns is representative.
@@ -34,6 +37,7 @@ func (f *rxFifo) push(fr frame) {
 	defer f.mu.Unlock()
 	if f.bytes+len(fr.data) > f.limit {
 		f.missed++
+		FreeFrame(fr.data)
 		return
 	}
 	f.frames = append(f.frames, fr)
@@ -68,17 +72,43 @@ func (f *rxFifo) pending() int {
 	return len(f.frames)
 }
 
+// headReadyAt reports when the FIFO's head frame becomes harvestable.
+// The buffer is strictly first-in-first-out — pop only ever looks at
+// the head — so the head's arrival instant IS the queue's deadline
+// even if a later frame happens to be due earlier.
+func (f *rxFifo) headReadyAt() (int64, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.frames) == 0 {
+		return 0, false
+	}
+	return f.frames[0].readyAt, true
+}
+
 // Conduit is the medium a port transmits into. A *Wire is the direct
 // back-to-back cable; internal/netem's Link interposes an impairment
 // pipeline between the same two ports. The port calls Send with the
 // instant the last bit leaves its serializer (propagation already
 // added) and calls Pump from every device step so a conduit that holds
 // frames (delay lines, rate limiters) can release the ones now due.
+//
+// Ownership: `data` passes to the receiving side on Send — the
+// consumer (the far port's RX path, or the conduit itself when it
+// drops the frame) returns it to the frame arena via FreeFrame, so a
+// caller must not retain the slice afterward. Beware in particular of
+// hand-built full-MTU (1514-byte-cap) buffers: FreeFrame recognizes
+// arena frames by that capacity and would recycle them.
 type Conduit interface {
 	// Send carries one frame away from endpoint `from` (0 or 1).
 	Send(from int, data []byte, readyAt int64)
 	// Pump delivers any held frames that are due at virtual time now.
 	Pump(now int64)
+	// NextDeadline reports the earliest instant a held frame becomes
+	// due, or math.MaxInt64 for a conduit holding nothing. Part of the
+	// interface so a frame-holding conduit that forgets it fails to
+	// compile instead of silently reading as quiescent to the
+	// event-driven clock.
+	NextDeadline(now int64) int64
 }
 
 // Wire is a full-duplex point-to-point Ethernet cable: frames sent by
@@ -105,3 +135,6 @@ func (w *Wire) Send(from int, data []byte, readyAt int64) {
 
 // Pump implements Conduit; a plain cable never holds frames.
 func (w *Wire) Pump(int64) {}
+
+// NextDeadline implements Conduit; a plain cable holds nothing.
+func (w *Wire) NextDeadline(int64) int64 { return math.MaxInt64 }

@@ -4,9 +4,15 @@
 // rates on the simulated NIC.
 //
 // Bandwidth experiments (paper Table II) run the whole machine pair in
-// virtual time: a single driver thread steps the poll-mode loops and
-// advances the clock in fixed quanta, so the achieved throughput depends
-// only on the modelled rates (1 Gbit/s links, shared PCI bus), never on
-// host CPU speed. Latency experiments (Figs. 4-6) use the real clock —
-// they measure the genuine cost of the capability machinery.
+// virtual time: a single driver thread steps the poll-mode loops on a
+// fixed 5 µs grid, so the achieved throughput depends only on the
+// modelled rates (1 Gbit/s links, shared PCI bus), never on host CPU
+// speed. The driver is event-driven: when every component reports its
+// next deadline (Serializer.NextAdmitAt here; FIFO heads, delay lines
+// and TCP timers elsewhere) beyond the next grid point, the clock
+// leaps straight to the grid point containing that deadline — skipped
+// iterations are provably no-ops, so behavior is bit-identical to
+// stepping every tick (DESIGN.md §8). Latency experiments (Figs. 4-6)
+// use the real clock — they measure the genuine cost of the
+// capability machinery.
 package sim

@@ -80,6 +80,22 @@ func (s *Serializer) CanAdmit() bool {
 	return next-now <= s.maxAhead
 }
 
+// NextAdmitAt reports the earliest instant at which CanAdmit will be
+// true: now when the window has room already, otherwise the moment the
+// existing bookings drain back inside it. Bookings only move on Admit/
+// Book calls — which are work, happening on visited instants — so the
+// value stays exact across a quiescent stretch, which is what lets the
+// event-driven driver leap straight to it.
+func (s *Serializer) NextAdmitAt(now int64) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	at := s.nextFree - s.maxAhead
+	if at < now {
+		return now
+	}
+	return at
+}
+
 // Busy reports whether the resource is currently booked past now.
 func (s *Serializer) Busy() bool {
 	now := s.clk.Now()

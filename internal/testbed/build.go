@@ -2,6 +2,7 @@ package testbed
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/dpdk"
 	"repro/internal/fstack"
@@ -35,11 +36,20 @@ type Bed struct {
 	// and multi-queue device, when the spec has one.
 	Sharded *fstack.ShardedStack
 	Dev     *dpdk.EthDev
+
+	// loops caches the Loops() result: the event-driven driver asks
+	// for it (via NextDeadline) on every iteration, and the topology
+	// never changes after Build.
+	loops []*fstack.Loop
 }
 
 // Loops lists every main loop in the bed (local compartments first —
-// shard loops in shard order for sharded ones — then peers).
+// shard loops in shard order for sharded ones — then peers). The
+// slice is cached; callers must not mutate it.
 func (b *Bed) Loops() []*fstack.Loop {
+	if b.loops != nil {
+		return b.loops
+	}
 	var out []*fstack.Loop
 	for _, e := range b.Envs {
 		out = append(out, e.Loops()...)
@@ -47,11 +57,41 @@ func (b *Bed) Loops() []*fstack.Loop {
 	for _, p := range b.Peers {
 		out = append(out, p.Env.Loop)
 	}
+	b.loops = out
 	return out
 }
 
 // AppCVM returns the i-th application compartment (API-gate layouts).
 func (b *Bed) AppCVM(i int) *intravisor.CVM { return b.Apps[i].App }
+
+// NextDeadline aggregates the earliest future-work instant over every
+// time-holding component of the bed: each loop's stack (connection
+// timers, devices, ports, serializers, attached conduits) and each
+// netem link's delay lines. A value <= now means some component has
+// work due right now; math.MaxInt64 means the whole bed is quiescent
+// until something outside it (an application's timed action) happens.
+// Event-driven experiment drivers use this to leap the virtual clock
+// over provably empty poll rounds.
+func (b *Bed) NextDeadline(now int64) int64 {
+	d := int64(math.MaxInt64)
+	for _, l := range b.Loops() {
+		if at := l.NextDeadline(now); at < d {
+			d = at
+		}
+	}
+	// The loops reach the links through their ports already; asking
+	// the links directly keeps the answer correct even for a link
+	// whose ports are all idle-disarmed.
+	for _, ln := range b.Links {
+		if ln == nil {
+			continue
+		}
+		if at := ln.NextDeadline(now); at < d {
+			d = at
+		}
+	}
+	return d
+}
 
 // Peer is a remote link partner: its own machine with an ideal NIC and
 // a Baseline environment, wired to one local port.

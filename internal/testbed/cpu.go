@@ -73,3 +73,10 @@ func (d cpuDev) TxBurst(bufs []*dpdk.Mbuf) int {
 func (d cpuDev) Poll()             { d.dev.Poll() }
 func (d cpuDev) MAC() [6]byte      { return d.dev.MAC() }
 func (d cpuDev) Stats() dpdk.Stats { return d.dev.Stats() }
+
+// NextDeadline passes the inner device's deadline through unchanged: a
+// booked-out core only delays RX work the device already reports, and
+// an early wake-up is a no-op iteration, never a missed event. (The
+// booking window is a few frame times, so the tick fallback while the
+// core is saturated costs little.)
+func (d cpuDev) NextDeadline(now int64) int64 { return d.dev.NextDeadline(now) }

@@ -32,13 +32,18 @@ const (
 type DevGates struct {
 	rx, tx, poll, stats *intravisor.Gate
 	mac                 [6]byte
+	// dev is the inner device, retained for deadline queries only:
+	// NextDeadline is simulator introspection, not modeled datapath,
+	// so it must not burn a gate crossing (which would perturb the
+	// crossing counts the tick-stepped reference produces).
+	dev *dpdk.EthDev
 }
 
 // NewDevGates wraps dev (owned by dpdkCVM, with buffers in devPool)
 // into cross-compartment gates.
 func NewDevGates(iv *intravisor.Intravisor, dpdkCVM *intravisor.CVM, dev *dpdk.EthDev, devPool *dpdk.Mempool) (*DevGates, error) {
 	mem := iv.Mem()
-	g := &DevGates{mac: dev.MAC()}
+	g := &DevGates{mac: dev.MAC(), dev: dev}
 	mk := func(fn intravisor.GateFunc) (*intravisor.Gate, error) {
 		return iv.NewGate(dpdkCVM, fn)
 	}
@@ -229,6 +234,12 @@ func (d *GatedEthDev) TxBurst(bufs []*dpdk.Mbuf) int {
 // Poll advances the device across the gate.
 func (d *GatedEthDev) Poll() {
 	d.g.poll.Call(d.caller, hostos.Args{}, cheri.NullCap)
+}
+
+// NextDeadline asks the inner device directly — no gate crossing; see
+// the DevGates.dev comment.
+func (d *GatedEthDev) NextDeadline(now int64) int64 {
+	return d.g.dev.NextDeadline(now)
 }
 
 // Stats reads the device counters across the gate.
