@@ -150,3 +150,43 @@ func TestParseLineRejectsNoise(t *testing.T) {
 		}
 	}
 }
+
+func TestParseBenchmemLine(t *testing.T) {
+	// -benchmem appends B/op and allocs/op columns; both must land in
+	// the archive and diff in the smaller-is-better direction, so the
+	// memory trajectory rides the same comparison as ns/op.
+	in := "BenchmarkDatapathFrame-8   \t   16384\t     72886 ns/op\t       0 B/op\t       0 allocs/op\n"
+	doc, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benches) != 1 {
+		t.Fatalf("parsed %d benches, want 1", len(doc.Benches))
+	}
+	m := doc.Benches[0].Metrics
+	for _, unit := range []string{"ns/op", "B/op", "allocs/op"} {
+		if _, ok := m[unit]; !ok {
+			t.Fatalf("metric %s not captured: %+v", unit, m)
+		}
+		if metricDirection(unit) != -1 {
+			t.Fatalf("metric %s not smaller-is-better", unit)
+		}
+	}
+
+	// A B/op growth past the threshold must flag alongside ns/op.
+	old := Doc{Benches: []Result{{Name: "DatapathFrame", Metrics: map[string]float64{"B/op": 64, "allocs/op": 1}}}}
+	new := Doc{Benches: []Result{{Name: "DatapathFrame", Metrics: map[string]float64{"B/op": 96, "allocs/op": 1}}}}
+	deltas, _, _ := compareDocs(old, new, 10)
+	flagged := false
+	for _, d := range deltas {
+		if d.unit == "B/op" && d.regressed {
+			flagged = true
+		}
+		if d.unit == "allocs/op" && d.regressed {
+			t.Fatalf("unchanged allocs/op flagged: %+v", d)
+		}
+	}
+	if !flagged {
+		t.Fatal("50% B/op growth not flagged at 10% threshold")
+	}
+}

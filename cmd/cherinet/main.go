@@ -57,6 +57,9 @@ func main() {
 	mode := fs.String("mode", def.Mode, "scenario6 traffic direction: upload (sharded box sends) or download (peer sends into the cloned listeners)")
 	cc := fs.String("cc", "", fmt.Sprintf("congestion control %v: modern stacks of scenarios 5-6, restricts the scenario7 sweep (empty = reno / both)", fstack.CongestionAlgos()))
 	s7dur := fs.Int64("s7duration", def.S7DurationNS, "scenario7 traffic time per point (virtual ns)")
+	traceDir := fs.String("trace", "", "scenario5: write per-point Chrome trace-event JSON into this directory")
+	metricsDir := fs.String("metrics", "", "scenario5: write per-point metrics timeseries (CSV+JSON) into this directory")
+	pcapDir := fs.String("pcap", "", "scenario5: write per-point per-peer libpcap captures under this directory")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		usage()
 	}
@@ -79,6 +82,9 @@ func main() {
 		Mode:         *mode,
 		Congestion:   *cc,
 		S7DurationNS: *s7dur,
+		TraceDir:     *traceDir,
+		MetricsDir:   *metricsDir,
+		PcapDir:      *pcapDir,
 	}
 
 	var entries []core.ScenarioEntry

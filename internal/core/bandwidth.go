@@ -101,6 +101,10 @@ func runVirtualUntil(clk *sim.VClock, bed *Setup, apps []func(now int64), timed 
 		for _, f := range apps {
 			f(now)
 		}
+		// Metrics sampling rides the same iteration grid; with
+		// observability off this is a nil check. Bed.NextDeadline folds
+		// the sampler's next instant in, so leaping never skips a sample.
+		bed.ObsTick(now)
 		step := int64(bwTick)
 		if leapEnabled || visitHook != nil {
 			next := bed.NextDeadline(now)

@@ -53,6 +53,13 @@ type RunOptions struct {
 	// scenario 7's per-point traffic time.
 	Congestion   string
 	S7DurationNS int64
+	// TraceDir, MetricsDir and PcapDir switch on the observability
+	// layer for scenario 5: per-point Chrome trace-event JSON, metrics
+	// timeseries (CSV + JSON), and per-peer link captures. Empty (the
+	// default) keeps observability off and output byte-identical.
+	TraceDir   string
+	MetricsDir string
+	PcapDir    string
 }
 
 // DefaultRunOptions mirrors the cherinet flag defaults.
@@ -203,10 +210,11 @@ var Registry = []ScenarioEntry{
 	{
 		Name:  "scenario5",
 		Desc:  "lossy high-BDP WAN: goodput vs loss and vs BDP, go-back-N vs SACK+WS",
-		Flags: "-loss -delay -rate -cc -s5duration",
+		Flags: "-loss -delay -rate -cc -s5duration -trace -metrics -pcap",
 		Run: func(o RunOptions, w io.Writer) error {
+			so := Scenario5Obs{TraceDir: o.TraceDir, MetricsDir: o.MetricsDir, PcapDir: o.PcapDir}
 			losses := []float64{0, o.Loss / 4, o.Loss / 2, o.Loss}
-			lossResults, err := RunScenario5LossSweep(losses, o.DelayNS, o.RateBps, o.Congestion, o.S5DurationNS)
+			lossResults, err := RunScenario5LossSweep(losses, o.DelayNS, o.RateBps, o.Congestion, o.S5DurationNS, so)
 			if err != nil {
 				return err
 			}
@@ -215,7 +223,7 @@ var Registry = []ScenarioEntry{
 					o.RateBps/1e6, float64(2*o.DelayNS)/1e6), lossResults))
 			fmt.Fprintln(w)
 			bdpResults, err := RunScenario5BDPSweep(
-				[]int64{1e6, 5e6, 20e6, 50e6}, o.Loss/4, o.RateBps, o.Congestion, o.S5DurationNS)
+				[]int64{1e6, 5e6, 20e6, 50e6}, o.Loss/4, o.RateBps, o.Congestion, o.S5DurationNS, so)
 			if err != nil {
 				return err
 			}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/hostos"
 	"repro/internal/iperf"
 	"repro/internal/netem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/testbed"
 )
@@ -77,6 +78,10 @@ type Scenario5Config struct {
 	// values get the Scenario 5 defaults for rate, queue and seed —
 	// pass explicit fields to sweep loss and delay.
 	Link netem.Config
+	// Obs selects the observability instruments wired into the bed.
+	// The zero value keeps everything off and the run's goldens
+	// byte-identical.
+	Obs testbed.ObsSpec
 }
 
 // s5Tuning is the modern (SACK + window scaling) stack configuration.
@@ -139,6 +144,7 @@ func NewScenario5(clk hostos.Clock, cfg Scenario5Config) (*Setup5, error) {
 				Stack: stack,
 			},
 		},
+		Obs: cfg.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -159,6 +165,10 @@ type Scenario5Result struct {
 	Stats fstack.StackStats
 	// Fwd is the data direction's link accounting.
 	Fwd netem.DirStats
+	// Obs carries the run's observability instruments (flight recorder,
+	// metrics timeseries, latency histograms); nil when the config's
+	// ObsSpec was zero.
+	Obs *obs.Obs
 }
 
 // RTTms is the path round-trip time implied by the link config.
@@ -196,6 +206,10 @@ func Scenario5Bandwidth(s *Setup5, durationNS int64) (Scenario5Result, error) {
 	res.Stats = s.Envs[0].Stk.Stats()
 	s.Envs[0].Stk.Unlock()
 	res.Fwd = s.Link().Stats(0)
+	res.Obs = s.Obs
+	if err := s.CloseObs(); err != nil {
+		return res, fmt.Errorf("core: scenario 5 capture: %w", err)
+	}
 	return res, nil
 }
 
@@ -213,8 +227,9 @@ func RunScenario5(cfg Scenario5Config, durationNS int64) (Scenario5Result, error
 
 // RunScenario5LossSweep measures goodput vs loss rate: for every loss
 // point, go-back-N vs SACK in both Baseline and capability mode, at
-// equal link settings.
-func RunScenario5LossSweep(losses []float64, delayNS int64, rateBps float64, cc string, durationNS int64) ([]Scenario5Result, error) {
+// equal link settings. An optional Scenario5Obs instruments every
+// point's bed and exports the traces/timeseries per point.
+func RunScenario5LossSweep(losses []float64, delayNS int64, rateBps float64, cc string, durationNS int64, obsOpt ...Scenario5Obs) ([]Scenario5Result, error) {
 	var out []Scenario5Result
 	for _, loss := range losses {
 		for _, capMode := range []bool{false, true} {
@@ -223,7 +238,7 @@ func RunScenario5LossSweep(losses []float64, delayNS int64, rateBps float64, cc 
 					CapMode: capMode, Modern: modern, Congestion: cc,
 					Link: netem.Config{LossRate: loss, DelayNS: delayNS, RateBps: rateBps},
 				}
-				r, err := RunScenario5(cfg, durationNS)
+				r, err := runScenario5Point(cfg, durationNS, obsOpt)
 				if err != nil {
 					return nil, fmt.Errorf("loss=%.2f%% cap=%v modern=%v: %w", loss*100, capMode, modern, err)
 				}
@@ -237,7 +252,7 @@ func RunScenario5LossSweep(losses []float64, delayNS int64, rateBps float64, cc 
 // RunScenario5BDPSweep measures goodput vs path BDP (the one-way delay
 // swept at a fixed bottleneck rate), go-back-N vs SACK+window-scaling,
 // in both Baseline and capability mode.
-func RunScenario5BDPSweep(delaysNS []int64, lossRate float64, rateBps float64, cc string, durationNS int64) ([]Scenario5Result, error) {
+func RunScenario5BDPSweep(delaysNS []int64, lossRate float64, rateBps float64, cc string, durationNS int64, obsOpt ...Scenario5Obs) ([]Scenario5Result, error) {
 	var out []Scenario5Result
 	for _, d := range delaysNS {
 		for _, capMode := range []bool{false, true} {
@@ -246,7 +261,7 @@ func RunScenario5BDPSweep(delaysNS []int64, lossRate float64, rateBps float64, c
 					CapMode: capMode, Modern: modern, Congestion: cc,
 					Link: netem.Config{LossRate: lossRate, DelayNS: d, RateBps: rateBps},
 				}
-				r, err := RunScenario5(cfg, durationNS)
+				r, err := runScenario5Point(cfg, durationNS, obsOpt)
 				if err != nil {
 					return nil, fmt.Errorf("delay=%dms cap=%v modern=%v: %w", d/1e6, capMode, modern, err)
 				}
@@ -255,6 +270,25 @@ func RunScenario5BDPSweep(delaysNS []int64, lossRate float64, rateBps float64, c
 		}
 	}
 	return out, nil
+}
+
+// runScenario5Point runs one sweep point, instrumented and exported
+// per the (optional) sweep observability config.
+func runScenario5Point(cfg Scenario5Config, durationNS int64, obsOpt []Scenario5Obs) (Scenario5Result, error) {
+	var so Scenario5Obs
+	if len(obsOpt) > 0 {
+		so = obsOpt[0]
+	}
+	label := scenario5Label(cfg)
+	cfg.Obs = so.pointSpec(label)
+	r, err := RunScenario5(cfg, durationNS)
+	if err != nil {
+		return r, err
+	}
+	if err := so.export(r, label); err != nil {
+		return r, err
+	}
+	return r, nil
 }
 
 // FormatScenario5 renders a sweep with the recovery breakdown beside
@@ -276,6 +310,12 @@ func FormatScenario5(title string, results []Scenario5Result) string {
 		bdpKiB := r.Link.RateBps / 8 * float64(2*r.Link.DelayNS) / 1e9 / 1024
 		fmt.Fprintf(&b, "  %-9s %-9s %7.2f %8.0f %9.0f %9.1f  %s\n",
 			mode, rec, r.Link.LossRate*100, r.RTTms(), bdpKiB, r.Mbps, r.Stats.RecoverySummary())
+		// Latency percentiles ride under the row they belong to — only
+		// when the run carried histograms, so un-instrumented sweeps
+		// (and the pinned goldens) render byte-identically.
+		if r.Obs != nil && r.Obs.Datapath != nil {
+			fmt.Fprintf(&b, "  %32s datapath %v | rtt %v\n", "", r.Obs.Datapath, r.Obs.RTT)
+		}
 	}
 	return b.String()
 }

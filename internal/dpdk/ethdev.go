@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/hostos"
 	"repro/internal/nic"
+	"repro/internal/obs"
 )
 
 // steppable is the "hardware runs" hook of the simulated device; the
@@ -72,6 +73,19 @@ type EthDev struct {
 
 	configured bool
 	started    bool
+
+	// Flight-recorder hooks (nil = observability off, zero cost). The
+	// device has no clock of its own, so the wiring supplies one.
+	obsTr  *obs.Trace
+	obsNow func() int64
+	obsSrc uint16
+}
+
+// SetObs attaches a flight recorder to the driver's burst paths. now
+// supplies virtual time (the device itself is clockless); src tags the
+// emitted events with this device's identity. Call before traffic.
+func (d *EthDev) SetObs(tr *obs.Trace, now func() int64, src uint16) {
+	d.obsTr, d.obsNow, d.obsSrc = tr, now, src
 }
 
 // Probe claims the unbound PCI device at bdf and wraps it in an EthDev
@@ -286,6 +300,9 @@ func (d *EthDev) RxBurstQ(q int, out []*Mbuf) int {
 		rq.tail = (rq.tail + 1) % rq.n
 		d.dev.RegWrite32(nic.RegRDTQ(q), rq.tail)
 	}
+	if n > 0 && d.obsTr != nil {
+		d.obsTr.Record(d.obsNow(), obs.EvDevRxBurst, d.obsSrc, int64(n), 0, int64(q))
+	}
 	return n
 }
 
@@ -340,6 +357,9 @@ func (d *EthDev) TxBurstQ(q int, bufs []*Mbuf) int {
 	if n > 0 {
 		d.dev.RegWrite32(nic.RegTDTQ(q), tq.next)
 		d.step()
+		if d.obsTr != nil {
+			d.obsTr.Record(d.obsNow(), obs.EvDevTxBurst, d.obsSrc, int64(n), 0, int64(q))
+		}
 	}
 	return n
 }

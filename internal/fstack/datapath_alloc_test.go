@@ -1,0 +1,21 @@
+//go:build !race
+
+package fstack
+
+import "testing"
+
+// TestDatapathFrameZeroAllocs pins the observability hard constraint:
+// with every obs hook left nil (the zero ObsSpec), the steady-state
+// datapath must not allocate per frame. A regression here means a hook
+// heap-allocates on the hot path even when disabled.
+//
+// Skipped under the race detector, whose instrumentation allocates.
+func TestDatapathFrameZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed; skipped in -short")
+	}
+	res := testing.Benchmark(BenchmarkDatapathFrame)
+	if a := res.AllocsPerOp(); a != 0 {
+		t.Fatalf("datapath allocates %d allocs/op with observability disabled, want 0", a)
+	}
+}

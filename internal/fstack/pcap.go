@@ -1,10 +1,9 @@
 package fstack
 
 import (
-	"encoding/binary"
-	"fmt"
 	"io"
-	"sync"
+
+	"repro/internal/obs"
 )
 
 // TapDir tells a Tap which way a frame crossed the interface.
@@ -31,86 +30,35 @@ func (s *Stack) SetTap(t Tap) {
 	s.tap = t
 }
 
-// pcap file constants (libpcap classic format, microsecond timestamps).
+// pcap format constants, kept here for the tests that parse captures.
+// The writer itself lives in internal/obs (it was promoted from this
+// package to serve link-level taps too); these mirror its header.
 const (
 	pcapMagic    = 0xa1b2c3d4
-	pcapVerMajor = 2
-	pcapVerMinor = 4
-	pcapSnaplen  = 65535
 	pcapEthernet = 1
 )
 
-// PcapWriter streams frames into a libpcap capture readable by tcpdump
-// and Wireshark. It is safe for concurrent use (taps from multiple
-// stacks may share one file).
+// PcapWriter adapts the shared capture writer (internal/obs) to the
+// stack's Tap interface, so SetTap keeps producing libpcap files
+// readable by tcpdump and Wireshark. It is safe for concurrent use
+// (taps from multiple stacks may share one file).
 type PcapWriter struct {
-	mu  sync.Mutex
-	w   io.Writer
-	err error
-	n   int
+	*obs.PcapWriter
 }
 
 // NewPcapWriter writes the global header and returns the writer.
 func NewPcapWriter(w io.Writer) (*PcapWriter, error) {
-	var hdr [24]byte
-	binary.LittleEndian.PutUint32(hdr[0:], pcapMagic)
-	binary.LittleEndian.PutUint16(hdr[4:], pcapVerMajor)
-	binary.LittleEndian.PutUint16(hdr[6:], pcapVerMinor)
-	// thiszone, sigfigs = 0
-	binary.LittleEndian.PutUint32(hdr[16:], pcapSnaplen)
-	binary.LittleEndian.PutUint32(hdr[20:], pcapEthernet)
-	if _, err := w.Write(hdr[:]); err != nil {
-		return nil, fmt.Errorf("fstack: pcap header: %w", err)
+	pw, err := obs.NewPcapWriter(w)
+	if err != nil {
+		return nil, err
 	}
-	return &PcapWriter{w: w}, nil
-}
-
-// WritePacket appends one captured frame with the given timestamp.
-func (p *PcapWriter) WritePacket(tsNS int64, data []byte) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.err != nil {
-		return p.err
-	}
-	n := len(data)
-	if n > pcapSnaplen {
-		n = pcapSnaplen
-	}
-	var rec [16]byte
-	binary.LittleEndian.PutUint32(rec[0:], uint32(tsNS/1e9))
-	binary.LittleEndian.PutUint32(rec[4:], uint32(tsNS%1e9/1e3))
-	binary.LittleEndian.PutUint32(rec[8:], uint32(n))
-	binary.LittleEndian.PutUint32(rec[12:], uint32(len(data)))
-	if _, err := p.w.Write(rec[:]); err != nil {
-		p.err = err
-		return err
-	}
-	if _, err := p.w.Write(data[:n]); err != nil {
-		p.err = err
-		return err
-	}
-	p.n++
-	return nil
-}
-
-// Count returns the packets written so far.
-func (p *PcapWriter) Count() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.n
+	return &PcapWriter{pw}, nil
 }
 
 // Frame implements Tap: every observed frame becomes a capture record
 // (both directions).
 func (p *PcapWriter) Frame(_ TapDir, tsNS int64, data []byte) {
 	_ = p.WritePacket(tsNS, data) // sticky error surfaces via Err
-}
-
-// Err reports the writer's sticky error.
-func (p *PcapWriter) Err() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.err
 }
 
 var _ Tap = (*PcapWriter)(nil)

@@ -190,7 +190,7 @@ func (s *Stack) connectLocked(fd int, ip IPv4Addr, port uint16) hostos.Errno {
 	}
 	iss := s.iss()
 	c.sndUna, c.sndNxt, c.sndMax = iss, iss+1, iss+1
-	c.state = tcpSynSent
+	c.setState(tcpSynSent)
 	s.addConn(tuple, c)
 	sk.conn = c
 	sk.bound = local

@@ -7,6 +7,8 @@ import (
 
 	"repro/internal/dpdk"
 	"repro/internal/hostos"
+	"repro/internal/obs"
+	"repro/internal/stats"
 )
 
 // EthDevice is the packet I/O surface the stack drives — rte_ethdev in
@@ -177,6 +179,13 @@ type Stack struct {
 
 	tap   Tap
 	stats StackStats
+
+	// Flight-recorder hooks (nil = observability off, zero cost on the
+	// datapath). obsSrc tags events with this stack's identity (shard
+	// index in a sharded stack). Set via SetObs before traffic.
+	obsTr  *obs.Trace
+	obsRTT *stats.Histogram
+	obsSrc uint16
 }
 
 // NewStack builds a stack over the given segment, buffer pool and clock.
@@ -340,6 +349,28 @@ func (s *Stack) Stats() StackStats {
 		st.PersistProbes += c.persistProbes
 	}
 	return st
+}
+
+// SetObs attaches the flight recorder and RTT histogram to this stack's
+// TCP machinery; src tags emitted events (shard index for sharded
+// stacks). Call before traffic; nil detaches.
+func (s *Stack) SetObs(tr *obs.Trace, rtt *stats.Histogram, src uint16) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obsTr, s.obsRTT, s.obsSrc = tr, rtt, src
+}
+
+// SumCwndPipe sums the live connections' congestion windows and
+// outstanding bytes — the metrics sampler's gauge over this stack.
+// Self-locking: call between loop iterations, not from inside the API.
+func (s *Stack) SumCwndPipe() (cwnd, pipe int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.connOrder {
+		cwnd += c.cc.Cwnd()
+		pipe += c.pipe()
+	}
+	return cwnd, pipe
 }
 
 // nifForDst picks the outgoing interface for a destination.
@@ -615,7 +646,7 @@ func (s *Stack) acceptSyn(nif *NetIF, l *listener, tuple fourTuple, h TCPHeader)
 	if err != nil {
 		return
 	}
-	c.state = tcpSynReceived
+	c.setState(tcpSynReceived)
 	c.rcvNxt = h.Seq + 1
 	if h.HasTS {
 		c.tsRecent = h.TSVal

@@ -2,6 +2,7 @@ package fstack
 
 import (
 	"repro/internal/hostos"
+	"repro/internal/obs"
 )
 
 // tcpState is the RFC 793 connection state.
@@ -149,6 +150,10 @@ type tcpConn struct {
 	// lifecycle
 	timeWaitAt int64
 	sockErr    hostos.Errno // sticky error (ECONNRESET etc.)
+
+	// obsCwnd is the last congestion window the flight recorder saw
+	// (noteCwnd), so the trace only carries changes.
+	obsCwnd int
 
 	// counters (exposed via stack stats)
 	retransSegs   uint64 // total retransmitted segments
@@ -397,6 +402,7 @@ func (c *tcpConn) output() {
 		if retransmitting {
 			c.retransSegs++
 			c.rtoRetrans++
+			c.noteRetx(obs.RetxRTO, c.sndNxt)
 		}
 		c.sndNxt += uint32(n)
 		c.sndMax = seqMax(c.sndMax, c.sndNxt)
@@ -423,9 +429,9 @@ func (c *tcpConn) output() {
 			}
 			switch c.state {
 			case tcpEstablished:
-				c.state = tcpFinWait1
+				c.setState(tcpFinWait1)
 			case tcpCloseWait:
-				c.state = tcpLastAck
+				c.setState(tcpLastAck)
 			}
 		}
 	}
@@ -614,6 +620,7 @@ func (c *tcpConn) retransmitHead() {
 	if n > 0 && c.sendSegment(TCPAck, c.sndUna, n, false) {
 		c.retransSegs++
 		c.fastRetrans++
+		c.noteRetx(obs.RetxFast, c.sndUna)
 	}
 	c.armRTO()
 }
@@ -643,6 +650,7 @@ func (c *tcpConn) sackFill() {
 		}
 		c.retransSegs++
 		c.sackRetrans++
+		c.noteRetx(obs.RetxSACK, seq)
 		c.rtxNxt = seq + uint32(n)
 		c.armRTO()
 	}
@@ -663,6 +671,7 @@ func (c *tcpConn) enterRecovery() {
 	pipe := c.pipe()
 	c.rtxNxt = c.sndUna
 	c.cc.OnEnterRecovery(pipe, c.sackOK, c.stk.now())
+	c.noteCwnd()
 	if c.sackOK {
 		c.sackFill()
 	} else {
@@ -743,7 +752,11 @@ func (c *tcpConn) handleAck(h TCPHeader) {
 	c.persistAt = 0 // forward progress: the probe cycle (if any) is over
 	c.persistN = 0
 	if h.HasTS && h.TSEcr != 0 {
-		c.rttSample((int64(c.nowUS()) - int64(h.TSEcr)) * 1e3)
+		sample := (int64(c.nowUS()) - int64(h.TSEcr)) * 1e3
+		c.rttSample(sample)
+		if c.stk.obsRTT != nil && sample > 0 {
+			c.stk.obsRTT.Record(sample)
+		}
 	}
 	// Congestion control: classify the ACK and report the event.
 	switch {
@@ -763,6 +776,7 @@ func (c *tcpConn) handleAck(h TCPHeader) {
 	default:
 		c.cc.OnAck(dataAcked, c.stk.now(), c.srtt) // slow start / avoidance
 	}
+	c.noteCwnd()
 	if c.inflight() == 0 {
 		c.rtxAt = 0
 	} else {
@@ -772,7 +786,7 @@ func (c *tcpConn) handleAck(h TCPHeader) {
 	if c.finAcked {
 		switch c.state {
 		case tcpFinWait1:
-			c.state = tcpFinWait2
+			c.setState(tcpFinWait2)
 		case tcpClosing:
 			c.enterTimeWait()
 		case tcpLastAck:
@@ -808,6 +822,7 @@ func (c *tcpConn) onRTO() {
 		return
 	}
 	c.cc.OnRTO(c.pipe(), c.stk.now())
+	c.noteCwnd()
 	c.dupAcks = 0
 	c.inRecovery = false
 	// Rewind and let output() resend (it classifies the resends and
@@ -1024,8 +1039,40 @@ func (c *tcpConn) enterTimeWait() {
 	c.persistAt = 0
 }
 
-// setState transitions the connection.
-func (c *tcpConn) setState(s tcpState) { c.state = s }
+// setState transitions the connection. Every state change goes through
+// here so the flight recorder sees the complete transition sequence.
+func (c *tcpConn) setState(s tcpState) {
+	if tr := c.stk.obsTr; tr != nil && s != c.state {
+		tr.Record(c.stk.now(), obs.EvTCPState, c.stk.obsSrc,
+			int64(c.state), int64(s), int64(c.tuple.local.Port))
+	}
+	c.state = s
+}
+
+// noteRetx records one retransmission event (kind is obs.RetxRTO /
+// RetxFast / RetxSACK). The counters above remain the source of truth
+// for stats; the event adds when and which sequence to the trace.
+func (c *tcpConn) noteRetx(kind int64, seq uint32) {
+	if tr := c.stk.obsTr; tr != nil {
+		tr.Record(c.stk.now(), obs.EvTCPRetransmit, c.stk.obsSrc,
+			kind, int64(seq), int64(c.tuple.local.Port))
+	}
+}
+
+// noteCwnd emits a cwnd counter sample when the congestion window moved
+// since the last note — called after every congestion-control decision
+// point, so the exported trace draws the full cwnd curve.
+func (c *tcpConn) noteCwnd() {
+	tr := c.stk.obsTr
+	if tr == nil {
+		return
+	}
+	if w := c.cc.Cwnd(); w != c.obsCwnd {
+		c.obsCwnd = w
+		tr.Record(c.stk.now(), obs.EvTCPCwnd, c.stk.obsSrc,
+			int64(w), 0, int64(c.tuple.local.Port))
+	}
+}
 
 // abort kills the connection with a sticky error.
 func (c *tcpConn) abort(errno hostos.Errno) {

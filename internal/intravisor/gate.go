@@ -3,6 +3,7 @@ package intravisor
 import (
 	"repro/internal/cheri"
 	"repro/internal/hostos"
+	"repro/internal/obs"
 )
 
 // GateFunc is the target of a cross-compartment call: code that runs
@@ -70,6 +71,9 @@ func (g *Gate) Call(caller *CVM, args hostos.Args, buf cheri.Cap) (uint64, hosto
 	r0, errno := g.fn(caller, args, buf)
 	ctx.ClearVolatile()
 	ctx.Restore(frame)
-	g.iv.Crossings.Add(1)
+	crossings := g.iv.Crossings.Add(1)
+	if g.iv.obsTr != nil {
+		g.iv.obsTr.Record(g.iv.obsNow(), obs.EvGateCrossing, uint16(caller.ID), int64(crossings), 0, 0)
+	}
 	return r0, errno
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cheri"
 	"repro/internal/hostos"
+	"repro/internal/obs"
 )
 
 // Intravisor manages cVMs on one host kernel. It holds the memory root
@@ -26,6 +27,17 @@ type Intravisor struct {
 
 	// Crossings counts completed domain crossings (trampolines + gates).
 	Crossings atomic.Uint64
+
+	// Flight-recorder hook (nil = observability off). The Intravisor is
+	// clockless, so the wiring supplies virtual time.
+	obsTr  *obs.Trace
+	obsNow func() int64
+}
+
+// SetTrace attaches a flight recorder to the gate path; now supplies
+// virtual time. Call before traffic.
+func (iv *Intravisor) SetTrace(tr *obs.Trace, now func() int64) {
+	iv.obsTr, iv.obsNow = tr, now
 }
 
 // codeWindow is the size of the synthetic executable region entry points

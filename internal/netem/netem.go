@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/hostos"
 	"repro/internal/nic"
+	"repro/internal/obs"
 )
 
 // wireOverheadBytes mirrors the per-frame on-the-wire overhead the nic
@@ -175,6 +176,33 @@ type Link struct {
 	cfg  [2]Config // per direction: 0 = a-to-b, 1 = b-to-a
 	ends [2]Endpoint
 	dirs [2]dirState
+
+	// tr is the flight recorder (nil = off); direction d's events carry
+	// src trSrc+d. Set before traffic via SetTrace, read without a lock
+	// on the datapath — the nil check is the whole disabled-cost.
+	tr    *obs.Trace
+	trSrc uint16
+}
+
+// SetTrace installs the link's flight recorder (nil disables). Events
+// from direction d (0 = a-to-b) are tagged src+d. Install before
+// driving traffic.
+func (l *Link) SetTrace(tr *obs.Trace, src uint16) {
+	l.tr, l.trSrc = tr, src
+}
+
+// Depth reports one direction's occupancy for metrics gauges: frames
+// held in the delay line and the bottleneck backlog in ns (how far
+// ahead of now the serializer is booked).
+func (l *Link) Depth(dir int, now int64) (frames int, backlogNS int64) {
+	d := &l.dirs[dir]
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	frames = len(d.held)
+	if d.nextFree > now {
+		backlogNS = d.nextFree - now
+	}
+	return frames, backlogNS
 }
 
 // fillDefaults resolves a direction config's derived knobs.
@@ -283,6 +311,9 @@ func (l *Link) Send(from int, data []byte, readyAt int64) {
 		if lossP > 0 && d.rng.Float64() < lossP {
 			d.stats.LostBurst++
 			d.mu.Unlock()
+			if l.tr != nil {
+				l.tr.Record(now, obs.EvNetemDrop, l.trSrc+uint16(from), int64(len(data)), obs.DropBurst, 0)
+			}
 			nic.FreeFrame(data)
 			return
 		}
@@ -290,6 +321,9 @@ func (l *Link) Send(from int, data []byte, readyAt int64) {
 	if cfg.LossRate > 0 && d.rng.Float64() < cfg.LossRate {
 		d.stats.LostRandom++
 		d.mu.Unlock()
+		if l.tr != nil {
+			l.tr.Record(now, obs.EvNetemDrop, l.trSrc+uint16(from), int64(len(data)), obs.DropIID, 0)
+		}
 		nic.FreeFrame(data)
 		return
 	}
@@ -317,6 +351,9 @@ func (l *Link) Send(from int, data []byte, readyAt int64) {
 		if drop {
 			d.stats.DroppedQueue++
 			d.mu.Unlock()
+			if l.tr != nil {
+				l.tr.Record(now, obs.EvNetemDrop, l.trSrc+uint16(from), int64(len(data)), obs.DropQueue, 0)
+			}
 			nic.FreeFrame(data)
 			return
 		}
@@ -336,8 +373,12 @@ func (l *Link) Send(from int, data []byte, readyAt int64) {
 
 	heap.Push(&d.held, heldFrame{data: data, deliverAt: at, seq: d.seq})
 	d.seq++
+	held := len(d.held)
 	due := d.takeDueLocked(now)
 	d.mu.Unlock()
+	if l.tr != nil {
+		l.tr.Record(now, obs.EvNetemEnqueue, l.trSrc+uint16(from), int64(len(data)), at, int64(held))
+	}
 	if len(due) > 0 {
 		deliverAll(dst, due)
 		d.putDue(due)

@@ -7,7 +7,9 @@ import (
 
 	"repro/internal/cheri"
 	"repro/internal/hostos"
+	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // wireOverhead is the per-frame on-the-wire overhead beyond the frame
@@ -51,6 +53,14 @@ type Port struct {
 	// statistics (guarded by mu)
 	gprc, gptc uint64 // good packets
 	gorc, gotc uint64 // good octets
+
+	// observability sinks (guarded by mu, nil = off; see internal/obs).
+	// Every hook below nil-checks its sink, so a port without
+	// observability runs the exact datapath it always has.
+	obsTr  *obs.Trace
+	obsDP  *stats.Histogram
+	obsSrc uint16
+	rxTap  func(tsNS int64, data []byte)
 }
 
 // queueRegs is one RX or TX queue's descriptor-ring register bank.
@@ -81,6 +91,27 @@ func (p *Port) Attach(c Conduit, end int) {
 	p.pipe = c
 	p.pipeEnd = end
 	p.regs.status |= StatusLU
+}
+
+// SetObs installs the port's flight recorder and datapath-latency
+// histogram (nil disables either); src tags the port's trace events.
+func (p *Port) SetObs(tr *obs.Trace, dp *stats.Histogram, src uint16) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.obsTr, p.obsDP, p.obsSrc = tr, dp, src
+}
+
+// SetRxTap installs (or, with nil, removes) a delivery observer: fn
+// sees every frame the conduit hands this port, before FIFO admission
+// — so what the tap captures is exactly what survived the link, and
+// impairment drops show as gaps. The tap runs synchronously and must
+// not retain data (the bytes return to the frame arena after DMA); a
+// pcap writer, which copies into its output stream, is the intended
+// consumer.
+func (p *Port) SetRxTap(fn func(tsNS int64, data []byte)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rxTap = fn
 }
 
 // BDF returns the port's PCI address.
@@ -262,7 +293,11 @@ func (p *Port) resetLocked() {
 func (p *Port) DeliverFrame(data []byte, readyAt int64) {
 	p.mu.Lock()
 	q := p.classifyLocked(data)
+	tap := p.rxTap
 	p.mu.Unlock()
+	if tap != nil {
+		tap(readyAt, data)
+	}
 	p.fifos[q].push(frame{data: data, readyAt: readyAt})
 }
 
@@ -334,6 +369,7 @@ func (p *Port) stepTX(q int) {
 	base := uint64(qr.bal) | uint64(qr.bah)<<32
 	n := qr.length / DescSize
 	head, tail := qr.head, qr.tail
+	tr, src := p.obsTr, p.obsSrc
 	p.mu.Unlock()
 	if n == 0 {
 		return
@@ -384,6 +420,9 @@ func (p *Port) stepTX(q int) {
 		sentFrames++
 		sentBytes += uint64(length)
 	}
+	if sentFrames > 0 && tr != nil {
+		tr.Record(p.clk.Now(), obs.EvNicTxBurst, src, int64(sentFrames), int64(sentBytes), int64(q))
+	}
 	p.mu.Lock()
 	p.gptc += sentFrames
 	p.gotc += sentBytes
@@ -403,6 +442,7 @@ func (p *Port) stepRX(q int) {
 	base := uint64(qr.bal) | uint64(qr.bah)<<32
 	n := qr.length / DescSize
 	head, tail := qr.head, qr.tail
+	tr, dp, src := p.obsTr, p.obsDP, p.obsSrc
 	p.mu.Unlock()
 	if n == 0 {
 		return
@@ -440,9 +480,17 @@ func (p *Port) stepRX(q int) {
 		head = (head + 1) % n
 		gotFrames++
 		gotBytes += uint64(len(fr.data))
+		if dp != nil {
+			// Datapath latency: last bit on the wire to DMA completion
+			// (FIFO residence + bus admission).
+			dp.Record(now - fr.readyAt)
+		}
 		// The frame now lives in descriptor memory; its wire buffer
 		// returns to the arena (see the ownership contract in arena.go).
 		FreeFrame(fr.data)
+	}
+	if gotFrames > 0 && tr != nil {
+		tr.Record(now, obs.EvNicRxBurst, src, int64(gotFrames), int64(gotBytes), int64(q))
 	}
 	p.mu.Lock()
 	p.gprc += gotFrames

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ChromeEvent is one record of the Chrome trace-event format (the JSON
+// `about:tracing` and Perfetto load). Exported so tests can round-trip
+// the exporter's output through encoding/json.
+type ChromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the top-level trace-event JSON object.
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// chromeLayers orders the layer lanes top to bottom as the data flows.
+var chromeLayers = []string{"fstack", "dpdk", "nic", "netem", "intravisor"}
+
+func chromeTID(layer string) int {
+	for i, l := range chromeLayers {
+		if l == layer {
+			return i + 1
+		}
+	}
+	return len(chromeLayers) + 1
+}
+
+// chromeArgs decodes an event's A/B/C into named arguments per type.
+func chromeArgs(e Event) map[string]any {
+	a := map[string]any{"src": int(e.Src)}
+	switch e.Type {
+	case EvNetemEnqueue:
+		a["bytes"], a["deliver_at_ns"], a["held"] = e.A, e.B, e.C
+	case EvNetemDrop:
+		kind := "iid"
+		switch e.B {
+		case DropBurst:
+			kind = "burst"
+		case DropQueue:
+			kind = "queue"
+		}
+		a["bytes"], a["kind"] = e.A, kind
+	case EvNicTxBurst, EvNicRxBurst:
+		a["frames"], a["bytes"], a["queue"] = e.A, e.B, e.C
+	case EvDevRxBurst, EvDevTxBurst:
+		a["frames"], a["queue"] = e.A, e.C
+	case EvTCPState:
+		a["from"], a["to"], a["port"] = e.A, e.B, e.C
+	case EvTCPRetransmit:
+		kind := "rto"
+		switch e.A {
+		case RetxFast:
+			kind = "fast"
+		case RetxSACK:
+			kind = "sack"
+		}
+		a["kind"], a["seq"], a["port"] = kind, e.B, e.C
+	case EvTCPCwnd:
+		a["cwnd"], a["port"] = e.A, e.C
+	case EvGateCrossing:
+		a["crossings"] = e.A
+	}
+	return a
+}
+
+// ChromeEvents converts the trace's current contents to trace-event
+// records: metadata naming one lane per layer, then every event as an
+// instant — except cwnd changes, which become a per-connection counter
+// series so Perfetto draws the congestion window as a curve.
+func (t *Trace) ChromeEvents() []ChromeEvent {
+	events := t.Snapshot()
+	out := make([]ChromeEvent, 0, len(events)+len(chromeLayers))
+	for _, layer := range chromeLayers {
+		out = append(out, ChromeEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			PID:   1,
+			TID:   chromeTID(layer),
+			Args:  map[string]any{"name": layer},
+		})
+	}
+	for _, e := range events {
+		ce := ChromeEvent{
+			Name: e.Type.String(),
+			TS:   float64(e.TS) / 1e3,
+			PID:  1,
+			TID:  chromeTID(e.Type.Layer()),
+			Args: chromeArgs(e),
+		}
+		if e.Type == EvTCPCwnd {
+			ce.Phase = "C"
+			ce.Name = fmt.Sprintf("cwnd src=%d port=%d", e.Src, e.C)
+			ce.Args = map[string]any{"cwnd": e.A}
+		} else {
+			ce.Phase = "i"
+			ce.Scope = "t"
+		}
+		out = append(out, ce)
+	}
+	return out
+}
+
+// WriteChromeTrace streams the trace as Chrome trace-event JSON,
+// loadable in about:tracing and Perfetto.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	doc := ChromeTrace{TraceEvents: t.ChromeEvents(), DisplayTimeUnit: "ns"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a named monotonic metric. Add is atomic, so datapath code
+// may bump it without holding any lock; the sampler reads it into the
+// timeseries cumulatively.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reads the counter.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Metrics is the registry: named gauges (sampled by calling back) and
+// counters (sampled cumulatively), recorded into per-series timeseries
+// every SampleNS of virtual time. Registration happens at wiring time;
+// Tick runs from the experiment driver, so samples land at
+// deterministic virtual instants.
+type Metrics struct {
+	mu       sync.Mutex
+	interval int64
+	names    []string
+	gauges   []func(now int64) float64
+	times    []int64
+	rows     [][]float64
+	nextAt   int64
+	started  bool
+}
+
+// NewMetrics builds a registry sampling every intervalNS of virtual
+// time (minimum 1 µs).
+func NewMetrics(intervalNS int64) *Metrics {
+	if intervalNS < 1_000 {
+		intervalNS = 1_000
+	}
+	return &Metrics{interval: intervalNS}
+}
+
+// SampleInterval returns the sampling period in ns.
+func (m *Metrics) SampleInterval() int64 { return m.interval }
+
+// Gauge registers a named gauge; fn is called at each sample instant
+// with the current virtual time. Gauges run on the driver goroutine —
+// they may take component locks but must not drive the simulation.
+func (m *Metrics) Gauge(name string, fn func(now int64) float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.names = append(m.names, name)
+	m.gauges = append(m.gauges, fn)
+}
+
+// Counter registers and returns a named counter, sampled as a
+// cumulative series.
+func (m *Metrics) Counter(name string) *Counter {
+	c := &Counter{}
+	m.Gauge(name, func(int64) float64 { return float64(c.Value()) })
+	return c
+}
+
+// Tick samples every registered series when a sample is due. The first
+// call anchors the schedule at its `now`.
+func (m *Metrics) Tick(now int64) {
+	m.mu.Lock()
+	if !m.started {
+		m.started = true
+		m.nextAt = now
+	}
+	if now < m.nextAt {
+		m.mu.Unlock()
+		return
+	}
+	gauges := m.gauges
+	m.mu.Unlock()
+
+	// Sample outside the registry lock: gauges may take component
+	// locks, and nothing else mutates the registry mid-run.
+	row := make([]float64, len(gauges))
+	for i, fn := range gauges {
+		row[i] = fn(now)
+	}
+
+	m.mu.Lock()
+	m.times = append(m.times, now)
+	m.rows = append(m.rows, row)
+	m.nextAt = now + m.interval
+	m.mu.Unlock()
+}
+
+// NextDeadline reports the next sample instant (now, before the first
+// Tick anchors the schedule).
+func (m *Metrics) NextDeadline(now int64) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.started {
+		return now
+	}
+	return m.nextAt
+}
+
+// Samples returns the number of sample rows recorded.
+func (m *Metrics) Samples() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.rows)
+}
+
+// Names returns the registered series names, in registration order.
+func (m *Metrics) Names() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]string(nil), m.names...)
+}
+
+// WriteCSV streams the timeseries as CSV: a time_ns column followed by
+// one column per series.
+func (m *Metrics) WriteCSV(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{"time_ns"}, m.names...)); err != nil {
+		return err
+	}
+	rec := make([]string, 1+len(m.names))
+	for i, row := range m.rows {
+		rec[0] = strconv.FormatInt(m.times[i], 10)
+		for j, v := range row {
+			rec[1+j] = formatSample(v)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// formatSample renders a sample compactly: integers without a decimal
+// point, everything else with enough digits to round-trip.
+func formatSample(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// metricsJSON is the JSON export shape.
+type metricsJSON struct {
+	IntervalNS int64              `json:"interval_ns"`
+	TimesNS    []int64            `json:"times_ns"`
+	Series     []metricSeriesJSON `json:"series"`
+}
+
+type metricSeriesJSON struct {
+	Name   string    `json:"name"`
+	Values []float64 `json:"values"`
+}
+
+// WriteJSON streams the timeseries as JSON, one values array per
+// series aligned with times_ns.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	m.mu.Lock()
+	doc := metricsJSON{IntervalNS: m.interval, TimesNS: append([]int64(nil), m.times...)}
+	for j, name := range m.names {
+		vals := make([]float64, len(m.rows))
+		for i, row := range m.rows {
+			vals[i] = row[j]
+		}
+		doc.Series = append(doc.Series, metricSeriesJSON{Name: name, Values: vals})
+	}
+	m.mu.Unlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// String summarizes the registry for logs.
+func (m *Metrics) String() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return fmt.Sprintf("metrics: %d series, %d samples @ %d ns", len(m.names), len(m.rows), m.interval)
+}

@@ -1,0 +1,52 @@
+// Package obs is the testbed's deterministic observability layer: a
+// fixed-capacity flight-recorder trace of typed events, a metrics
+// registry sampled into timeseries on the virtual clock, and (via
+// internal/stats) latency histograms — all timestamped in virtual
+// nanoseconds, so two runs of the same scenario produce bit-identical
+// traces.
+//
+// The discipline that keeps the datapath honest: every hook in the
+// packet path is guarded by a nil check on its sink, event records live
+// in a preallocated ring, and the zero configuration installs nothing —
+// with observability off the simulation's goldens stay byte-identical
+// and the frame datapath stays allocation-free.
+package obs
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Obs bundles one testbed's observability sinks. Any field may be nil:
+// a nil sink disables that pillar and the hooks guarding on it.
+type Obs struct {
+	// Trace is the flight recorder (nil = tracing off).
+	Trace *Trace
+	// Metrics is the sampled gauge/counter registry (nil = off).
+	Metrics *Metrics
+	// Datapath collects per-frame datapath latency (NIC arrival to DMA
+	// completion), in ns.
+	Datapath *stats.Histogram
+	// RTT collects TCP round-trip samples, in ns, merged across every
+	// stack and shard of the bed.
+	RTT *stats.Histogram
+}
+
+// Tick drives periodic observability work (metrics sampling) at
+// virtual time now. Nil-safe, so drivers call it unconditionally.
+func (o *Obs) Tick(now int64) {
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	o.Metrics.Tick(now)
+}
+
+// NextDeadline reports when Tick next has work (the metrics sampler's
+// next sample instant), or math.MaxInt64. Nil-safe.
+func (o *Obs) NextDeadline(now int64) int64 {
+	if o == nil || o.Metrics == nil {
+		return math.MaxInt64
+	}
+	return o.Metrics.NextDeadline(now)
+}

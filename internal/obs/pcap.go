@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// pcap file constants (libpcap classic format, microsecond timestamps).
+const (
+	pcapMagic    = 0xa1b2c3d4
+	pcapVerMajor = 2
+	pcapVerMinor = 4
+	pcapSnaplen  = 65535
+	pcapEthernet = 1
+)
+
+// PcapWriter streams frames into a libpcap capture readable by tcpdump
+// and Wireshark. It began life as fstack's per-stack tap sink and now
+// lives here so link-level taps (nic RX delivery, both ends of a peer
+// cable into one file) and stack taps share one writer. It is safe for
+// concurrent use — taps from multiple components may share one file.
+type PcapWriter struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+	n   int
+}
+
+// NewPcapWriter writes the global header and returns the writer.
+func NewPcapWriter(w io.Writer) (*PcapWriter, error) {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], pcapMagic)
+	binary.LittleEndian.PutUint16(hdr[4:], pcapVerMajor)
+	binary.LittleEndian.PutUint16(hdr[6:], pcapVerMinor)
+	// thiszone, sigfigs = 0
+	binary.LittleEndian.PutUint32(hdr[16:], pcapSnaplen)
+	binary.LittleEndian.PutUint32(hdr[20:], pcapEthernet)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("obs: pcap header: %w", err)
+	}
+	return &PcapWriter{w: w}, nil
+}
+
+// WritePacket appends one captured frame with the given timestamp. The
+// frame bytes are written synchronously, so callers may pass transient
+// buffers (arena frames) without copying.
+func (p *PcapWriter) WritePacket(tsNS int64, data []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.err != nil {
+		return p.err
+	}
+	n := len(data)
+	if n > pcapSnaplen {
+		n = pcapSnaplen
+	}
+	var rec [16]byte
+	binary.LittleEndian.PutUint32(rec[0:], uint32(tsNS/1e9))
+	binary.LittleEndian.PutUint32(rec[4:], uint32(tsNS%1e9/1e3))
+	binary.LittleEndian.PutUint32(rec[8:], uint32(n))
+	binary.LittleEndian.PutUint32(rec[12:], uint32(len(data)))
+	if _, err := p.w.Write(rec[:]); err != nil {
+		p.err = err
+		return err
+	}
+	if _, err := p.w.Write(data[:n]); err != nil {
+		p.err = err
+		return err
+	}
+	p.n++
+	return nil
+}
+
+// Count returns the packets written so far.
+func (p *PcapWriter) Count() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.n
+}
+
+// Err reports the writer's sticky error.
+func (p *PcapWriter) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}

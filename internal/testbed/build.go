@@ -10,6 +10,7 @@ import (
 	"repro/internal/intravisor"
 	"repro/internal/netem"
 	"repro/internal/nic"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -36,6 +37,11 @@ type Bed struct {
 	// and multi-queue device, when the spec has one.
 	Sharded *fstack.ShardedStack
 	Dev     *dpdk.EthDev
+	// Obs carries the wired observability instruments; nil when the
+	// spec's ObsSpec is the zero value (everything off).
+	Obs *obs.Obs
+	// Pcaps are the open per-peer link captures (ObsSpec.PcapDir).
+	Pcaps []*LinkCapture
 
 	// loops caches the Loops() result: the event-driven driver asks
 	// for it (via NextDeadline) on every iteration, and the topology
@@ -89,6 +95,12 @@ func (b *Bed) NextDeadline(now int64) int64 {
 		if at := ln.NextDeadline(now); at < d {
 			d = at
 		}
+	}
+	// The metrics sampler is a timed component too: folding its next
+	// sample instant in keeps the timeseries on its grid even when the
+	// bed itself would leap further. Nil-safe no-op when obs is off.
+	if at := b.Obs.NextDeadline(now); at < d {
+		d = at
 	}
 	return d
 }
@@ -148,6 +160,13 @@ func Build(spec Spec) (*Bed, error) {
 	}
 	for i, ps := range spec.Peers {
 		applyStackSpec(bed.Peers[i].Env, ps.Stack)
+	}
+	// Observability last, over the finished topology; a zero ObsSpec
+	// never reaches wireObs, so the hook pointers stay nil everywhere.
+	if spec.Obs.Enabled() {
+		if err := bed.wireObs(spec); err != nil {
+			return nil, err
+		}
 	}
 	return bed, nil
 }

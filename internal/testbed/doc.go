@@ -14,8 +14,12 @@
 // bottleneck — is a Spec with both knobs set, not a ninth constructor.
 //
 // What is declarative: topology, sizing, addressing (with collision
-// checks), gate policy, stack tuning, link impairments. What stays
-// imperative: the experiment itself — callers attach applications to
-// the Bed's loops and drive virtual time (internal/core's measurement
-// drivers do exactly that).
+// checks), gate policy, stack tuning, link impairments, and
+// observability (Spec.Obs selects the internal/obs instruments —
+// flight-recorder trace, metrics sampling, latency histograms, link
+// pcap captures — wired into every layer at build time; the zero
+// ObsSpec wires nothing and leaves the bed's behavior byte-identical).
+// What stays imperative: the experiment itself — callers attach
+// applications to the Bed's loops and drive virtual time
+// (internal/core's measurement drivers do exactly that).
 package testbed

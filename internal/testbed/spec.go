@@ -45,6 +45,42 @@ type Spec struct {
 	Compartments []CompartmentSpec
 	// Peers are the remote link partners, one per wired local port.
 	Peers []PeerSpec
+	// Obs enables the virtual-time observability layer. The zero value
+	// keeps observability completely off: no hooks fire, no memory is
+	// allocated, and the bed's behavior is bit-identical to a bed built
+	// without it.
+	Obs ObsSpec
+}
+
+// ObsSpec selects the observability instruments wired into a bed. Each
+// field independently enables one instrument; the zero value disables
+// everything at zero cost.
+type ObsSpec struct {
+	// TraceEvents, when positive, attaches a flight recorder (a ring
+	// keeping the most recent TraceEvents events) to every layer:
+	// netem drops/enqueues, NIC and driver bursts, TCP state changes,
+	// retransmissions and cwnd moves, and gate crossings.
+	TraceEvents int
+	// SampleNS, when positive, samples the bed's gauges (per-env cwnd
+	// and pipe, per-device throughput, netem queue depths, gate
+	// crossings) every SampleNS virtual nanoseconds into a timeseries.
+	SampleNS int64
+	// Latency attaches log-bucketed histograms for per-frame datapath
+	// latency (wire arrival to DMA completion) and TCP RTT samples.
+	Latency bool
+	// PcapDir, when non-empty, writes one libpcap capture per selected
+	// peer link into this directory (created if missing). The tap sits
+	// at the receiving end of each cable, so impairment drops appear
+	// as gaps in the capture.
+	PcapDir string
+	// PcapPeers selects which peers are captured by name; empty means
+	// every peer (when PcapDir is set).
+	PcapPeers []string
+}
+
+// Enabled reports whether any instrument is on.
+func (o ObsSpec) Enabled() bool {
+	return o.TraceEvents > 0 || o.SampleNS > 0 || o.Latency || o.PcapDir != ""
 }
 
 // MachineSpec parameterizes the local machine: its NIC, bus model and
