@@ -50,13 +50,15 @@ func main() {
 	duration := fs.Int64("duration", def.DurationNS, "scenario4 traffic time (virtual ns)")
 	loss := fs.Float64("loss", def.Loss, "scenario5 max random loss rate (swept from 0)")
 	delay := fs.Int64("delay", def.DelayNS, "scenario5 one-way delay for the loss sweep (ns)")
-	rate := fs.Float64("rate", def.RateBps, "scenario5 bottleneck rate (bits/s)")
+	rate := fs.Float64("rate", def.RateBps, "scenario5 bottleneck rate (bits/s); for scenario8, the churn rate (flows/s)")
 	s5dur := fs.Int64("s5duration", def.S5DurationNS, "scenario5 traffic time per point (virtual ns)")
 	ackrate := fs.Float64("ackrate", 0, "scenario6 reverse (ACK) channel bottleneck (bits/s; 0 = clean)")
 	s6dur := fs.Int64("s6duration", def.S6DurationNS, "scenario6 traffic time per point (virtual ns)")
 	mode := fs.String("mode", def.Mode, "scenario6 traffic direction: upload (sharded box sends) or download (peer sends into the cloned listeners)")
 	cc := fs.String("cc", "", fmt.Sprintf("congestion control %v: modern stacks of scenarios 5-6, restricts the scenario7 sweep (empty = reno / both)", fstack.CongestionAlgos()))
 	s7dur := fs.Int64("s7duration", def.S7DurationNS, "scenario7 traffic time per point (virtual ns)")
+	conns := fs.Int("conns", def.Conns, "scenario8 idle connection population held across the churn")
+	s8dur := fs.Int64("s8duration", def.S8DurationNS, "scenario8 churn time per point (virtual ns)")
 	traceDir := fs.String("trace", "", "scenario5: write per-point Chrome trace-event JSON into this directory")
 	metricsDir := fs.String("metrics", "", "scenario5: write per-point metrics timeseries (CSV+JSON) into this directory")
 	pcapDir := fs.String("pcap", "", "scenario5: write per-point per-peer libpcap captures under this directory")
@@ -82,9 +84,22 @@ func main() {
 		Mode:         *mode,
 		Congestion:   *cc,
 		S7DurationNS: *s7dur,
+		Conns:        *conns,
+		ConnRate:     def.ConnRate,
+		S8DurationNS: *s8dur,
 		TraceDir:     *traceDir,
 		MetricsDir:   *metricsDir,
 		PcapDir:      *pcapDir,
+	}
+	// -rate is overloaded: bits/s for scenario5's bottleneck, flows/s
+	// for scenario8's churn. Only an explicit -rate moves the churn
+	// ladder off its default.
+	if cmd == "scenario8" {
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "rate" {
+				opts.ConnRate = *rate
+			}
+		})
 	}
 
 	var entries []core.ScenarioEntry

@@ -155,6 +155,11 @@ func TestScenario5ObsExport(t *testing.T) {
 	if !strings.HasPrefix(lines[0], "time_ns,") {
 		t.Errorf("metrics CSV header %q missing time_ns column", lines[0])
 	}
+	for _, col := range []string{".conns", ".accept_queue"} {
+		if !strings.Contains(lines[0], col) {
+			t.Errorf("metrics CSV header %q missing per-env %s gauge", lines[0], col)
+		}
+	}
 
 	jsonRaw, err := os.ReadFile(filepath.Join(so.MetricsDir, label+".metrics.json"))
 	if err != nil {

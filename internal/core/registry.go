@@ -53,6 +53,12 @@ type RunOptions struct {
 	// scenario 7's per-point traffic time.
 	Congestion   string
 	S7DurationNS int64
+	// Conns is scenario 8's idle connection population; ConnRate its
+	// offered churn rate in flows/s (the sweep ladder tops out there);
+	// S8DurationNS its churn time per point.
+	Conns        int
+	ConnRate     float64
+	S8DurationNS int64
 	// TraceDir, MetricsDir and PcapDir switch on the observability
 	// layer for scenario 5: per-point Chrome trace-event JSON, metrics
 	// timeseries (CSV + JSON), and per-peer link captures. Empty (the
@@ -76,6 +82,9 @@ func DefaultRunOptions() RunOptions {
 		S6DurationNS: DefaultScenario6Duration,
 		Mode:         "upload",
 		S7DurationNS: DefaultScenario7Duration,
+		Conns:        100_000,
+		ConnRate:     50_000,
+		S8DurationNS: DefaultScenario8Duration,
 	}
 }
 
@@ -282,6 +291,29 @@ var Registry = []ScenarioEntry{
 				return err
 			}
 			fmt.Fprint(w, FormatScenario7(results))
+			return nil
+		},
+	},
+	{
+		Name:  "scenario8",
+		Desc:  "connection churn storm: idle 100k-conn population held while rate-paced short flows churn",
+		Flags: "-conns -rate -shards -s8duration",
+		Run: func(o RunOptions, w io.Writer) error {
+			if o.Shards < 1 {
+				return fmt.Errorf("-shards must be at least 1")
+			}
+			if o.Conns < 1 {
+				return fmt.Errorf("-conns must be at least 1")
+			}
+			if o.ConnRate <= 0 {
+				return fmt.Errorf("the churn rate must be positive")
+			}
+			rates := []float64{o.ConnRate / 4, o.ConnRate / 2, o.ConnRate}
+			results, err := RunScenario8RateSweep(o.Shards, o.Conns, rates, o.S8DurationNS)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(w, FormatScenario8(results))
 			return nil
 		},
 	},

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+
+	"repro/internal/churn"
+	"repro/internal/fstack"
+	"repro/internal/hostos"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+)
+
+// Scenario 8 — connection churn storm. Scenarios 4-7 measure the
+// datapath: long flows, bytes per second. This scenario measures the
+// connection plane the connscale work rebuilt: the timing wheel (no
+// per-conn timer scans), the ready list (poll visits only conns with
+// due work), the SYN cache (half-open handshakes cost a pooled entry,
+// not a conn), the conn/socket arena (steady-state churn allocates
+// nothing) and lazy socket buffers (an idle conn reserves no segment
+// memory). The workload is the canonical front-end-box profile: a
+// large population of idle connections held open while rate-paced
+// short request flows churn — connect, one small write, close — with
+// the client closing first so TIME_WAIT pressure lands on the client
+// stack. Reported per point: achieved accepts/sec against the offered
+// rate, connect-latency quantiles, and the idle population's segment
+// and heap cost per connection, in Baseline and capability mode.
+
+const (
+	// s8LineRate / s8RxFifoBytes / s8RingSize: the scenario-4 fast
+	// multi-queue port, so the connection plane — not the wire — is the
+	// variable under test.
+	s8LineRate    = 4e9
+	s8RxFifoBytes = 512 << 10
+	s8RingSize    = 256
+
+	// s8Ports is the listen-port spread per flow class (preload and
+	// churn); the varying client source ports scatter connections
+	// across the RSS shards.
+	s8Ports = 4
+	// s8Backlog is every listener's accept-queue bound, comfortably
+	// above the client's handshake concurrency so the sweep measures
+	// throughput, not configured-in drops.
+	s8Backlog = 512
+	// s8PreloadPort / s8ChurnPort are the two listen ranges.
+	s8PreloadPort = uint16(5801)
+	s8ChurnPort   = uint16(5901)
+
+	// s8BufBytes sizes both socket buffers. Short 64-byte flows need
+	// nothing more, and small rings keep the lazily-backed segment
+	// footprint of the churn population bounded.
+	s8BufBytes = 8 << 10
+	// s8SynCache bounds each shard's half-open cache.
+	s8SynCache = 4096
+
+	// Environment sizing: the segment carries the mbuf pool plus the
+	// lazily-backed buffers of the active churn population (TIME_WAIT
+	// holds a closed conn's buffers until the arena recycles them,
+	// ~rate × 2MSL conns on the client side). Idle preload conns never
+	// move data, so lazy buffers keep them out of this budget entirely.
+	// Peers run on the default 64 MiB machine, so the segment must fit
+	// under that; the local machine is sized explicitly for the cVM
+	// window.
+	s8SegSize  = 48 << 20
+	s8CVMMem   = 56 << 20
+	s8MemBytes = 160 << 20
+	s8PoolBufs = 3072
+)
+
+// Scenario8Config parameterizes the churn testbed.
+type Scenario8Config struct {
+	// Shards is the server-side stack shard / NIC queue-pair count.
+	Shards int
+	// CapMode runs the server stack inside a cVM with capability DMA.
+	CapMode bool
+	// Conns is the idle connection population established and held
+	// before the churn phase.
+	Conns int
+	// Rate is the offered churn load, short flows per second.
+	Rate float64
+	// DurationNS is the churn phase's virtual length.
+	DurationNS int64
+}
+
+// s8Tuning is the connection-plane stack configuration.
+func s8Tuning() *fstack.TCPTuning {
+	return &fstack.TCPTuning{
+		SndBufBytes:  s8BufBytes,
+		RcvBufBytes:  s8BufBytes,
+		LazyBuffers:  true,
+		SynCacheSize: s8SynCache,
+	}
+}
+
+// NewScenario8 builds the churn layout: a sharded server box (process
+// or cVM) on a fast RSS port, one link partner as the load generator.
+func NewScenario8(clk hostos.Clock, cfg Scenario8Config) (*testbed.Bed, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("core: scenario 8 needs at least one shard")
+	}
+	return testbed.Build(testbed.Spec{
+		Clk: clk,
+		Machine: testbed.MachineSpec{
+			Name: "morello", MemBytes: s8MemBytes, Ports: 1,
+			LineRateBps: s8LineRate, RxFifoBytes: s8RxFifoBytes,
+			CapDMA: cfg.CapMode,
+		},
+		Compartments: []testbed.CompartmentSpec{
+			{
+				Name: "s8", CVM: cfg.CapMode, CVMName: "cvm1",
+				CVMBytes: s8CVMMem, SegBytes: s8SegSize,
+				PoolBufs: s8PoolBufs, PoolName: "s8-pkt",
+				Ifs: []testbed.IfSpec{{Port: 0}},
+				Stack: testbed.StackSpec{
+					Shards: cfg.Shards, RingSize: s8RingSize,
+					Tuning: s8Tuning(),
+				},
+			},
+		},
+		Peers: []testbed.PeerSpec{
+			{
+				Port: 0, LineRateBps: s8LineRate,
+				SegBytes: s8SegSize, PoolBufs: s8PoolBufs,
+				Stack: testbed.StackSpec{Tuning: s8Tuning()},
+			},
+		},
+	})
+}
+
+// Scenario8Result is one measured churn point.
+type Scenario8Result struct {
+	Shards  int
+	CapMode bool
+	Conns   int
+	Rate    float64
+
+	// Completed short flows and the churn phase's virtual length.
+	Completed uint64
+	ChurnNS   int64
+	// Deferred counts pace slots the client could not offer because its
+	// handshake-concurrency cap was already outstanding (overload).
+	Deferred uint64
+	// ConnectP50NS / ConnectP99NS are churn-flow connect latencies.
+	ConnectP50NS int64
+	ConnectP99NS int64
+	// SegPerConn / HeapPerConn are the idle population's cost: server
+	// segment bytes per conn (lazy buffers should hold this at zero)
+	// and process heap bytes per conn (both endpoints of each pair live
+	// in this process).
+	SegPerConn  float64
+	HeapPerConn float64
+	// Stats are the server shards' aggregated counters.
+	Stats fstack.StackStats
+}
+
+// AcceptsPerSec is the achieved short-flow completion rate.
+func (r Scenario8Result) AcceptsPerSec() float64 {
+	if r.ChurnNS <= 0 {
+		return 0
+	}
+	return float64(r.Completed) / (float64(r.ChurnNS) / 1e9)
+}
+
+// Scenario8Churn drives the two-phase storm on a built bed: establish
+// and hold the idle population (measuring its cost), then churn.
+func Scenario8Churn(s *testbed.Bed, cfg Scenario8Config) (Scenario8Result, error) {
+	clk, ok := s.Clk.(*sim.VClock)
+	if !ok {
+		return Scenario8Result{}, fmt.Errorf("core: scenario 8 runs need the virtual clock")
+	}
+	res := Scenario8Result{Shards: cfg.Shards, CapMode: cfg.CapMode, Conns: cfg.Conns, Rate: cfg.Rate}
+
+	srv := churn.NewServer(fstack.IPv4Addr{}, s8PreloadPort, s8ChurnPort, s8Ports, s8Backlog)
+	api := s.Sharded.API()
+	appSteppers := []func(now int64){func(now int64) { srv.Step(api, now) }}
+
+	cli, err := churn.NewClient(localIP(0), s8PreloadPort, s8ChurnPort, s8Ports, cfg.Conns, cfg.Rate, cfg.DurationNS)
+	if err != nil {
+		return res, err
+	}
+	papi := s.Peers[0].Env.Loop.Locked()
+	s.Peers[0].Env.Loop.OnLoop = func(now int64) bool {
+		cli.Step(papi, now)
+		return true
+	}
+	timed := []deadliner{cli, srv}
+	fail := func(stage string) error {
+		if cli.Err() != hostos.OK {
+			return fmt.Errorf("core: scenario 8 client failed (%s): %v", stage, cli.Err())
+		}
+		if srv.Err() != hostos.OK {
+			return fmt.Errorf("core: scenario 8 server failed (%s): %v", stage, srv.Err())
+		}
+		return nil
+	}
+
+	// Phase A: establish and hold the idle population.
+	segBefore := s.Envs[0].Seg.Used()
+	heapBefore := heapInUse()
+	preloaded := func() bool {
+		return cli.PreloadDone() || cli.Err() != hostos.OK || srv.Err() != hostos.OK
+	}
+	if err := runVirtualUntil(clk, s, appSteppers, timed, preloaded, 8_000e6); err != nil {
+		return res, err
+	}
+	if err := fail("preload"); err != nil {
+		return res, err
+	}
+	if cfg.Conns > 0 {
+		res.SegPerConn = float64(s.Envs[0].Seg.Used()-segBefore) / float64(cfg.Conns)
+		res.HeapPerConn = float64(int64(heapInUse())-int64(heapBefore)) / float64(cfg.Conns)
+	}
+
+	// Phase B: the rate-paced storm, over the held population.
+	cli.StartChurn(clk.Now())
+	churned := func() bool {
+		if cli.Err() != hostos.OK || srv.Err() != hostos.OK {
+			return true
+		}
+		return cli.Done() && srv.Served() >= cli.Completed()
+	}
+	if err := runVirtualUntil(clk, s, appSteppers, timed, churned, cfg.DurationNS+8_000e6); err != nil {
+		return res, err
+	}
+	if err := fail("churn"); err != nil {
+		return res, err
+	}
+
+	res.Completed = cli.Completed()
+	res.ChurnNS = cli.ChurnNS()
+	res.Deferred = cli.Deferred()
+	res.ConnectP50NS = cli.Hist.Quantile(0.50)
+	res.ConnectP99NS = cli.Hist.Quantile(0.99)
+	res.Stats = s.Sharded.Stats()
+	return res, nil
+}
+
+// heapInUse samples live heap bytes after a full collection, so the
+// preload delta measures retained connection state, not garbage.
+func heapInUse() uint64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.HeapAlloc
+}
+
+// DefaultScenario8Duration is the churn phase's virtual length.
+const DefaultScenario8Duration = int64(1_000e6)
+
+// RunScenario8 measures one configuration on a fresh virtual testbed.
+func RunScenario8(cfg Scenario8Config) (Scenario8Result, error) {
+	s, err := NewScenario8(sim.NewVClock(), cfg)
+	if err != nil {
+		return Scenario8Result{}, err
+	}
+	return Scenario8Churn(s, cfg)
+}
+
+// RunScenario8RateSweep measures the offered-rate ladder in both
+// Baseline and capability mode at a fixed shard count and idle
+// population.
+func RunScenario8RateSweep(shards, conns int, rates []float64, durationNS int64) ([]Scenario8Result, error) {
+	var out []Scenario8Result
+	for _, capMode := range []bool{false, true} {
+		for _, rate := range rates {
+			cfg := Scenario8Config{
+				Shards: shards, CapMode: capMode, Conns: conns,
+				Rate: rate, DurationNS: durationNS,
+			}
+			r, err := RunScenario8(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("rate=%.0f cap=%v: %w", rate, capMode, err)
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// FormatScenario8 renders a sweep. The drops column folds refused SYNs
+// and accept-queue overflows; deferred marks points where the client
+// itself could not sustain the offered rate.
+func FormatScenario8(results []Scenario8Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SCENARIO 8 — connection churn storm: accepts/sec over an idle population\n")
+	if len(results) > 0 {
+		r := results[0]
+		fmt.Fprintf(&b, "(port %.0f Gbit/s, %d shards, %d idle conns held, 64 B flows, client closes first)\n",
+			s8LineRate/1e9, r.Shards, r.Conns)
+	}
+	fmt.Fprintf(&b, "  %-9s %10s %10s %9s %9s %10s %10s %7s\n",
+		"Mode", "Offered/s", "Accepts/s", "p50(µs)", "p99(µs)", "seg B/idle", "heap B/idle", "drops")
+	for _, r := range results {
+		mode := "baseline"
+		if r.CapMode {
+			mode = "cheri"
+		}
+		note := ""
+		if r.Deferred > 0 {
+			note = fmt.Sprintf("  (client deferred %d)", r.Deferred)
+		}
+		fmt.Fprintf(&b, "  %-9s %10.0f %10.0f %9.1f %9.1f %10.1f %10.0f %7d%s\n",
+			mode, r.Rate, r.AcceptsPerSec(),
+			float64(r.ConnectP50NS)/1e3, float64(r.ConnectP99NS)/1e3,
+			r.SegPerConn, r.HeapPerConn,
+			r.Stats.SynDrops+r.Stats.AcceptOverflows, note)
+	}
+	return b.String()
+}

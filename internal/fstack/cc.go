@@ -39,6 +39,16 @@ func ValidCongestion(name string) bool {
 	return name == "" || name == CCReno || name == CCCubic
 }
 
+// effectiveCC resolves a tuning name to the registered algorithm name
+// it selects ("" means the default). The conn arena compares this
+// against a pooled controller's Name() to decide reuse.
+func effectiveCC(name string) string {
+	if name == "" {
+		return CCReno
+	}
+	return name
+}
+
 // CongestionController is the pluggable congestion-control interface.
 // The connection drives it from its ACK/loss-event sites and reads
 // back Cwnd (how many unacknowledged bytes may be outstanding) and
@@ -202,9 +212,9 @@ type cubicCC struct {
 func (c *cubicCC) Name() string { return CCCubic }
 
 func (c *cubicCC) OnInit(mss int, unboundedSS bool) {
-	c.mss = mss
-	c.cwnd = 10 * mss
-	c.ssthresh = 256 * 1024
+	// Full reset: OnInit is also the arena-reuse path, where the struct
+	// carries a previous connection's epoch state.
+	*c = cubicCC{mss: mss, cwnd: 10 * mss, ssthresh: 256 * 1024}
 	if unboundedSS {
 		c.ssthresh = 1 << 30
 	}

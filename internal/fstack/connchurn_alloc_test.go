@@ -1,0 +1,23 @@
+//go:build !race
+
+package fstack
+
+import "testing"
+
+// TestConnChurnZeroAllocs pins the conn-arena hard constraint: at
+// steady state a full connection lifecycle — TIME_WAIT tuple reuse,
+// SYN-cache handshake, graduation, accept, both-sides close back into
+// the arena — must not allocate. A regression here means some part of
+// setup or teardown (conn, socket, buffers, wheel entries, syncache
+// entries) fell off its free list.
+//
+// Skipped under the race detector, whose instrumentation allocates.
+func TestConnChurnZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed; skipped in -short")
+	}
+	res := testing.Benchmark(BenchmarkConnChurn)
+	if a := res.AllocsPerOp(); a != 0 {
+		t.Fatalf("connection churn allocates %d allocs/op at steady state, want 0", a)
+	}
+}

@@ -1,0 +1,89 @@
+package fstack
+
+import (
+	"testing"
+
+	"repro/internal/hostos"
+)
+
+// BenchmarkConnChurn measures the full connection lifecycle at steady
+// state: connect over a tuple whose previous incarnation sits in
+// TIME_WAIT (exercising the reuse path), SYN-cache handshake,
+// graduation onto the accept queue, accept, and a both-sides close
+// back into the conn/socket arena. The allocs/op figure is what the
+// arena exists for: after warm-up, setup + teardown must not allocate.
+//
+// The body deliberately avoids closures and helpers that build func
+// values per cycle — they would count as allocations of the harness,
+// not the stack.
+func BenchmarkConnChurn(b *testing.B) {
+	e := newEnv(b, false)
+	e.stkA.SetTCPTuning(TCPTuning{SndBufBytes: 16384, RcvBufBytes: 16384})
+	e.stkB.SetTCPTuning(TCPTuning{SndBufBytes: 16384, RcvBufBytes: 16384})
+	lfd, errno := e.stkB.Socket(SockStream)
+	if errno != hostos.OK {
+		b.Fatal(errno)
+	}
+	e.stkB.Bind(lfd, IPv4Addr{}, 9100)
+	e.stkB.Listen(lfd, 8)
+
+	// Arena, descriptor maps, rings and ARP state reach steady state
+	// during warm-up; from then on every cycle recycles what the
+	// previous one released.
+	for i := 0; i < 32; i++ {
+		churnCycle(b, e, lfd)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		churnCycle(b, e, lfd)
+	}
+}
+
+// churnCycle runs one connect/accept/close/close round over a fixed
+// 4-tuple (source port 25000), leaving the client's conn in TIME_WAIT
+// for the next cycle to reuse.
+func churnCycle(b *testing.B, e *testEnv, lfd int) {
+	cfd, errno := e.stkA.Socket(SockStream)
+	if errno != hostos.OK {
+		b.Fatal(errno)
+	}
+	if errno := e.stkA.Bind(cfd, IPv4Addr{}, 25000); errno != hostos.OK {
+		b.Fatal(errno)
+	}
+	if errno := e.stkA.Connect(cfd, IP4(10, 0, 0, 2), 9100); errno != hostos.EINPROGRESS {
+		b.Fatal(errno)
+	}
+	afd := -1
+	for tick := 0; tick < 8000 && afd < 0; tick++ {
+		e.tick()
+		if fd, _, _, errno := e.stkB.Accept(lfd); errno == hostos.OK {
+			afd = fd
+		}
+	}
+	if afd < 0 {
+		b.Fatal("handshake never completed")
+	}
+	for tick := 0; e.stkA.ConnState(cfd) != "ESTABLISHED"; tick++ {
+		if tick >= 8000 {
+			b.Fatal("client never established")
+		}
+		e.tick()
+	}
+	e.stkA.Close(cfd)
+	for tick := 0; e.stkB.ConnState(afd) != "CLOSE_WAIT"; tick++ {
+		if tick >= 8000 {
+			b.Fatal("server never saw the FIN")
+		}
+		e.tick()
+	}
+	e.stkB.Close(afd)
+	// Steady state: the server side fully recycled, the client's conn
+	// alone in TIME_WAIT.
+	for tick := 0; e.stkB.ConnCount() != 0 || e.stkA.ConnCount() != 1; tick++ {
+		if tick >= 8000 {
+			b.Fatal("teardown never drained")
+		}
+		e.tick()
+	}
+}

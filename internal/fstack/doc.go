@@ -8,16 +8,19 @@
 //     iteration drains the NIC RX rings, runs protocol input, fires
 //     timers, flushes TX, and invokes a user callback. There are no
 //     interrupts and no kernel involvement after boot.
+//
 //   - Applications use the ff_* socket API (Socket, Bind, Listen,
 //     Accept, Connect, Read, Write, Close) plus an epoll-style event
 //     API. All calls are non-blocking; readiness is reported through
 //     epoll, which is how the paper's iperf3 port works after its
 //     select->epoll conversion (§III-B).
+//
 //   - API calls and the main loop are serialized by one stack mutex.
 //     In Baseline and Scenario 1 the application runs inside the loop
 //     callback, so the mutex is uncontended; in Scenario 2 separate
 //     application compartments call through cross-cVM gates and contend
 //     on it — the effect Fig. 6 measures.
+//
 //   - The multi-core escape from that mutex is ShardedStack: N Stack
 //     instances, each bound to one NIC RX/TX queue pair, with symmetric
 //     RSS steering keeping both directions of every flow on one shard.
@@ -28,10 +31,26 @@
 //     connections, and outbound source-port engineering that
 //     round-robins new connections over the shards. Scenario 4
 //     measures the resulting aggregate-goodput scaling.
+//
 //   - In capability mode (the CHERI port) socket buffers and all packet
 //     memory live in a bounded memory segment and every copy is a
 //     checked capability access; ff_write takes a `__capability` buffer
 //     argument exactly like the modified API in the paper (§III-B).
+//
+//   - The connection plane is built for count and churn, not just
+//     bulk flows: timers live on hierarchical timing wheels
+//     (fstack/connscale — O(1) arm/disarm, exact firing), the poll
+//     visits only connections with pending work (idle conns cost
+//     nothing per iteration), inbound handshakes go through a
+//     FreeBSD-style SYN cache (a half-open costs one pooled entry,
+//     not a conn; backlog/cache overflow is counted and traced, with
+//     a SynRST knob choosing RST over silent drop), and setup and
+//     teardown recycle conns, sockets, syncache entries and timer
+//     items through arenas — a full connect/accept/close/close cycle
+//     is zero-alloc at steady state (BenchmarkConnChurn pins it).
+//     TIME_WAIT holds tuples for 2MSL with both BSD reuse paths
+//     (active reconnect and forward-sequence fresh SYN) counted in
+//     StackStats; ephemeral-port exhaustion returns EADDRNOTAVAIL.
 //
 // Protocols: Ethernet II, ARP, IPv4 (no fragmentation — the MSS never
 // exceeds the MTU), ICMP echo, UDP, and TCP with the features the

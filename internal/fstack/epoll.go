@@ -114,7 +114,7 @@ func (s *Stack) readiness(fd int) uint32 {
 	var r uint32
 	switch {
 	case sk.lst != nil:
-		if len(sk.lst.pending) > 0 {
+		if sk.lst.pendingCount() > 0 {
 			r |= EPOLLIN
 		}
 	case sk.conn != nil:

@@ -15,10 +15,11 @@ import (
 // buffer the read counter is advanced by ACKs while peek serves
 // (re)transmission, giving retention-until-acknowledged for free.
 type sockBuf struct {
-	seg  *dpdk.MemSeg
-	base uint64
-	size int // power of two
-	r, w uint64
+	seg    *dpdk.MemSeg
+	base   uint64
+	size   int // power of two
+	r, w   uint64
+	backed bool // segment memory reserved (false only under LazyBuffers)
 }
 
 // newSockBuf allocates a ring of the given power-of-two size.
@@ -30,7 +31,34 @@ func newSockBuf(seg *dpdk.MemSeg, size int) (*sockBuf, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &sockBuf{seg: seg, base: base, size: size}, nil
+	return &sockBuf{seg: seg, base: base, size: size, backed: true}, nil
+}
+
+// newLazySockBuf builds a ring whose segment memory is reserved only
+// on first write (the LazyBuffers tuning knob). An idle accepted
+// connection that never moves data then costs no segment bytes — the
+// per-idle-conn figure Scenario 8 measures.
+func newLazySockBuf(seg *dpdk.MemSeg, size int) (*sockBuf, error) {
+	if size <= 0 || size&(size-1) != 0 {
+		return nil, fmt.Errorf("fstack: socket buffer size %d not a power of two", size)
+	}
+	return &sockBuf{seg: seg, size: size}, nil
+}
+
+// back reserves the segment memory of a lazily-built ring. Idempotent;
+// called from the write paths (reads of an unbacked ring see Len()==0
+// and never touch the segment).
+func (b *sockBuf) back() error {
+	if b.backed {
+		return nil
+	}
+	base, err := b.seg.Alloc(uint64(b.size), 64)
+	if err != nil {
+		return err
+	}
+	b.base = base
+	b.backed = true
+	return nil
 }
 
 // Len returns buffered bytes.
@@ -42,6 +70,9 @@ func (b *sockBuf) Free() int { return b.size - b.Len() }
 // writeFrom appends up to len(src) bytes from a plain slice, returning
 // the count stored.
 func (b *sockBuf) writeFrom(src []byte) (int, error) {
+	if err := b.back(); err != nil {
+		return 0, err
+	}
 	n := min(len(src), b.Free())
 	written := 0
 	for written < n {
@@ -63,6 +94,9 @@ func (b *sockBuf) writeFrom(src []byte) (int, error) {
 // load is checked against cap; the store is checked against the
 // segment.
 func (b *sockBuf) writeFromCap(mem *cheri.TMem, cap cheri.Cap, n int) (int, error) {
+	if err := b.back(); err != nil {
+		return 0, err
+	}
 	n = min(n, b.Free())
 	written := 0
 	addr := cap.Addr()

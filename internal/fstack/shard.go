@@ -128,6 +128,24 @@ func (ss *ShardedStack) Stats() StackStats {
 	return total
 }
 
+// ConnCount sums established-or-later connections over every shard.
+func (ss *ShardedStack) ConnCount() int {
+	n := 0
+	for _, s := range ss.shards {
+		n += s.ConnCount()
+	}
+	return n
+}
+
+// AcceptQueueDepth sums not-yet-accepted connections over every shard.
+func (ss *ShardedStack) AcceptQueueDepth() int {
+	n := 0
+	for _, s := range ss.shards {
+		n += s.AcceptQueueDepth()
+	}
+	return n
+}
+
 // SetTCPTuning applies the TCP feature configuration to every shard
 // (connections are shard-local, so the knob simply fans out).
 func (ss *ShardedStack) SetTCPTuning(t TCPTuning) {
@@ -187,7 +205,8 @@ type ShardedAPI struct {
 	fds    map[int]*shardedFD
 	rev    []map[int]int // per shard: shard fd -> logical fd
 	eph    uint16
-	rr     int // round-robin shard target for outbound connections
+	rr     int     // round-robin shard target for outbound connections
+	tmp    []Event // EpollWait per-shard scratch, sized to the caller's buffer
 }
 
 // API returns a sharded application view. Like a single Stack's
@@ -456,22 +475,27 @@ func (a *ShardedAPI) EpollWait(epfd int, evs []Event) (int, hostos.Errno) {
 	if !ok || ep.kind != sfEpoll {
 		return -1, hostos.EBADF
 	}
+	// The scratch buffer matches the caller's: a smaller one would
+	// truncate a shard's ready set to a map-ordered (random) subset and
+	// make busy runs nondeterministic.
+	if len(a.tmp) < len(evs) {
+		a.tmp = make([]Event, len(evs))
+	}
 	n := 0
-	var tmp [16]Event
 	for i, s := range a.ss.shards {
 		if n >= len(evs) {
 			break
 		}
-		k, errno := s.EpollWait(ep.sub[i], tmp[:])
+		k, errno := s.EpollWait(ep.sub[i], a.tmp[:len(evs)])
 		if errno != hostos.OK {
 			return -1, errno
 		}
 		for j := 0; j < k && n < len(evs); j++ {
-			lfd, ok := a.rev[i][tmp[j].FD]
+			lfd, ok := a.rev[i][a.tmp[j].FD]
 			if !ok {
 				continue // descriptor raced with Close
 			}
-			evs[n] = Event{FD: lfd, Events: tmp[j].Events}
+			evs[n] = Event{FD: lfd, Events: a.tmp[j].Events}
 			n++
 		}
 	}

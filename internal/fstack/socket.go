@@ -11,12 +11,39 @@ const (
 	SockDgram  = 2
 )
 
-// listener is a passive TCP socket's accept machinery.
+// listener is a passive TCP socket's accept machinery. halfOpen counts
+// this listener's SYN-cache entries; pending is the accept queue, run
+// as a head-indexed ring over one slice so steady-state churn neither
+// allocates nor shifts elements.
 type listener struct {
 	ep       tcpEndpoint
 	backlog  int
 	halfOpen int
 	pending  []*tcpConn // established, awaiting Accept
+	head     int        // index of the oldest pending conn
+}
+
+// pendingCount is the accept-queue depth.
+func (l *listener) pendingCount() int { return len(l.pending) - l.head }
+
+// pushPending enqueues an established connection for Accept.
+func (l *listener) pushPending(c *tcpConn) {
+	c.inPending = true
+	l.pending = append(l.pending, c)
+}
+
+// popPending dequeues the oldest pending connection, recycling the
+// slice's capacity whenever the queue drains.
+func (l *listener) popPending() *tcpConn {
+	c := l.pending[l.head]
+	l.pending[l.head] = nil
+	l.head++
+	if l.head == len(l.pending) {
+		l.pending = l.pending[:0]
+		l.head = 0
+	}
+	c.inPending = false
+	return c
 }
 
 // dgram is one queued UDP datagram.
@@ -63,8 +90,23 @@ func (s *Stack) socketLocked(typ int) (int, hostos.Errno) {
 	}
 	fd := s.nextFD
 	s.nextFD++
-	s.socks[fd] = &socket{fd: fd, typ: typ, stk: s}
+	sk := s.allocSocket()
+	sk.fd, sk.typ = fd, typ
+	s.socks[fd] = sk
 	return fd, hostos.OK
+}
+
+// allocSocket takes a socket struct off the arena (or allocates one),
+// reset to the zero state with stk set.
+func (s *Stack) allocSocket() *socket {
+	if n := len(s.sockFree); n > 0 {
+		sk := s.sockFree[n-1]
+		s.sockFree[n-1] = nil
+		s.sockFree = s.sockFree[:n-1]
+		*sk = socket{stk: s}
+		return sk
+	}
+	return &socket{stk: s}
 }
 
 // Bind attaches a local address. A zero IP binds all interfaces.
@@ -142,14 +184,16 @@ func (s *Stack) acceptLocked(fd int) (int, IPv4Addr, uint16, hostos.Errno) {
 	if sk.lst == nil {
 		return -1, IPv4Addr{}, 0, hostos.EINVAL
 	}
-	if len(sk.lst.pending) == 0 {
+	if sk.lst.pendingCount() == 0 {
 		return -1, IPv4Addr{}, 0, hostos.EAGAIN
 	}
-	c := sk.lst.pending[0]
-	sk.lst.pending = sk.lst.pending[1:]
+	c := sk.lst.popPending()
 	nfd := s.nextFD
 	s.nextFD++
-	s.socks[nfd] = &socket{fd: nfd, typ: SockStream, stk: s, conn: c, bound: c.tuple.local}
+	nsk := s.allocSocket()
+	nsk.fd, nsk.typ, nsk.conn, nsk.bound = nfd, SockStream, c, c.tuple.local
+	c.sk = nsk
+	s.socks[nfd] = nsk
 	return nfd, c.tuple.remote.IP, c.tuple.remote.Port, hostos.OK
 }
 
@@ -179,10 +223,22 @@ func (s *Stack) connectLocked(fd int, ip IPv4Addr, port uint16) hostos.Errno {
 	}
 	if local.Port == 0 {
 		local.Port = s.allocEphemeral()
+		if local.Port == 0 {
+			return hostos.EADDRNOTAVAIL
+		}
 	}
 	tuple := fourTuple{local: local, remote: tcpEndpoint{IP: ip, Port: port}}
-	if _, dup := s.conns[tuple]; dup {
-		return hostos.EADDRINUSE
+	if old, dup := s.conns[tuple]; dup {
+		if old.state != tcpTimeWait {
+			return hostos.EADDRINUSE
+		}
+		// TIME_WAIT reuse on active open: the old incarnation only
+		// waits out 2MSL to absorb stray segments; a fresh outgoing
+		// connection may take the tuple over immediately (the new ISS
+		// is far from the old sequence space).
+		s.stats.TimeWaitReuses++
+		old.setState(tcpClosed)
+		s.removeConn(old)
 	}
 	c, err := s.newTCPConn(nif, tuple)
 	if err != nil {
@@ -194,29 +250,27 @@ func (s *Stack) connectLocked(fd int, ip IPv4Addr, port uint16) hostos.Errno {
 	s.addConn(tuple, c)
 	sk.conn = c
 	sk.bound = local
+	c.sk = sk
 	c.sendSegment(TCPSyn, iss, 0, true)
 	c.armRTO()
 	return hostos.EINPROGRESS
 }
 
-// allocEphemeral hands out local ports.
+// allocEphemeral hands out local ports, walking from the last hand-out
+// with the per-port refcounts deciding availability — O(1) against the
+// connection count. 0 means the whole range is in use
+// (EADDRNOTAVAIL).
 func (s *Stack) allocEphemeral() uint16 {
-	for {
+	for tries := 0; tries < 65536-ephemeralBase; tries++ {
 		s.ephemeral++
-		if s.ephemeral < 32768 {
-			s.ephemeral = 32768
+		if s.ephemeral < ephemeralBase {
+			s.ephemeral = ephemeralBase
 		}
-		inUse := false
-		for t := range s.conns {
-			if t.local.Port == s.ephemeral {
-				inUse = true
-				break
-			}
-		}
-		if !inUse {
+		if s.portRefs == nil || s.portRefs[s.ephemeral-ephemeralBase] == 0 {
 			return s.ephemeral
 		}
 	}
+	return 0
 }
 
 // connFor returns the stream connection behind fd.
@@ -339,12 +393,14 @@ func (s *Stack) readLocked(fd int, dst []byte) (int, hostos.Errno) {
 
 // noteReadDrain runs after an application read freed receive-buffer
 // space: if the drain re-opens a window we advertised as (near) zero,
-// the next poll's timer pass will send the window update — flag that
+// the next poll's visit pass will send the window update — flag that
 // pending work so the event-driven driver visits that iteration
-// instead of leaping over it to the peer's (much later) persist probe.
+// instead of leaping over it to the peer's (much later) persist probe,
+// and put the connection in that poll's visit set.
 func (s *Stack) noteReadDrain(c *tcpConn) {
 	if c.needsWindowUpdate() {
 		s.wantPoll = true
+		s.markReady(c)
 	}
 }
 
@@ -399,9 +455,11 @@ func (s *Stack) closeLocked(fd int) hostos.Errno {
 	switch {
 	case sk.lst != nil:
 		delete(s.listeners, sk.bound)
-		for _, c := range sk.lst.pending {
+		for _, c := range sk.lst.pending[sk.lst.head:] {
 			c.sendRST()
 			c.abort(hostos.ECONNRESET)
+			c.inPending = false
+			s.maybeRecycleConn(c)
 		}
 	case sk.conn != nil:
 		c := sk.conn
@@ -411,9 +469,15 @@ func (s *Stack) closeLocked(fd int) hostos.Errno {
 		} else if c.state == tcpSynSent {
 			c.abort(hostos.ECONNRESET)
 		}
+		// The application can no longer reach the connection: drop the
+		// back-reference so the conn struct is recyclable once the
+		// protocol is done with it (it may already be).
+		c.sk = nil
+		s.maybeRecycleConn(c)
 	case sk.udp != nil:
 		delete(s.udps, sk.udp.ep)
 	}
+	s.sockFree = append(s.sockFree, sk)
 	return hostos.OK
 }
 

@@ -1,11 +1,14 @@
 package fstack
 
 import (
+	"cmp"
 	"fmt"
 	"math"
+	"slices"
 	"sync"
 
 	"repro/internal/dpdk"
+	"repro/internal/fstack/connscale"
 	"repro/internal/hostos"
 	"repro/internal/obs"
 	"repro/internal/stats"
@@ -59,16 +62,20 @@ func (n *NetIF) sameSubnet(ip IPv4Addr) bool {
 // split into dup-ACK fast retransmits, scoreboard-guided SACK hole
 // fills and timeout resends; DupAcks counts duplicate ACKs received.
 type StackStats struct {
-	RxFrames       uint64
-	TxFrames       uint64
-	RxDropped      uint64 // parse errors, no socket, bad checksum
-	Retransmit     uint64
-	FastRetransmit uint64 // three-dup-ACK and NewReno partial-ACK resends
-	SACKRetransmit uint64 // scoreboard-guided hole fills
-	RTORetransmit  uint64 // segments resent after a timeout rewind
-	DupAcks        uint64 // duplicate ACKs received
-	PersistProbes  uint64 // zero-window probes sent (persist timer)
-	ArpTx          uint64
+	RxFrames        uint64
+	TxFrames        uint64
+	RxDropped       uint64 // parse errors, no socket, bad checksum
+	Retransmit      uint64
+	FastRetransmit  uint64 // three-dup-ACK and NewReno partial-ACK resends
+	SACKRetransmit  uint64 // scoreboard-guided hole fills
+	RTORetransmit   uint64 // segments resent after a timeout rewind
+	DupAcks         uint64 // duplicate ACKs received
+	PersistProbes   uint64 // zero-window probes sent (persist timer)
+	ArpTx           uint64
+	Accepts         uint64 // connections graduated from the SYN cache
+	SynDrops        uint64 // SYNs refused (backlog or SYN cache full)
+	AcceptOverflows uint64 // graduations deferred/refused: accept queue full
+	TimeWaitReuses  uint64 // TIME_WAIT tuples recycled for a fresh connection
 }
 
 // Add accumulates another stack's counters into st — the one place
@@ -85,6 +92,10 @@ func (st *StackStats) Add(o StackStats) {
 	st.DupAcks += o.DupAcks
 	st.PersistProbes += o.PersistProbes
 	st.ArpTx += o.ArpTx
+	st.Accepts += o.Accepts
+	st.SynDrops += o.SynDrops
+	st.AcceptOverflows += o.AcceptOverflows
+	st.TimeWaitReuses += o.TimeWaitReuses
 }
 
 // RecoverySummary formats the retransmit breakdown for scenario
@@ -120,6 +131,17 @@ type TCPTuning struct {
 	// behavior. Validate names early with ValidCongestion; an unknown
 	// name makes connection creation fail.
 	Congestion string
+	// SynCacheSize bounds the half-open SYN cache
+	// (net.inet.tcp.syncache.cachelimit); 0 keeps the 1024 default.
+	SynCacheSize int
+	// SynRST answers refused SYNs and overflowed graduations with a
+	// reset instead of the default silent drop
+	// (net.inet.tcp.syncache.rst_on_sock_fail flavor).
+	SynRST bool
+	// LazyBuffers defers socket-buffer segment backing until the first
+	// write, so an idle accepted connection costs only its struct —
+	// the knob that makes 100k parked connections fit in one segment.
+	LazyBuffers bool
 }
 
 // Stack is a user-space TCP/IP instance: interfaces, connection tables
@@ -134,19 +156,61 @@ type Stack struct {
 	// duration of an iteration; API entry points hold it per call.
 	mu sync.Mutex
 
-	nifs  []*NetIF
-	conns map[fourTuple]*tcpConn
-	// connOrder lists the live connections in creation order. The poll
-	// loop iterates it instead of the conns map so timer firing and
-	// output interleaving are identical run to run — map iteration
-	// order is randomized per process, and the goldens must not depend
-	// on winning that lottery.
-	connOrder []*tcpConn
+	nifs      []*NetIF
+	conns     map[fourTuple]*tcpConn
 	listeners map[tcpEndpoint]*listener
 	udps      map[tcpEndpoint]*udpSock
 	socks     map[int]*socket
 	epolls    map[int]*epollInstance
 	nextFD    int
+
+	// connSeq numbers connections in creation order. The poll loop
+	// sorts its visit set by seq so timer firing and output
+	// interleaving are identical run to run — map iteration order is
+	// randomized per process, and the goldens must not depend on
+	// winning that lottery.
+	connSeq uint64
+
+	// wheel holds every armed connection timer; synWheel the SYN|ACK
+	// retransmit timers of half-open SYN-cache entries. Arming and
+	// disarming are O(1), and NextDeadline never scans idle
+	// connections — the property that makes 100k parked connections
+	// free. A wheel entry may run early (a timer was disarmed or
+	// re-armed later without touching the wheel); the visit then finds
+	// nothing due and syncTimer re-files the exact deadline.
+	wheel    *connscale.Wheel[*tcpConn]
+	synWheel *connscale.Wheel[*synEntry]
+	// fireConnF/fireSynF are the Advance callbacks, bound once at
+	// construction — method values created per poll would allocate.
+	fireConnF func(*tcpConn)
+	fireSynF  func(*synEntry)
+
+	// ready lists connections an API call or a failed transmit marked
+	// for the next poll (window update owed, TX ring was full). visit
+	// is the poll's scratch: fired ∪ ready, deduplicated via c.queued
+	// and sorted by creation seq before the walk.
+	ready []*tcpConn
+	visit []*tcpConn
+
+	// syncache holds half-open connections: a SYN costs one pooled
+	// entry here, not a full tcpConn. Entries graduate to connections
+	// on the final ACK and retransmit SYN|ACKs via synWheel.
+	syncache map[fourTuple]*synEntry
+	synFree  []*synEntry
+
+	// connFree/sockFree recycle connection and socket structs so a
+	// churn of short flows reaches zero steady-state allocations.
+	// Plain per-stack free lists, not sync.Pool: the segment allocator
+	// backing socket buffers never frees, so a conn dropped to the GC
+	// would leak its buffers for good.
+	connFree []*tcpConn
+	sockFree []*socket
+
+	// portRefs counts live connections per local ephemeral port
+	// (index port-ephemeralBase), allocated on first use. It bounds
+	// allocEphemeral: a full range is EADDRNOTAVAIL, not an infinite
+	// loop.
+	portRefs []uint32
 
 	issCounter uint32
 	ipID       uint16
@@ -159,13 +223,6 @@ type Stack struct {
 	// window, so a window-update ACK is owed). The event-driven driver
 	// must visit the next iteration rather than leap.
 	wantPoll bool
-
-	// timerMin is a conservative lower bound on the earliest armed
-	// connection timer (rtxAt/persistAt/delackAt/timeWaitAt), kept
-	// incrementally: arming notes the new deadline, and a stale bound
-	// (a timer fired or was disarmed) is recomputed lazily the next
-	// time nextDeadlineLocked crosses it. math.MaxInt64 = none armed.
-	timerMin int64
 
 	// rxBurst is the poll loop's harvest scratch. As a local it would
 	// escape through the EthDevice interface call and cost one heap
@@ -188,9 +245,12 @@ type Stack struct {
 	obsSrc uint16
 }
 
+// ephemeralBase is the bottom of the ephemeral port range.
+const ephemeralBase = 32768
+
 // NewStack builds a stack over the given segment, buffer pool and clock.
 func NewStack(seg *dpdk.MemSeg, pool *dpdk.Mempool, clk hostos.Clock) *Stack {
-	return &Stack{
+	s := &Stack{
 		seg:       seg,
 		pool:      pool,
 		clk:       clk,
@@ -199,25 +259,102 @@ func NewStack(seg *dpdk.MemSeg, pool *dpdk.Mempool, clk hostos.Clock) *Stack {
 		udps:      make(map[tcpEndpoint]*udpSock),
 		socks:     make(map[int]*socket),
 		epolls:    make(map[int]*epollInstance),
+		syncache:  make(map[fourTuple]*synEntry),
 		nextFD:    3,
-		ephemeral: 32768,
-		timerMin:  math.MaxInt64,
+		ephemeral: ephemeralBase,
+		wheel:     connscale.New[*tcpConn](0, connscale.DefaultTickShift),
+		synWheel:  connscale.New[*synEntry](0, connscale.DefaultTickShift),
 	}
+	s.fireConnF = func(c *tcpConn) {
+		c.timerH = connscale.None
+		s.queueVisit(c)
+	}
+	s.fireSynF = func(e *synEntry) {
+		e.timerH = connscale.None
+		s.synRetransmit(e)
+	}
+	return s
 }
 
-// addConn registers a connection in the table and the ordered list.
+// addConn registers a connection in the table, stamping its creation
+// order and pinning its local ephemeral port.
 func (s *Stack) addConn(tuple fourTuple, c *tcpConn) {
+	s.connSeq++
+	c.seq = s.connSeq
 	s.conns[tuple] = c
-	s.connOrder = append(s.connOrder, c)
+	if tuple.local.Port >= ephemeralBase {
+		s.portAcquire(tuple.local.Port)
+	}
 }
 
-// noteTimer records a newly armed connection deadline in the cached
-// minimum. Disarming needs no call: the stale bound is corrected by
-// the lazy recompute in nextDeadlineLocked.
-func (s *Stack) noteTimer(at int64) {
-	if at < s.timerMin {
-		s.timerMin = at
+// portAcquire / portRelease maintain the per-ephemeral-port refcounts.
+func (s *Stack) portAcquire(p uint16) {
+	if s.portRefs == nil {
+		s.portRefs = make([]uint32, 65536-ephemeralBase)
 	}
+	s.portRefs[p-ephemeralBase]++
+}
+
+func (s *Stack) portRelease(p uint16) {
+	if s.portRefs != nil && s.portRefs[p-ephemeralBase] > 0 {
+		s.portRefs[p-ephemeralBase]--
+	}
+}
+
+// noteTimer lowers a connection's wheel entry to a newly armed
+// deadline. Arming later than the filed deadline needs no work — the
+// entry fires early, the visit finds nothing due, and syncTimer
+// re-files the exact minimum. Disarming likewise.
+func (s *Stack) noteTimer(c *tcpConn, at int64) {
+	if c.timerH != connscale.None {
+		if at >= c.timerAt {
+			return
+		}
+		s.wheel.Remove(c.timerH)
+	}
+	c.timerAt = at
+	c.timerH = s.wheel.Insert(at, c)
+}
+
+// syncTimer reconciles a connection's wheel entry with its exact
+// earliest deadline, called after every poll visit.
+func (s *Stack) syncTimer(c *tcpConn) {
+	if c.detached {
+		return
+	}
+	d := connDeadline(c)
+	if c.timerH != connscale.None {
+		if d == c.timerAt {
+			return
+		}
+		s.wheel.Remove(c.timerH)
+		c.timerH = connscale.None
+	}
+	if d == math.MaxInt64 {
+		return
+	}
+	c.timerAt = d
+	c.timerH = s.wheel.Insert(d, c)
+}
+
+// markReady queues a connection for the next poll's visit set: a
+// transmit failed (ring full — retry when the device drains) or an API
+// call owes protocol work (window-update ACK after a read).
+func (s *Stack) markReady(c *tcpConn) {
+	if c.onReady || c.detached {
+		return
+	}
+	c.onReady = true
+	s.ready = append(s.ready, c)
+}
+
+// queueVisit adds a connection to this poll's visit set (deduplicated).
+func (s *Stack) queueVisit(c *tcpConn) {
+	if c.queued {
+		return
+	}
+	c.queued = true
+	s.visit = append(s.visit, c)
 }
 
 // connDeadline is the earliest armed timer of one connection.
@@ -239,23 +376,17 @@ func connDeadline(c *tcpConn) int64 {
 }
 
 // nextDeadlineLocked reports the stack's earliest future work: the
-// cached connection-timer minimum (recomputed when stale) and whatever
-// the attached devices hold. Callers hold the stack mutex.
+// timing wheels' minima (O(1) — no scan of idle connections, however
+// many are parked) and whatever the attached devices hold. Callers
+// hold the stack mutex.
 func (s *Stack) nextDeadlineLocked(now int64) int64 {
 	if s.wantPoll {
 		return now
 	}
-	if s.timerMin <= now {
-		// The bound was reached (a timer fired, or was disarmed at or
-		// before it): recompute the exact minimum.
-		s.timerMin = math.MaxInt64
-		for _, c := range s.connOrder {
-			if d := connDeadline(c); d < s.timerMin {
-				s.timerMin = d
-			}
-		}
+	d := s.wheel.NextDeadline()
+	if sd := s.synWheel.NextDeadline(); sd < d {
+		d = sd
 	}
-	d := s.timerMin
 	for _, nif := range s.nifs {
 		if at := nif.dev.NextDeadline(now); at < d {
 			d = at
@@ -366,11 +497,38 @@ func (s *Stack) SetObs(tr *obs.Trace, rtt *stats.Histogram, src uint16) {
 func (s *Stack) SumCwndPipe() (cwnd, pipe int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, c := range s.connOrder {
+	// Map order is fine here: integer sums are order-independent.
+	for _, c := range s.conns {
 		cwnd += c.cc.Cwnd()
 		pipe += c.pipe()
 	}
 	return cwnd, pipe
+}
+
+// ConnCount reports the number of live connections (metrics gauge).
+func (s *Stack) ConnCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// AcceptQueueDepth sums the pending (accepted, not yet Accept()ed)
+// connections across listeners (metrics gauge).
+func (s *Stack) AcceptQueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, l := range s.listeners {
+		n += l.pendingCount()
+	}
+	return n
+}
+
+// HalfOpenCount reports the SYN-cache occupancy (testing hook).
+func (s *Stack) HalfOpenCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.syncache)
 }
 
 // nifForDst picks the outgoing interface for a destination.
@@ -610,13 +768,28 @@ func (s *Stack) inputTCP(nif *NetIF, ip IPv4Header, seg []byte) {
 	}
 	payload := seg[hl:]
 	if c, ok := s.conns[tuple]; ok {
-		c.input(h, payload)
+		if c.state != tcpTimeWait || h.Flags&(TCPSyn|TCPAck|TCPRst) != TCPSyn || !seqGT(h.Seq, c.rcvNxt) {
+			c.input(h, payload)
+			return
+		}
+		// TIME_WAIT reuse (RFC 1122 §4.2.2.13): a fresh SYN with a
+		// sequence number beyond the old connection's recycles the
+		// tuple immediately instead of making the peer wait out 2MSL.
+		s.stats.TimeWaitReuses++
+		c.setState(tcpClosed)
+		s.removeConn(c)
+		// Fall through to the listener path: the SYN starts a new flow.
+	}
+	if e, ok := s.syncache[tuple]; ok {
+		s.synInput(e, h, payload)
 		return
 	}
 	// New flow: only a SYN to a listener is welcome.
 	if h.Flags&TCPSyn != 0 && h.Flags&TCPAck == 0 {
 		if l := s.findListener(tuple.local); l != nil {
-			s.acceptSyn(nif, l, tuple, h)
+			if !s.acceptSyn(nif, l, tuple, h) && s.tuning.SynRST {
+				s.sendRSTFor(nif, ip, h, len(payload))
+			}
 			return
 		}
 	}
@@ -637,43 +810,6 @@ func (s *Stack) findListener(ep tcpEndpoint) *listener {
 	return nil
 }
 
-// acceptSyn creates the half-open connection and answers SYN|ACK.
-func (s *Stack) acceptSyn(nif *NetIF, l *listener, tuple fourTuple, h TCPHeader) {
-	if len(l.pending)+l.halfOpen >= l.backlog {
-		return // silently drop: peer retries
-	}
-	c, err := s.newTCPConn(nif, tuple)
-	if err != nil {
-		return
-	}
-	c.setState(tcpSynReceived)
-	c.rcvNxt = h.Seq + 1
-	if h.HasTS {
-		c.tsRecent = h.TSVal
-	}
-	if h.MSS != 0 {
-		c.sndMSS = min(int(h.MSS)-tsOptionLen, MaxSegData)
-		c.cc.SetMSS(c.sndMSS)
-	}
-	// Feature negotiation: only echo what the client offered AND the
-	// stack's tuning enables; the SYN|ACK then carries our side of the
-	// agreement (sendSegment reads offerSACK/offerWS).
-	c.offerSACK = c.offerSACK && h.SACKPermitted
-	c.offerWS = c.offerWS && h.HasWS
-	c.sackOK = c.offerSACK
-	if c.offerWS {
-		c.sndWScale = h.WScale
-		c.rcvWScale = s.tuning.WindowScale
-	}
-	iss := s.iss()
-	c.sndUna, c.sndNxt, c.sndMax = iss, iss+1, iss+1
-	c.sndWnd = uint32(h.Window)
-	s.addConn(tuple, c)
-	l.halfOpen++
-	c.sendSegment(TCPSyn|TCPAck, iss, 0, true)
-	c.armRTO()
-}
-
 // notifyAccept queues a completed connection on its listener.
 func (s *Stack) notifyAccept(c *tcpConn) {
 	l := s.findListener(c.tuple.local)
@@ -685,7 +821,11 @@ func (s *Stack) notifyAccept(c *tcpConn) {
 	if l.halfOpen > 0 {
 		l.halfOpen--
 	}
-	l.pending = append(l.pending, c)
+	l.pushPending(c)
+	if s.obsTr != nil {
+		s.obsTr.Record(s.now(), obs.EvTCPAccept, s.obsSrc,
+			int64(l.pendingCount()), int64(len(s.syncache)), int64(c.tuple.local.Port))
+	}
 }
 
 // sendRSTFor answers an unexpected segment with a reset.
@@ -712,8 +852,13 @@ func (s *Stack) sendRSTFor(nif *NetIF, ip IPv4Header, h TCPHeader, payloadLen in
 	s.sendIPv4(nif, m, frame, ip.Src, ProtoTCP, hl)
 }
 
-// removeConn drops the connection from the table.
+// removeConn drops the connection from the table: fold its counters,
+// unfile its timer, release its port — all O(1) — and recycle the
+// struct when nothing else can reach it.
 func (s *Stack) removeConn(c *tcpConn) {
+	if c.detached {
+		return
+	}
 	s.stats.Retransmit += c.retransSegs
 	s.stats.FastRetransmit += c.fastRetrans
 	s.stats.SACKRetransmit += c.sackRetrans
@@ -723,18 +868,22 @@ func (s *Stack) removeConn(c *tcpConn) {
 	c.retransSegs, c.fastRetrans, c.sackRetrans, c.rtoRetrans = 0, 0, 0, 0
 	c.dupAcksIn, c.persistProbes = 0, 0
 	delete(s.conns, c.tuple)
-	for i, o := range s.connOrder {
-		if o == c {
-			s.connOrder = append(s.connOrder[:i], s.connOrder[i+1:]...)
-			break
-		}
+	if c.tuple.local.Port >= ephemeralBase {
+		s.portRelease(c.tuple.local.Port)
 	}
+	if c.timerH != connscale.None {
+		s.wheel.Remove(c.timerH)
+		c.timerH = connscale.None
+	}
+	c.detached = true
+	s.maybeRecycleConn(c)
 }
 
-// poll is one stack iteration: drain RX, run timers, flush output.
-// Callers hold the stack mutex.
+// poll is one stack iteration: drain RX, fire due timers, then visit
+// exactly the connections with pending work. Callers hold the stack
+// mutex.
 func (s *Stack) poll() {
-	s.wantPoll = false // the timer pass below answers any queued work
+	s.wantPoll = false // the visit pass below answers any queued work
 	burst := s.rxBurst[:]
 	for _, nif := range s.nifs {
 		for {
@@ -748,14 +897,35 @@ func (s *Stack) poll() {
 		}
 	}
 	now := s.now()
-	// Creation order, not map order: reproducible timer and output
-	// interleaving. A connection that removes itself mid-iteration
-	// splices the list; the element sliding into its slot is simply
-	// visited on the next poll, exactly one iteration later.
-	for i := 0; i < len(s.connOrder); i++ {
-		c := s.connOrder[i]
-		c.onTimers(now)
-		c.output()
+	s.wheel.Advance(now, s.fireConnF)
+	s.synWheel.Advance(now, s.fireSynF)
+	for i, c := range s.ready {
+		s.ready[i] = nil
+		c.onReady = false
+		s.queueVisit(c)
+	}
+	s.ready = s.ready[:0]
+	if len(s.visit) > 0 {
+		// Creation order, not wheel or map order: reproducible timer
+		// and output interleaving. Visiting only this subset is
+		// equivalent to the historical visit-every-connection walk —
+		// onTimers and output are no-ops on a connection with no due
+		// timer, no newly sendable data and no owed window update.
+		slices.SortFunc(s.visit, func(a, b *tcpConn) int {
+			return cmp.Compare(a.seq, b.seq)
+		})
+		for i := 0; i < len(s.visit); i++ {
+			c := s.visit[i]
+			s.visit[i] = nil
+			c.queued = false
+			if c.detached {
+				continue
+			}
+			c.onTimers(now)
+			c.output()
+			s.syncTimer(c)
+		}
+		s.visit = s.visit[:0]
 	}
 	for _, nif := range s.nifs {
 		nif.dev.Poll()
@@ -780,8 +950,15 @@ func (s *Stack) String() string {
 func (s *Stack) DebugConnDump() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	order := make([]*tcpConn, 0, len(s.conns))
+	for _, c := range s.conns {
+		order = append(order, c)
+	}
+	slices.SortFunc(order, func(a, b *tcpConn) int {
+		return cmp.Compare(a.seq, b.seq)
+	})
 	out := ""
-	for _, c := range s.connOrder {
+	for _, c := range order {
 		out += fmt.Sprintf("[%s una=%d nxt=%d max=%d cwnd=%d pipe=%d wnd=%d sacked=%d rec=%v rtxAt=%d rto=%d buf=%d]",
 			c.state, c.sndUna, c.sndNxt, c.sndMax, c.cc.Cwnd(), c.pipe(), c.sndWnd, len(c.sacked), c.inRecovery, c.rtxAt, c.rto, c.sndBuf.Len())
 	}

@@ -123,8 +123,16 @@ func TestTCPDuplicateSynHandled(t *testing.T) {
 	e.stkB.Listen(lfd, 4)
 	cfd, _ := e.stkA.Socket(SockStream)
 	e.stkA.Connect(cfd, IP4(10, 0, 0, 2), 5001)
+	// The server's conn exists only once the handshake's final ACK
+	// graduates the syncache entry, so wait for both sides.
 	e.pumpUntil(4000, "established", func() bool {
-		return e.stkA.ConnState(cfd) == "ESTABLISHED"
+		if e.stkA.ConnState(cfd) != "ESTABLISHED" {
+			return false
+		}
+		e.stkB.Lock()
+		n := len(e.stkB.conns)
+		e.stkB.Unlock()
+		return n == 1
 	})
 	// Re-inject a duplicate SYN by hand: the server must re-ack, not
 	// crash or create a second connection.

@@ -1,6 +1,7 @@
 package fstack
 
 import (
+	"repro/internal/fstack/connscale"
 	"repro/internal/hostos"
 	"repro/internal/obs"
 )
@@ -155,6 +156,22 @@ type tcpConn struct {
 	// (noteCwnd), so the trace only carries changes.
 	obsCwnd int
 
+	// connection-scale plumbing (stack.go): seq stamps creation order
+	// for the poll visit sort; timerH/timerAt file the earliest armed
+	// timer on the stack's timing wheel; queued/onReady deduplicate
+	// visit-set membership; detached means removeConn ran; sk is the
+	// owning socket (nil before accept / after close) and inPending
+	// marks residence on a listener's accept queue — together they
+	// gate recycling the struct through the conn arena.
+	seq       uint64
+	timerH    connscale.Handle
+	timerAt   int64
+	queued    bool
+	onReady   bool
+	detached  bool
+	sk        *socket
+	inPending bool
+
 	// counters (exposed via stack stats)
 	retransSegs   uint64 // total retransmitted segments
 	fastRetrans   uint64 // dup-ACK fast retransmits (incl. NewReno partial-ACK resends)
@@ -166,6 +183,9 @@ type tcpConn struct {
 
 // newTCPConn builds a connection in the given state with buffers from
 // the stack's segment, sized and featured per the stack's TCP tuning.
+// A recycled struct from the conn arena is preferred when its buffers
+// and congestion controller match the current tuning — the path that
+// makes connection churn allocation-free at steady state.
 func (s *Stack) newTCPConn(nif *NetIF, tuple fourTuple) (*tcpConn, error) {
 	sndSize, rcvSize := sndBufSize, rcvBufSize
 	if s.tuning.SndBufBytes > 0 {
@@ -174,11 +194,23 @@ func (s *Stack) newTCPConn(nif *NetIF, tuple fourTuple) (*tcpConn, error) {
 	if s.tuning.RcvBufBytes > 0 {
 		rcvSize = s.tuning.RcvBufBytes
 	}
-	snd, err := newSockBuf(s.seg, sndSize)
+	if n := len(s.connFree); n > 0 {
+		c := s.connFree[n-1]
+		s.connFree[n-1] = nil
+		s.connFree = s.connFree[:n-1]
+		// A pooled conn whose buffer sizes or CC algorithm no longer
+		// match the tuning (a boot-time change) is simply dropped.
+		if c.sndBuf.size == sndSize && c.rcvBuf.size == rcvSize &&
+			c.cc.Name() == effectiveCC(s.tuning.Congestion) {
+			s.resetConn(c, nif, tuple, rcvSize)
+			return c, nil
+		}
+	}
+	snd, err := s.newTunedSockBuf(sndSize)
 	if err != nil {
 		return nil, err
 	}
-	rcv, err := newSockBuf(s.seg, rcvSize)
+	rcv, err := s.newTunedSockBuf(rcvSize)
 	if err != nil {
 		return nil, err
 	}
@@ -199,9 +231,58 @@ func (s *Stack) newTCPConn(nif *NetIF, tuple fourTuple) (*tcpConn, error) {
 		rto:       rtoInitial,
 		offerSACK: s.tuning.SACK,
 		offerWS:   s.tuning.WindowScale > 0,
+		timerH:    connscale.None,
 	}
 	c.cc.OnInit(c.sndMSS, c.offerWS)
 	return c, nil
+}
+
+// newTunedSockBuf allocates one socket buffer, deferring segment
+// backing when the LazyBuffers tuning is on.
+func (s *Stack) newTunedSockBuf(size int) (*sockBuf, error) {
+	if s.tuning.LazyBuffers {
+		return newLazySockBuf(s.seg, size)
+	}
+	return newSockBuf(s.seg, size)
+}
+
+// resetConn reinitializes a pooled connection struct to fresh-conn
+// state, retaining its (reset) buffers, reassembly/scoreboard slices
+// and congestion controller. The struct literal zeroes every field not
+// explicitly carried over, so a newly added field cannot leak state
+// between incarnations.
+func (s *Stack) resetConn(c *tcpConn, nif *NetIF, tuple fourTuple, rcvSize int) {
+	snd, rcv, cc := c.sndBuf, c.rcvBuf, c.cc
+	snd.r, snd.w = 0, 0
+	rcv.r, rcv.w = 0, 0
+	*c = tcpConn{
+		stk:       s,
+		nif:       nif,
+		tuple:     tuple,
+		state:     tcpClosed,
+		sndBuf:    snd,
+		rcvBuf:    rcv,
+		rcvOOO:    c.rcvOOO[:0],
+		sacked:    c.sacked[:0],
+		oooCap:    max(oooMaxBytes, rcvSize),
+		sndMSS:    MaxSegData,
+		cc:        cc,
+		rto:       rtoInitial,
+		offerSACK: s.tuning.SACK,
+		offerWS:   s.tuning.WindowScale > 0,
+		timerH:    connscale.None,
+	}
+	c.cc.OnInit(c.sndMSS, c.offerWS)
+}
+
+// maybeRecycleConn returns a detached connection struct to the arena
+// once nothing else can reach it: no socket, no accept-queue slot, no
+// poll visit-set or ready-list membership.
+func (s *Stack) maybeRecycleConn(c *tcpConn) {
+	if !c.detached || c.inPending || c.sk != nil || c.queued || c.onReady {
+		return
+	}
+	s.connFree = append(s.connFree, c)
 }
 
 // iss generates the initial send sequence number.
@@ -278,13 +359,17 @@ func (c *tcpConn) sendSegment(flags uint8, seq uint32, payloadLen int, withMSS b
 	total := hl + payloadLen
 	m, frame := c.stk.txAlloc(c.nif, IPv4HeaderLen+total)
 	if m == nil {
-		return false // pool or ring exhausted; retry next loop
+		// Pool or ring exhausted: mark ready so the next poll's visit
+		// set includes this connection and the send is retried.
+		c.stk.markReady(c)
+		return false
 	}
 	tcpSeg := frame[EthHeaderLen+IPv4HeaderLen:]
 	if payloadLen > 0 {
 		off := int(seq - c.sndUna)
 		if _, err := c.sndBuf.peek(off, tcpSeg[hl:hl+payloadLen]); err != nil {
 			m.Free()
+			c.stk.markReady(c)
 			return false
 		}
 	}
@@ -296,6 +381,8 @@ func (c *tcpConn) sendSegment(flags uint8, seq uint32, payloadLen int, withMSS b
 			shift = 0
 		}
 		c.advWnd = uint32(h.Window) << shift
+	} else {
+		c.stk.markReady(c)
 	}
 	return ok
 }
@@ -310,7 +397,7 @@ func (c *tcpConn) sendAckNow() {
 // armRTO (re)arms the retransmission timer.
 func (c *tcpConn) armRTO() {
 	c.rtxAt = c.stk.now() + c.rto
-	c.stk.noteTimer(c.rtxAt)
+	c.stk.noteTimer(c, c.rtxAt)
 }
 
 // inflight returns un-acknowledged bytes.
@@ -445,7 +532,7 @@ func (c *tcpConn) output() {
 		c.inflight() == 0 && c.sndBuf.Len() > 0 {
 		c.persistN = 0
 		c.persistAt = c.stk.now() + c.persistInterval()
-		c.stk.noteTimer(c.persistAt)
+		c.stk.noteTimer(c, c.persistAt)
 	}
 }
 
@@ -485,7 +572,7 @@ func (c *tcpConn) onPersist() {
 		c.persistN++
 	}
 	c.persistAt = c.stk.now() + c.persistInterval()
-	c.stk.noteTimer(c.persistAt)
+	c.stk.noteTimer(c, c.persistAt)
 }
 
 // --- input ---
@@ -1026,7 +1113,7 @@ func (c *tcpConn) acceptData(h TCPHeader, payload []byte) {
 		c.sendAckNow()
 	} else if c.delackAt == 0 {
 		c.delackAt = c.stk.now() + delackTimeout
-		c.stk.noteTimer(c.delackAt)
+		c.stk.noteTimer(c, c.delackAt)
 	}
 }
 
@@ -1034,7 +1121,7 @@ func (c *tcpConn) acceptData(h TCPHeader, payload []byte) {
 func (c *tcpConn) enterTimeWait() {
 	c.setState(tcpTimeWait)
 	c.timeWaitAt = c.stk.now() + timeWaitDur
-	c.stk.noteTimer(c.timeWaitAt)
+	c.stk.noteTimer(c, c.timeWaitAt)
 	c.rtxAt = 0
 	c.persistAt = 0
 }

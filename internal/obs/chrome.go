@@ -69,6 +69,17 @@ func chromeArgs(e Event) map[string]any {
 		a["kind"], a["seq"], a["port"] = kind, e.B, e.C
 	case EvTCPCwnd:
 		a["cwnd"], a["port"] = e.A, e.C
+	case EvTCPAccept:
+		a["queue_depth"], a["half_open"], a["port"] = e.A, e.B, e.C
+	case EvTCPSynDrop:
+		reason := "backlog"
+		switch e.A {
+		case SynDropCache:
+			reason = "cache"
+		case SynDropOverflow:
+			reason = "overflow"
+		}
+		a["reason"], a["queue_depth"], a["port"] = reason, e.B, e.C
 	case EvGateCrossing:
 		a["crossings"] = e.A
 	}

@@ -37,11 +37,26 @@ const (
 	// EvTCPCwnd: a connection's congestion window changed. A=cwnd
 	// bytes, C=local port. Exported as a Chrome counter series.
 	EvTCPCwnd
+	// EvTCPAccept: a half-open connection graduated from the SYN cache
+	// into the accept queue. A=accept-queue depth after the enqueue,
+	// B=SYN-cache entries remaining, C=local (listen) port.
+	EvTCPAccept
+	// EvTCPSynDrop: a SYN was refused. A=reason (SynDropBacklog /
+	// SynDropCache / SynDropOverflow), B=accept-queue depth,
+	// C=local (listen) port.
+	EvTCPSynDrop
 	// EvGateCrossing: a sealed cross-compartment gate call completed.
 	// A=total completed crossings.
 	EvGateCrossing
 
 	evTypeCount
+)
+
+// EvTCPSynDrop reasons (event argument A).
+const (
+	SynDropBacklog  = 0 // listen backlog full at SYN arrival
+	SynDropCache    = 1 // SYN cache at capacity
+	SynDropOverflow = 2 // accept queue full at graduation (final ACK)
 )
 
 // EvNetemDrop kinds (event argument B).
@@ -68,6 +83,8 @@ var evNames = [evTypeCount]string{
 	EvTCPState:      "tcp.state",
 	EvTCPRetransmit: "tcp.retransmit",
 	EvTCPCwnd:       "tcp.cwnd",
+	EvTCPAccept:     "tcp.accept",
+	EvTCPSynDrop:    "tcp.syn_drop",
 	EvGateCrossing:  "gate.crossing",
 }
 
@@ -81,6 +98,8 @@ var evLayers = [evTypeCount]string{
 	EvTCPState:      "fstack",
 	EvTCPRetransmit: "fstack",
 	EvTCPCwnd:       "fstack",
+	EvTCPAccept:     "fstack",
+	EvTCPSynDrop:    "fstack",
 	EvGateCrossing:  "intravisor",
 }
 

@@ -111,10 +111,23 @@ func (b *Bed) registerGauges(m *obs.Metrics) {
 		}
 		return nil
 	}
+	connDepth := func(e *Env) func() (int, int) {
+		if ss := e.Sharded; ss != nil {
+			return func() (int, int) { return ss.ConnCount(), ss.AcceptQueueDepth() }
+		}
+		if stk := e.Stk; stk != nil {
+			return func() (int, int) { return stk.ConnCount(), stk.AcceptQueueDepth() }
+		}
+		return nil
+	}
 	for _, e := range b.Envs {
 		if get := sumCwndPipe(e); get != nil {
 			m.Gauge(e.Name+".cwnd_bytes", func(int64) float64 { c, _ := get(); return float64(c) })
 			m.Gauge(e.Name+".pipe_bytes", func(int64) float64 { _, p := get(); return float64(p) })
+		}
+		if get := connDepth(e); get != nil {
+			m.Gauge(e.Name+".conns", func(int64) float64 { c, _ := get(); return float64(c) })
+			m.Gauge(e.Name+".accept_queue", func(int64) float64 { _, d := get(); return float64(d) })
 		}
 		for j, d := range e.Devs {
 			d := d
