@@ -269,6 +269,33 @@ func BenchmarkScenario7(b *testing.B) {
 	}
 }
 
+// BenchmarkScenario9 measures the request/response plane at the
+// moderate-load point: open-loop HTTP keep-alive and DNS-shaped UDP
+// traffic over two shards, reporting the merged per-request tail. The
+// p99 metric is the figure of merit; done/s confirms the offered rate
+// was absorbed.
+func BenchmarkScenario9(b *testing.B) {
+	for _, proto := range []string{"http", "dns"} {
+		proto := proto
+		b.Run(proto, func(b *testing.B) {
+			var last core.Scenario9Result
+			for i := 0; i < b.N; i++ {
+				r, err := core.RunScenario9(core.Scenario9Config{
+					Proto: proto, Shards: 2, Rate: 8000, Conns: 16,
+					DurationNS: 200e6,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+			b.ReportMetric(last.CompletedPerSec(), "done/s")
+			b.ReportMetric(float64(last.P99NS)/1e3, "p99-µs")
+			b.ReportMetric(float64(last.Timeouts), "timeouts")
+		})
+	}
+}
+
 // --- Ablations (design choices called out in DESIGN.md) ---
 
 // BenchmarkAblationCapChecks compares the datapath memory access with

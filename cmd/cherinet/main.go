@@ -57,8 +57,10 @@ func main() {
 	mode := fs.String("mode", def.Mode, "scenario6 traffic direction: upload (sharded box sends) or download (peer sends into the cloned listeners)")
 	cc := fs.String("cc", "", fmt.Sprintf("congestion control %v: modern stacks of scenarios 5-6, restricts the scenario7 sweep (empty = reno / both)", fstack.CongestionAlgos()))
 	s7dur := fs.Int64("s7duration", def.S7DurationNS, "scenario7 traffic time per point (virtual ns)")
-	conns := fs.Int("conns", def.Conns, "scenario8 idle connection population held across the churn")
+	conns := fs.Int("conns", def.Conns, "scenario8 idle connection population held across the churn; for scenario9, the connection/concurrency count")
 	s8dur := fs.Int64("s8duration", def.S8DurationNS, "scenario8 churn time per point (virtual ns)")
+	proto := fs.String("proto", "", "scenario9 protocol: http or dns (empty = both)")
+	s9dur := fs.Int64("s9duration", def.S9DurationNS, "scenario9 measured time per point (virtual ns)")
 	traceDir := fs.String("trace", "", "scenario5: write per-point Chrome trace-event JSON into this directory")
 	metricsDir := fs.String("metrics", "", "scenario5: write per-point metrics timeseries (CSV+JSON) into this directory")
 	pcapDir := fs.String("pcap", "", "scenario5: write per-point per-peer libpcap captures under this directory")
@@ -87,20 +89,29 @@ func main() {
 		Conns:        *conns,
 		ConnRate:     def.ConnRate,
 		S8DurationNS: *s8dur,
+		Proto:        *proto,
+		S9Rate:       def.S9Rate,
+		S9Conns:      def.S9Conns,
+		S9DurationNS: *s9dur,
 		TraceDir:     *traceDir,
 		MetricsDir:   *metricsDir,
 		PcapDir:      *pcapDir,
 	}
-	// -rate is overloaded: bits/s for scenario5's bottleneck, flows/s
-	// for scenario8's churn. Only an explicit -rate moves the churn
-	// ladder off its default.
-	if cmd == "scenario8" {
-		fs.Visit(func(f *flag.Flag) {
-			if f.Name == "rate" {
-				opts.ConnRate = *rate
-			}
-		})
-	}
+	// -rate and -conns are overloaded: -rate is bits/s for scenario5's
+	// bottleneck, flows/s for scenario8's churn, requests/s for
+	// scenario9; -conns is scenario8's idle population or scenario9's
+	// connection count. Only explicit flags move a ladder off its
+	// default.
+	fs.Visit(func(f *flag.Flag) {
+		switch {
+		case cmd == "scenario8" && f.Name == "rate":
+			opts.ConnRate = *rate
+		case cmd == "scenario9" && f.Name == "rate":
+			opts.S9Rate = *rate
+		case cmd == "scenario9" && f.Name == "conns":
+			opts.S9Conns = *conns
+		}
+	})
 
 	var entries []core.ScenarioEntry
 	if cmd == "all" {

@@ -1,0 +1,238 @@
+package app
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/fstack"
+	"repro/internal/hostos"
+)
+
+// --- DNS codec ---
+
+func TestDNSCodecRoundTrip(t *testing.T) {
+	buf := make([]byte, 512)
+	n := putDNSQuery(buf, 0xBEEF)
+	if n != dnsQueryLen {
+		t.Fatalf("query length %d, want %d", n, dnsQueryLen)
+	}
+	if id, ok := dnsID(buf[:n]); !ok || id != 0xBEEF {
+		t.Fatalf("query id %#x ok=%v", id, ok)
+	}
+	n = putDNSAnswer(buf, 0x1234)
+	if n != dnsAnswerLen {
+		t.Fatalf("answer length %d, want %d", n, dnsAnswerLen)
+	}
+	if id, ok := dnsID(buf[:n]); !ok || id != 0x1234 {
+		t.Fatalf("answer id %#x ok=%v", id, ok)
+	}
+	// The answer embeds the question and ends in the A record's RDATA.
+	if !bytes.Contains(buf[:n], dnsQuestion) {
+		t.Fatal("answer does not echo the question")
+	}
+	if !bytes.HasSuffix(buf[:n], []byte{10, 0, 0, 2}) {
+		t.Fatal("answer does not end in the A record address")
+	}
+}
+
+func TestDNSIDRejectsShortMessages(t *testing.T) {
+	if _, ok := dnsID(make([]byte, dnsHeaderLen-1)); ok {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+// --- HTTP client incremental parser ---
+
+// newParserClient builds a client whose parser can be fed directly.
+func newParserClient(t *testing.T) (*HTTPClient, *httpCliConn) {
+	t.Helper()
+	c, err := NewHTTPClient(fstack.IPv4Addr{}, 80, 1, nil, 0, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, &httpCliConn{need: -1}
+}
+
+// pend registers an outstanding request issued at t0 without a stack.
+func pend(c *HTTPClient, cc *httpCliConn, t0 int64) {
+	cc.t0 = append(cc.t0, t0)
+	c.inflight++
+	c.issued++
+}
+
+func TestHTTPParserSplitHead(t *testing.T) {
+	c, cc := newParserClient(t)
+	pend(c, cc, 100)
+	// The head arrives in three fragments, the last carrying body bytes.
+	for _, frag := range []string{"HTTP/1.1 200 OK\r\nContent-L", "ength: 4\r\n", "\r\nab"} {
+		if !c.feed(cc, []byte(frag), 500) {
+			t.Fatalf("parser failed on %q: %v", frag, c.failure)
+		}
+	}
+	if c.completed != 0 || cc.need != 2 {
+		t.Fatalf("after partial body: completed=%d need=%d", c.completed, cc.need)
+	}
+	if !c.feed(cc, []byte("cd"), 900) {
+		t.Fatal(c.failure)
+	}
+	if c.completed != 1 || c.inflight != 0 {
+		t.Fatalf("completed=%d inflight=%d", c.completed, c.inflight)
+	}
+	if got := c.Hist.Quantile(0.5); got <= 0 || got > 800 {
+		t.Fatalf("recorded latency %d, want ~800", got)
+	}
+}
+
+func TestHTTPParserPipelinedResponses(t *testing.T) {
+	c, cc := newParserClient(t)
+	pend(c, cc, 0)
+	pend(c, cc, 0)
+	pend(c, cc, 0)
+	// Three responses in one segment: sized body, empty body, sized
+	// body — each must complete exactly one outstanding request.
+	seg := []byte("HTTP/1.1 200 OK\r\nContent-Length: 3\r\n\r\nxyz" +
+		"HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n" +
+		"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok")
+	if !c.feed(cc, seg, 50) {
+		t.Fatal(c.failure)
+	}
+	if c.completed != 3 || c.inflight != 0 || cc.outstanding() != 0 {
+		t.Fatalf("completed=%d inflight=%d outstanding=%d", c.completed, c.inflight, cc.outstanding())
+	}
+}
+
+func TestHTTPParserRejectsMissingContentLength(t *testing.T) {
+	c, cc := newParserClient(t)
+	pend(c, cc, 0)
+	if c.feed(cc, []byte("HTTP/1.1 200 OK\r\nServer: x\r\n\r\n"), 1) {
+		t.Fatal("headless response accepted")
+	}
+	if c.Err() != hostos.EINVAL {
+		t.Fatalf("failure %v, want EINVAL", c.Err())
+	}
+}
+
+func TestHTTPParserRejectsBadContentLength(t *testing.T) {
+	c, cc := newParserClient(t)
+	pend(c, cc, 0)
+	if c.feed(cc, []byte("HTTP/1.1 200 OK\r\nContent-Length: ten\r\n\r\n"), 1) {
+		t.Fatal("unparseable length accepted")
+	}
+	if c.Err() != hostos.EINVAL {
+		t.Fatalf("failure %v, want EINVAL", c.Err())
+	}
+}
+
+// --- HTTP server over a scripted API ---
+
+// fakeAPI scripts the socket surface: queued accepts, per-fd read
+// chunks, captured writes, queued epoll ready sets. Everything else
+// succeeds.
+type fakeAPI struct {
+	nextFD  int
+	accepts []int
+	reads   map[int][][]byte
+	writes  map[int][]byte
+	events  [][]fstack.Event
+	closed  map[int]bool
+}
+
+func newFakeAPI() *fakeAPI {
+	return &fakeAPI{
+		nextFD: 10,
+		reads:  make(map[int][][]byte),
+		writes: make(map[int][]byte),
+		closed: make(map[int]bool),
+	}
+}
+
+func (f *fakeAPI) Socket(typ int) (int, hostos.Errno) {
+	fd := f.nextFD
+	f.nextFD++
+	return fd, hostos.OK
+}
+func (f *fakeAPI) Bind(fd int, ip fstack.IPv4Addr, port uint16) hostos.Errno { return hostos.OK }
+func (f *fakeAPI) Listen(fd, backlog int) hostos.Errno                       { return hostos.OK }
+func (f *fakeAPI) Connect(fd int, ip fstack.IPv4Addr, port uint16) hostos.Errno {
+	return hostos.EINPROGRESS
+}
+func (f *fakeAPI) Accept(fd int) (int, fstack.IPv4Addr, uint16, hostos.Errno) {
+	if len(f.accepts) == 0 {
+		return -1, fstack.IPv4Addr{}, 0, hostos.EAGAIN
+	}
+	cfd := f.accepts[0]
+	f.accepts = f.accepts[1:]
+	return cfd, fstack.IPv4Addr{}, 0, hostos.OK
+}
+func (f *fakeAPI) Read(fd int, dst []byte) (int, hostos.Errno) {
+	q := f.reads[fd]
+	if len(q) == 0 {
+		return 0, hostos.EAGAIN
+	}
+	chunk := q[0]
+	f.reads[fd] = q[1:]
+	return copy(dst, chunk), hostos.OK
+}
+func (f *fakeAPI) Write(fd int, src []byte) (int, hostos.Errno) {
+	f.writes[fd] = append(f.writes[fd], src...)
+	return len(src), hostos.OK
+}
+func (f *fakeAPI) SendTo(fd int, data []byte, ip fstack.IPv4Addr, port uint16) (int, hostos.Errno) {
+	return len(data), hostos.OK
+}
+func (f *fakeAPI) RecvFrom(fd int, dst []byte) (int, fstack.IPv4Addr, uint16, hostos.Errno) {
+	return 0, fstack.IPv4Addr{}, 0, hostos.EAGAIN
+}
+func (f *fakeAPI) Close(fd int) hostos.Errno {
+	f.closed[fd] = true
+	return hostos.OK
+}
+func (f *fakeAPI) EpollCreate() int                                      { return 1 }
+func (f *fakeAPI) EpollCtl(epfd, op, fd int, events uint32) hostos.Errno { return hostos.OK }
+func (f *fakeAPI) EpollWait(epfd int, evs []fstack.Event) (int, hostos.Errno) {
+	if len(f.events) == 0 {
+		return 0, hostos.OK
+	}
+	n := copy(evs, f.events[0])
+	f.events = f.events[1:]
+	return n, hostos.OK
+}
+
+// TestHTTPServerPipelinedRequests drives the server over the scripted
+// API: a request head split across reads, then two pipelined heads in
+// one segment, must produce exactly three responses on the wire, and a
+// non-GET head must close the connection.
+func TestHTTPServerPipelinedRequests(t *testing.T) {
+	api := newFakeAPI()
+	srv := NewHTTPServer(fstack.IPv4Addr{}, 80, 8, 5)
+	srv.Step(api, 0) // setup: listener + epoll registration
+
+	const cfd = 100
+	api.accepts = []int{cfd}
+	api.reads[cfd] = [][]byte{
+		[]byte("GET / HT"),
+		[]byte("TP/1.1\r\nHost: x\r\n\r\nGET / HTTP/1.1\r\n\r\nGET / HTTP/1.1\r\n\r\n"),
+	}
+	lfd := srv.lfd
+	api.events = [][]fstack.Event{
+		{{FD: lfd, Events: fstack.EPOLLIN}},
+		{{FD: cfd, Events: fstack.EPOLLIN}},
+	}
+	srv.Step(api, 1) // accept
+	srv.Step(api, 2) // read + answer
+	if srv.Served() != 3 || srv.Err() != hostos.OK {
+		t.Fatalf("served=%d err=%v", srv.Served(), srv.Err())
+	}
+	want := bytes.Repeat(srv.resp, 3)
+	if !bytes.Equal(api.writes[cfd], want) {
+		t.Fatalf("wire bytes:\n%q\nwant:\n%q", api.writes[cfd], want)
+	}
+
+	// A non-GET head drops the connection and counts as bad.
+	api.reads[cfd] = [][]byte{[]byte("PUT / HTTP/1.1\r\n\r\n")}
+	api.events = [][]fstack.Event{{{FD: cfd, Events: fstack.EPOLLIN}}}
+	srv.Step(api, 3)
+	if srv.Bad() != 1 || !api.closed[cfd] {
+		t.Fatalf("bad=%d closed=%v", srv.Bad(), api.closed[cfd])
+	}
+}

@@ -1,0 +1,34 @@
+// Package app is the request/response application plane: workloads
+// that generate and measure many small exchanges over the fstack
+// socket API, where per-request tail latency — not goodput — is the
+// figure of merit. It is the laitos-style multi-protocol daemon shape
+// (httpd/dnsd) cut down to what the testbed measures, and the workload
+// behind Scenario 9.
+//
+// Two protocol pairs, both non-blocking Step state machines in the
+// iperf/churn mold (they run against a plain stack, the gated API, or
+// the sharded API, under the event-driven virtual clock):
+//
+//   - HTTPServer/HTTPClient: an HTTP/1.1-style keep-alive exchange.
+//     The server parses pipelined GETs incrementally over Read and
+//     answers each with a fixed-size response, buffering what Write
+//     does not accept and re-arming EPOLLOUT until it drains. The
+//     client holds a set of persistent connections and issues requests
+//     either open-loop (rate-paced, round-robin over the connections,
+//     pipelining onto busy ones — queueing delay shows up in the tail)
+//     or closed-loop (each connection issues back-to-back, one
+//     outstanding request per connection).
+//
+//   - DNSServer/DNSClient: a DNS-shaped UDP query/answer exchange over
+//     SendTo/RecvFrom. Queries carry a 16-bit ID the answer echoes;
+//     the client paces queries (open-loop) or holds a fixed number
+//     outstanding (closed-loop), retransmits on timeout up to a retry
+//     budget, and counts expirations and abandoned queries.
+//
+// The latency clock starts the instant a request is issued (the pace
+// slot's Step, before any Write — so send-side queueing is part of the
+// measurement) and stops when the last byte of its response is read
+// (the answer datagram, for DNS). Latencies are recorded into a
+// stats.Histogram per client, mergeable across workers/shards, and
+// optionally traced per request (obs.EvAppRequest).
+package app

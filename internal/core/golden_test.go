@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/netem"
 	"repro/internal/sim"
 )
 
@@ -107,4 +108,27 @@ func TestGoldenScenario5(t *testing.T) {
 		t.Fatal(err)
 	}
 	assertGolden(t, "scenario5.golden", FormatScenario5("golden loss sweep", results))
+}
+
+// TestGoldenScenario9 pins a short request/response sweep: one
+// open-loop and one closed-loop point per protocol on a clean link,
+// both modes. Per-request quantiles are merged across two shards, so
+// any steering, epoll-ordering or histogram-merge drift shows up as a
+// byte diff.
+func TestGoldenScenario9(t *testing.T) {
+	skipUnderRace(t)
+	var b strings.Builder
+	for _, proto := range []string{"http", "dns"} {
+		open, err := RunScenario9RateSweep(proto, 2, 8, []float64{4000}, netem.Config{}, 100e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.WriteString(FormatScenario9(proto+" golden open-loop point", open))
+		closed, err := RunScenario9ConcurrencySweep(proto, 2, []int{8}, netem.Config{}, 100e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.WriteString(FormatScenario9(proto+" golden closed-loop point", closed))
+	}
+	assertGolden(t, "scenario9.golden", b.String())
 }

@@ -59,6 +59,15 @@ type RunOptions struct {
 	Conns        int
 	ConnRate     float64
 	S8DurationNS int64
+	// Proto restricts scenario 9 to one protocol ("" runs http and
+	// dns); S9Rate is its open-loop offered rate in requests/s (ladder
+	// top), S9Conns the connection/concurrency count (ladder top for
+	// the closed-loop sweep), S9DurationNS its measured time per point.
+	// Scenario 9 shares -loss and -delay for its link impairment.
+	Proto        string
+	S9Rate       float64
+	S9Conns      int
+	S9DurationNS int64
 	// TraceDir, MetricsDir and PcapDir switch on the observability
 	// layer for scenario 5: per-point Chrome trace-event JSON, metrics
 	// timeseries (CSV + JSON), and per-peer link captures. Empty (the
@@ -85,6 +94,9 @@ func DefaultRunOptions() RunOptions {
 		Conns:        100_000,
 		ConnRate:     50_000,
 		S8DurationNS: DefaultScenario8Duration,
+		S9Rate:       20_000,
+		S9Conns:      32,
+		S9DurationNS: DefaultScenario9Duration,
 	}
 }
 
@@ -314,6 +326,55 @@ var Registry = []ScenarioEntry{
 				return err
 			}
 			fmt.Fprint(w, FormatScenario8(results))
+			return nil
+		},
+	},
+	{
+		Name:  "scenario9",
+		Desc:  "request/response tail latency: HTTP/1.1 keep-alive and DNS-shaped UDP, p50/p99/p999 per request",
+		Flags: "-proto -rate -conns -loss -delay -shards -s9duration",
+		Run: func(o RunOptions, w io.Writer) error {
+			protos := []string{"http", "dns"}
+			switch o.Proto {
+			case "":
+			case "http", "dns":
+				protos = []string{o.Proto}
+			default:
+				return fmt.Errorf("-proto must be http or dns, not %q", o.Proto)
+			}
+			if o.Shards < 1 {
+				return fmt.Errorf("-shards must be at least 1")
+			}
+			if o.S9Conns < 1 {
+				return fmt.Errorf("-conns must be at least 1")
+			}
+			if o.S9Rate <= 0 {
+				return fmt.Errorf("the request rate must be positive")
+			}
+			link := netem.Config{LossRate: o.Loss, DelayNS: o.DelayNS}
+			rates := []float64{o.S9Rate / 4, o.S9Rate / 2, o.S9Rate}
+			concs := []int{o.S9Conns / 4, o.S9Conns / 2, o.S9Conns}
+			for i, c := range concs {
+				if c < 1 {
+					concs[i] = 1
+				}
+			}
+			for _, proto := range protos {
+				open, err := RunScenario9RateSweep(proto, o.Shards, o.S9Conns, rates, link, o.S9DurationNS)
+				if err != nil {
+					return err
+				}
+				fmt.Fprint(w, FormatScenario9(
+					fmt.Sprintf("%s open-loop rate sweep (%.2f%% loss, %.0f ms RTT)",
+						proto, o.Loss*100, float64(2*o.DelayNS)/1e6), open))
+				closed, err := RunScenario9ConcurrencySweep(proto, o.Shards, concs, link, o.S9DurationNS)
+				if err != nil {
+					return err
+				}
+				fmt.Fprint(w, FormatScenario9(
+					fmt.Sprintf("%s closed-loop concurrency sweep (%.2f%% loss, %.0f ms RTT)",
+						proto, o.Loss*100, float64(2*o.DelayNS)/1e6), closed))
+			}
 			return nil
 		},
 	},

@@ -52,6 +52,18 @@
 //     (active reconnect and forward-sequence fresh SYN) counted in
 //     StackStats; ephemeral-port exhaustion returns EADDRNOTAVAIL.
 //
+//   - The datagram plane is bounded and pooled: each UDP socket holds
+//     a head-indexed receive ring (256 datagrams deep) whose overflow
+//     sheds into the dedicated StackStats.UdpQueueDrops counter and an
+//     EvUDPDrop trace event — distinct from the datapath's RxDropped —
+//     and payload buffers come from a per-stack arena recycled on
+//     RecvFrom and Close, so a steady-state query/answer round trip is
+//     zero-alloc (BenchmarkUDPRoundTrip pins it). ShardedAPI extends
+//     SendTo/RecvFrom with the same RSS steering as TCP: an
+//     unbound-socket SendTo auto-binds an ephemeral source port, and
+//     bound sockets are cloned per shard so a datagram is delivered
+//     wherever RSS lands it.
+//
 // Protocols: Ethernet II, ARP, IPv4 (no fragmentation — the MSS never
 // exceeds the MTU), ICMP echo, UDP, and TCP with the features the
 // evaluation exercises: 3-way handshake, sliding window, timestamp

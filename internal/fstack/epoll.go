@@ -134,7 +134,7 @@ func (s *Stack) readiness(fd int) uint32 {
 			r |= EPOLLERR
 		}
 	case sk.udp != nil:
-		if len(sk.udp.q) > 0 {
+		if sk.udp.queued() > 0 {
 			r |= EPOLLIN
 		}
 		r |= EPOLLOUT // UDP is always writable (best effort)

@@ -413,6 +413,65 @@ func (a *ShardedAPI) Write(fd int, src []byte) (int, hostos.Errno) {
 	return s.Write(f.fd, src)
 }
 
+// SendTo transmits one datagram. A bound UDP socket stays cloned across
+// every shard (Bind fans out), so datagrams are received wherever RSS
+// steers them; transmission goes through the shard whose RX queue the
+// flow's return traffic will hit, keeping both directions of a
+// query/answer exchange on one shard the way pinned TCP connections are.
+func (a *ShardedAPI) SendTo(fd int, data []byte, ip IPv4Addr, port uint16) (int, hostos.Errno) {
+	f, ok := a.fds[fd]
+	if !ok {
+		return -1, hostos.EBADF
+	}
+	if f.kind != sfSocket || f.typ != SockDgram {
+		return -1, hostos.EINVAL
+	}
+	if f.bound.port == 0 {
+		// Auto-bind one ephemeral port on every shard, like a single
+		// stack's SendTo: answers are then queued on whichever shard RSS
+		// picks and RecvFrom scans them all.
+		p := a.eph
+		a.eph++
+		if a.eph < 40000 {
+			a.eph = 40000
+		}
+		if errno := a.Bind(fd, IPv4Addr{}, p); errno != hostos.OK {
+			return -1, errno
+		}
+	}
+	shard := 0
+	if len(a.ss.devs) > 0 {
+		localIP := f.bound.ip
+		if localIP == (IPv4Addr{}) {
+			localIP = a.ss.shards[0].localIPFor(ip)
+		}
+		shard = a.ss.devs[0].RxQueueOf(ip, localIP, ProtoUDP, port, f.bound.port)
+	}
+	return a.ss.shards[shard].SendTo(f.sub[shard], data, ip, port)
+}
+
+// RecvFrom pops the oldest queued datagram, scanning shards in shard
+// order (deterministic under the fixed RSS steering).
+func (a *ShardedAPI) RecvFrom(fd int, dst []byte) (int, IPv4Addr, uint16, hostos.Errno) {
+	f, ok := a.fds[fd]
+	if !ok {
+		return -1, IPv4Addr{}, 0, hostos.EBADF
+	}
+	if f.kind != sfSocket || f.typ != SockDgram || f.bound.port == 0 {
+		return -1, IPv4Addr{}, 0, hostos.EINVAL
+	}
+	for i, s := range a.ss.shards {
+		n, ip, port, errno := s.RecvFrom(f.sub[i], dst)
+		if errno == hostos.OK {
+			return n, ip, port, hostos.OK
+		}
+		if errno != hostos.EAGAIN {
+			return -1, IPv4Addr{}, 0, errno
+		}
+	}
+	return -1, IPv4Addr{}, 0, hostos.EAGAIN
+}
+
 // Close shuts the logical descriptor down on every shard that holds a
 // piece of it.
 func (a *ShardedAPI) Close(fd int) hostos.Errno {

@@ -3,6 +3,7 @@ package fstack
 import (
 	"repro/internal/cheri"
 	"repro/internal/hostos"
+	"repro/internal/obs"
 )
 
 // Socket types (ff_socket's type argument).
@@ -49,16 +50,57 @@ func (l *listener) popPending() *tcpConn {
 // dgram is one queued UDP datagram.
 type dgram struct {
 	src  tcpEndpoint
-	data []byte
+	data []byte // pooled buffer (udpPayloadMax cap), returned on pop
 }
 
 // udpQueueMax bounds the per-socket datagram queue.
 const udpQueueMax = 256
 
-// udpSock is a bound UDP endpoint.
+// udpPayloadMax is the largest UDP payload the stack accepts or sends
+// (no IP fragmentation), and the capacity of every pooled dgram buffer.
+const udpPayloadMax = MTU - IPv4HeaderLen - UDPHeaderLen
+
+// udpSock is a bound UDP endpoint. The datagram queue is a head-indexed
+// ring like listener.pending: popped slots are cleared and the backing
+// array is reused once drained, so a steady query/answer exchange never
+// regrows it.
 type udpSock struct {
-	ep tcpEndpoint
-	q  []dgram
+	ep   tcpEndpoint
+	q    []dgram
+	head int
+}
+
+func (u *udpSock) queued() int { return len(u.q) - u.head }
+
+func (u *udpSock) pushDgram(d dgram) { u.q = append(u.q, d) }
+
+// popDgram removes the oldest datagram. Caller must check queued() > 0
+// and recycle d.data via freeDgramBuf when done with it.
+func (u *udpSock) popDgram() dgram {
+	d := u.q[u.head]
+	u.q[u.head] = dgram{}
+	u.head++
+	if u.head == len(u.q) {
+		u.q = u.q[:0]
+		u.head = 0
+	}
+	return d
+}
+
+// allocDgramBuf takes a payload buffer off the arena (or allocates one
+// at full capacity, so it is reusable for any datagram size).
+func (s *Stack) allocDgramBuf() []byte {
+	if n := len(s.dgramFree); n > 0 {
+		b := s.dgramFree[n-1]
+		s.dgramFree[n-1] = nil
+		s.dgramFree = s.dgramFree[:n-1]
+		return b
+	}
+	return make([]byte, 0, udpPayloadMax)
+}
+
+func (s *Stack) freeDgramBuf(b []byte) {
+	s.dgramFree = append(s.dgramFree, b[:0])
 }
 
 // socket is one file descriptor.
@@ -475,6 +517,9 @@ func (s *Stack) closeLocked(fd int) hostos.Errno {
 		c.sk = nil
 		s.maybeRecycleConn(c)
 	case sk.udp != nil:
+		for sk.udp.queued() > 0 {
+			s.freeDgramBuf(sk.udp.popDgram().data)
+		}
 		delete(s.udps, sk.udp.ep)
 	}
 	s.sockFree = append(s.sockFree, sk)
@@ -496,7 +541,7 @@ func (s *Stack) sendToLocked(fd int, data []byte, ip IPv4Addr, port uint16) (int
 	if sk.typ != SockDgram {
 		return -1, hostos.EINVAL
 	}
-	if len(data) > MTU-IPv4HeaderLen-UDPHeaderLen {
+	if len(data) > udpPayloadMax {
 		return -1, hostos.EMSGSIZE
 	}
 	if sk.udp == nil {
@@ -542,12 +587,12 @@ func (s *Stack) recvFromLocked(fd int, dst []byte) (int, IPv4Addr, uint16, hosto
 	if sk.typ != SockDgram || sk.udp == nil {
 		return -1, IPv4Addr{}, 0, hostos.EINVAL
 	}
-	if len(sk.udp.q) == 0 {
+	if sk.udp.queued() == 0 {
 		return -1, IPv4Addr{}, 0, hostos.EAGAIN
 	}
-	d := sk.udp.q[0]
-	sk.udp.q = sk.udp.q[1:]
+	d := sk.udp.popDgram()
 	n := copy(dst, d.data)
+	s.freeDgramBuf(d.data)
 	return n, d.src.IP, d.src.Port, hostos.OK
 }
 
@@ -566,13 +611,17 @@ func (s *Stack) inputUDP(nif *NetIF, ip IPv4Header, seg []byte) {
 		s.stats.RxDropped++
 		return
 	}
-	if len(u.q) >= udpQueueMax {
-		s.stats.RxDropped++
+	if u.queued() >= udpQueueMax {
+		s.stats.UdpQueueDrops++
+		if s.obsTr != nil {
+			s.obsTr.Record(s.now(), obs.EvUDPDrop, s.obsSrc,
+				int64(h.Length)-UDPHeaderLen, int64(u.queued()), int64(h.DstPort))
+		}
 		return
 	}
-	data := make([]byte, int(h.Length)-UDPHeaderLen)
+	data := s.allocDgramBuf()[:int(h.Length)-UDPHeaderLen]
 	copy(data, seg[UDPHeaderLen:h.Length])
-	u.q = append(u.q, dgram{
+	u.pushDgram(dgram{
 		src:  tcpEndpoint{IP: ip.Src, Port: h.SrcPort},
 		data: data,
 	})

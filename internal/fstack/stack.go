@@ -65,6 +65,7 @@ type StackStats struct {
 	RxFrames        uint64
 	TxFrames        uint64
 	RxDropped       uint64 // parse errors, no socket, bad checksum
+	UdpQueueDrops   uint64 // datagrams dropped: bound socket's queue full
 	Retransmit      uint64
 	FastRetransmit  uint64 // three-dup-ACK and NewReno partial-ACK resends
 	SACKRetransmit  uint64 // scoreboard-guided hole fills
@@ -85,6 +86,7 @@ func (st *StackStats) Add(o StackStats) {
 	st.RxFrames += o.RxFrames
 	st.TxFrames += o.TxFrames
 	st.RxDropped += o.RxDropped
+	st.UdpQueueDrops += o.UdpQueueDrops
 	st.Retransmit += o.Retransmit
 	st.FastRetransmit += o.FastRetransmit
 	st.SACKRetransmit += o.SACKRetransmit
@@ -205,6 +207,11 @@ type Stack struct {
 	// would leak its buffers for good.
 	connFree []*tcpConn
 	sockFree []*socket
+
+	// dgramFree recycles UDP payload buffers (udpPayloadMax capacity
+	// each) between inputUDP and RecvFrom/Close, keeping the datagram
+	// round trip allocation-free at steady state.
+	dgramFree [][]byte
 
 	// portRefs counts live connections per local ephemeral port
 	// (index port-ephemeralBase), allocated on first use. It bounds

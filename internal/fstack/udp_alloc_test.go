@@ -1,0 +1,21 @@
+//go:build !race
+
+package fstack
+
+import "testing"
+
+// TestUDPRoundTripZeroAllocs pins the pooled datagram arena: with
+// observability off, a steady-state UDP query/answer round trip must
+// not allocate — inputUDP draws payload buffers from the stack's free
+// list and RecvFrom/Close return them.
+//
+// Skipped under the race detector, whose instrumentation allocates.
+func TestUDPRoundTripZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed; skipped in -short")
+	}
+	res := testing.Benchmark(BenchmarkUDPRoundTrip)
+	if a := res.AllocsPerOp(); a != 0 {
+		t.Fatalf("UDP round trip allocates %d allocs/op, want 0", a)
+	}
+}

@@ -1,0 +1,66 @@
+package fstack
+
+import (
+	"testing"
+
+	"repro/internal/hostos"
+)
+
+// BenchmarkUDPRoundTrip measures one datagram query/answer exchange —
+// the Scenario 9 DNS shape: A sends a datagram to B's bound socket, B
+// receives it and answers, A receives the answer. The allocs/op figure
+// pins the pooled payload arena: at steady state inputUDP recycles
+// RecvFrom-returned buffers instead of allocating per datagram.
+func BenchmarkUDPRoundTrip(b *testing.B) {
+	e := newEnv(b, false)
+	sfd, _ := e.stkB.Socket(SockDgram)
+	if errno := e.stkB.Bind(sfd, IPv4Addr{}, 9053); errno != hostos.OK {
+		b.Fatal(errno)
+	}
+	cfd, _ := e.stkA.Socket(SockDgram)
+	if errno := e.stkA.Bind(cfd, IPv4Addr{}, 9054); errno != hostos.OK {
+		b.Fatal(errno)
+	}
+
+	query := make([]byte, 64)
+	answer := make([]byte, 256)
+	bufA := make([]byte, 512)
+	bufB := make([]byte, 512)
+
+	roundTrip := func() {
+		if _, errno := e.stkA.SendTo(cfd, query, IP4(10, 0, 0, 2), 9053); errno != hostos.OK {
+			b.Fatalf("send: %v", errno)
+		}
+		answered := false
+		for tick := 0; tick < 4000; tick++ {
+			e.stkA.PollOnce()
+			e.stkB.PollOnce()
+			if !answered {
+				if _, src, sport, errno := e.stkB.RecvFrom(sfd, bufB); errno == hostos.OK {
+					if _, errno := e.stkB.SendTo(sfd, answer, src, sport); errno != hostos.OK {
+						b.Fatalf("answer: %v", errno)
+					}
+					answered = true
+				}
+			}
+			if n, _, _, errno := e.stkA.RecvFrom(cfd, bufA); errno == hostos.OK {
+				if n != len(answer) {
+					b.Fatalf("answer truncated: %d of %d bytes", n, len(answer))
+				}
+				return
+			}
+			e.clk.Advance(5000)
+		}
+		b.Fatal("round trip stalled")
+	}
+	// Warm-up round trips: ARP resolution, ring/FIFO slices and the
+	// dgram payload arena reach steady state before counting.
+	roundTrip()
+	roundTrip()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		roundTrip()
+	}
+}

@@ -26,7 +26,7 @@ type ChromeTrace struct {
 }
 
 // chromeLayers orders the layer lanes top to bottom as the data flows.
-var chromeLayers = []string{"fstack", "dpdk", "nic", "netem", "intravisor"}
+var chromeLayers = []string{"app", "fstack", "dpdk", "nic", "netem", "intravisor"}
 
 func chromeTID(layer string) int {
 	for i, l := range chromeLayers {
@@ -82,6 +82,17 @@ func chromeArgs(e Event) map[string]any {
 		a["reason"], a["queue_depth"], a["port"] = reason, e.B, e.C
 	case EvGateCrossing:
 		a["crossings"] = e.A
+	case EvUDPDrop:
+		a["bytes"], a["queue_depth"], a["port"] = e.A, e.B, e.C
+	case EvAppRequest:
+		kind := "http"
+		switch e.C {
+		case ReqDNS:
+			kind = "dns"
+		case ReqTimeout:
+			kind = "timeout"
+		}
+		a["latency_ns"], a["bytes"], a["kind"] = e.A, e.B, kind
 	}
 	return a
 }

@@ -48,8 +48,24 @@ const (
 	// EvGateCrossing: a sealed cross-compartment gate call completed.
 	// A=total completed crossings.
 	EvGateCrossing
+	// EvUDPDrop: a datagram was dropped because the bound socket's
+	// queue was full. A=payload bytes, B=queue depth, C=dst port.
+	// Src = stack id.
+	EvUDPDrop
+	// EvAppRequest: an application request/response exchange completed
+	// (or, for ReqTimeout, was given up on). A=latency ns from first
+	// send to last response byte, B=response bytes, C=kind
+	// (ReqHTTP/ReqDNS/ReqTimeout). Src = app worker id.
+	EvAppRequest
 
 	evTypeCount
+)
+
+// EvAppRequest kinds (event argument C).
+const (
+	ReqHTTP    = 0 // HTTP/1.1 keep-alive exchange completed
+	ReqDNS     = 1 // DNS query answered
+	ReqTimeout = 2 // DNS query abandoned after retries
 )
 
 // EvTCPSynDrop reasons (event argument A).
@@ -86,6 +102,8 @@ var evNames = [evTypeCount]string{
 	EvTCPAccept:     "tcp.accept",
 	EvTCPSynDrop:    "tcp.syn_drop",
 	EvGateCrossing:  "gate.crossing",
+	EvUDPDrop:       "udp.drop",
+	EvAppRequest:    "app.request",
 }
 
 var evLayers = [evTypeCount]string{
@@ -101,6 +119,8 @@ var evLayers = [evTypeCount]string{
 	EvTCPAccept:     "fstack",
 	EvTCPSynDrop:    "fstack",
 	EvGateCrossing:  "intravisor",
+	EvUDPDrop:       "fstack",
+	EvAppRequest:    "app",
 }
 
 // String names the event type ("layer.event").
