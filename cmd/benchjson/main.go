@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	go test -run xxx -bench Scenario -benchtime 1x . | benchjson -out BENCH_scenarios.json
-//	benchjson -compare old.json new.json [-threshold 10]
+//	go test -run xxx -bench Scenario -benchtime 1x -count 3 . | benchjson -agg min -out BENCH_scenarios.json
+//	benchjson -compare old.json new.json [-threshold 10] [-thresholds 'Scenario5/*=25,DatapathFrame=5']
 //
 // A benchmark line like
 //
@@ -16,12 +16,24 @@
 //
 //	{"name":"Scenario7/cubic","procs":8,"n":1,"metrics":{"ns/op":5123,"Mbit/s":87.8,"util-pct":88}}
 //
+// With `go test -count N` the output repeats each benchmark N times;
+// -agg collapses the repeats into one record per benchmark before
+// archiving, either `min` (the direction-aware best run per metric —
+// the classic min-of-N that strips scheduler noise) or `median` (the
+// middle run per metric, robust to a single outlier in either
+// direction). Comparing aggregated documents is what makes a hard
+// regression gate viable: single-run smoke numbers are too noisy to
+// fail a build on.
+//
 // Compare mode diffs two archived documents: it prints a markdown
 // table of per-benchmark metric deltas (suitable for a CI job
 // summary) and exits non-zero when any directional metric regressed
 // by more than the threshold percentage — which is what turns the
 // per-commit artifacts into an actionable trajectory instead of a
-// write-only archive.
+// write-only archive. -thresholds overrides the default threshold for
+// benchmarks matching a glob (first match wins), so tight bounds on
+// stable microbenchmarks can coexist with looser ones on noisy
+// end-to-end scenarios.
 package main
 
 import (
@@ -31,6 +43,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path"
 	"sort"
 	"strconv"
 	"strings"
@@ -43,6 +56,9 @@ type Result struct {
 	Procs int `json:"procs,omitempty"`
 	// N is the iteration count of the run.
 	N int64 `json:"n"`
+	// Runs counts the -count repeats folded into this record by -agg
+	// (0 or absent = a raw single-run record).
+	Runs int `json:"runs,omitempty"`
 	// Metrics maps unit -> value for every "value unit" pair on the
 	// line (ns/op, MB/s, B/op, allocs/op and custom ReportMetric
 	// units alike).
@@ -112,6 +128,117 @@ func parse(in io.Reader) (Doc, error) {
 	return doc, sc.Err()
 }
 
+// aggregate folds -count repeats of the same benchmark into one
+// record per (name, procs), preserving first-appearance order. mode
+// is "min" or "median":
+//
+//   - min keeps, per metric, the value of the best run in that
+//     metric's quality direction (smallest ns/op, largest Mbit/s;
+//     neutral metrics take the smallest). One slow run — a scheduler
+//     hiccup, a cold cache — cannot then masquerade as a regression.
+//   - median keeps the middle value per metric (even counts take the
+//     lower middle so the result is always a real measured value),
+//     robust to one outlier in either direction.
+func aggregate(doc Doc, mode string) (Doc, error) {
+	if mode != "min" && mode != "median" {
+		return Doc{}, fmt.Errorf("unknown -agg mode %q (want min or median)", mode)
+	}
+	type key struct {
+		name  string
+		procs int
+	}
+	byKey := map[key][]Result{}
+	var order []key
+	for _, b := range doc.Benches {
+		k := key{b.Name, b.Procs}
+		if _, seen := byKey[k]; !seen {
+			order = append(order, k)
+		}
+		byKey[k] = append(byKey[k], b)
+	}
+	out := doc
+	out.Benches = nil
+	for _, k := range order {
+		runs := byKey[k]
+		agg := Result{Name: k.name, Procs: k.procs, N: runs[0].N, Runs: len(runs), Metrics: map[string]float64{}}
+		units := map[string]bool{}
+		for _, r := range runs {
+			for unit := range r.Metrics {
+				units[unit] = true
+			}
+		}
+		for unit := range units {
+			var vals []float64
+			for _, r := range runs {
+				if v, ok := r.Metrics[unit]; ok {
+					vals = append(vals, v)
+				}
+			}
+			sort.Float64s(vals)
+			switch {
+			case mode == "median":
+				agg.Metrics[unit] = vals[(len(vals)-1)/2]
+			case metricDirection(unit) > 0:
+				agg.Metrics[unit] = vals[len(vals)-1]
+			default:
+				agg.Metrics[unit] = vals[0]
+			}
+		}
+		out.Benches = append(out.Benches, agg)
+	}
+	return out, nil
+}
+
+// thresholds resolves the regression threshold for a benchmark: the
+// first -thresholds rule whose glob matches the name wins, else the
+// -threshold default.
+type thresholds struct {
+	def   float64
+	rules []thresholdRule
+}
+
+type thresholdRule struct {
+	glob string
+	pct  float64
+}
+
+// parseThresholds decodes a "glob=pct,glob=pct" spec.
+func parseThresholds(def float64, spec string) (thresholds, error) {
+	th := thresholds{def: def}
+	if spec == "" {
+		return th, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		glob, pctStr, ok := strings.Cut(part, "=")
+		if !ok {
+			return th, fmt.Errorf("threshold rule %q is not glob=pct", part)
+		}
+		if _, err := path.Match(glob, ""); err != nil {
+			return th, fmt.Errorf("threshold rule %q: bad glob: %v", part, err)
+		}
+		pct, err := strconv.ParseFloat(pctStr, 64)
+		if err != nil {
+			return th, fmt.Errorf("threshold rule %q: bad percent: %v", part, err)
+		}
+		th.rules = append(th.rules, thresholdRule{glob: glob, pct: pct})
+	}
+	return th, nil
+}
+
+// for_ returns the threshold applying to the named benchmark.
+func (t thresholds) for_(bench string) float64 {
+	for _, r := range t.rules {
+		if ok, _ := path.Match(r.glob, bench); ok {
+			return r.pct
+		}
+	}
+	return t.def
+}
+
 // metricDirection classifies a metric unit: +1 when larger values are
 // better (rates, utilization), -1 when smaller values are better
 // (times, allocations, retransmissions), 0 when the metric carries no
@@ -138,15 +265,16 @@ type delta struct {
 	bench, unit string
 	old, new    float64
 	pct         float64 // signed percent change, new vs old
+	threshold   float64 // the threshold that applied to this benchmark
 	regressed   bool
 	gone        bool // metric present in old, absent from new
 	added       bool // metric present in new, absent from old
 }
 
 // compareDocs diffs two archived documents benchmark-by-benchmark.
-// thresholdPct is how many percent a directional metric may move in
-// the "worse" direction before it counts as a regression.
-func compareDocs(old, new Doc, thresholdPct float64) (deltas []delta, onlyOld, onlyNew []string) {
+// th resolves, per benchmark, how many percent a directional metric
+// may move in the "worse" direction before it counts as a regression.
+func compareDocs(old, new Doc, th thresholds) (deltas []delta, onlyOld, onlyNew []string) {
 	oldBy := map[string]Result{}
 	for _, b := range old.Benches {
 		oldBy[b.Name] = b
@@ -159,6 +287,7 @@ func compareDocs(old, new Doc, thresholdPct float64) (deltas []delta, onlyOld, o
 			onlyNew = append(onlyNew, nb.Name)
 			continue
 		}
+		thresholdPct := th.for_(nb.Name)
 		units := make([]string, 0, len(nb.Metrics))
 		for unit := range nb.Metrics {
 			units = append(units, unit)
@@ -173,7 +302,7 @@ func compareDocs(old, new Doc, thresholdPct float64) (deltas []delta, onlyOld, o
 				deltas = append(deltas, delta{bench: nb.Name, unit: unit, new: nv, added: true})
 				continue
 			}
-			d := delta{bench: nb.Name, unit: unit, old: ov, new: nv}
+			d := delta{bench: nb.Name, unit: unit, old: ov, new: nv, threshold: thresholdPct}
 			if ov != 0 {
 				d.pct = (nv - ov) / ov * 100
 			}
@@ -215,7 +344,9 @@ func compareDocs(old, new Doc, thresholdPct float64) (deltas []delta, onlyOld, o
 
 // formatCompare renders the diff as a markdown table (CI job
 // summaries render it directly; it reads fine as plain text too).
-func formatCompare(deltas []delta, onlyOld, onlyNew []string, thresholdPct float64) string {
+// Each regression row names the threshold that applied to its
+// benchmark, since -thresholds can vary it per benchmark.
+func formatCompare(deltas []delta, onlyOld, onlyNew []string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "| benchmark | metric | old | new | delta | |\n")
 	fmt.Fprintf(&b, "|---|---|---:|---:|---:|---|\n")
@@ -230,7 +361,7 @@ func formatCompare(deltas []delta, onlyOld, onlyNew []string, thresholdPct float
 		}
 		flag := ""
 		if d.regressed {
-			flag = fmt.Sprintf("REGRESSION (>%.0f%%)", thresholdPct)
+			flag = fmt.Sprintf("REGRESSION (>%.0f%%)", d.threshold)
 		}
 		pct := fmt.Sprintf("%+.1f%%", d.pct)
 		if d.old == 0 && d.new != 0 {
@@ -265,11 +396,18 @@ func loadDoc(path string) (Doc, error) {
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	compare := flag.Bool("compare", false, "compare two archived JSON documents: benchjson -compare old.json new.json")
-	threshold := flag.Float64("threshold", 10, "regression threshold in percent (compare mode)")
+	threshold := flag.Float64("threshold", 10, "default regression threshold in percent (compare mode)")
+	thresholdSpec := flag.String("thresholds", "", "per-benchmark threshold overrides, glob=pct comma-separated (compare mode); first matching glob wins")
+	agg := flag.String("agg", "", "fold -count repeats of each benchmark before archiving: min (direction-aware best run) or median")
 	flag.Parse()
 	if *compare {
 		if flag.NArg() != 2 {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		th, err := parseThresholds(*threshold, *thresholdSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(2)
 		}
 		oldDoc, err := loadDoc(flag.Arg(0))
@@ -282,8 +420,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(2)
 		}
-		deltas, onlyOld, onlyNew := compareDocs(oldDoc, newDoc, *threshold)
-		fmt.Print(formatCompare(deltas, onlyOld, onlyNew, *threshold))
+		deltas, onlyOld, onlyNew := compareDocs(oldDoc, newDoc, th)
+		fmt.Print(formatCompare(deltas, onlyOld, onlyNew))
 		failed := false
 		for _, d := range deltas {
 			if d.regressed {
@@ -305,6 +443,12 @@ func main() {
 	if len(doc.Benches) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
 		os.Exit(1)
+	}
+	if *agg != "" {
+		if doc, err = aggregate(doc, *agg); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	w := os.Stdout
 	if *out != "" {

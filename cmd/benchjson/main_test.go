@@ -49,7 +49,7 @@ func TestCompareDocsFlagsRegressions(t *testing.T) {
 		{Name: "Scenario5/SACK", Metrics: map[string]float64{"Mbit/s": 60, "ns/op": 900, "retx": 430}},
 		{Name: "Added", Metrics: map[string]float64{"ns/op": 7}},
 	}}
-	deltas, onlyOld, onlyNew := compareDocs(old, new, 10)
+	deltas, onlyOld, onlyNew := compareDocs(old, new, thresholds{def: 10})
 	byUnit := map[string]delta{}
 	for _, d := range deltas {
 		if d.bench == "Scenario5/SACK" {
@@ -76,7 +76,7 @@ func TestCompareDocsFlagsRegressions(t *testing.T) {
 func TestCompareDocsThresholdAndNeutralMetrics(t *testing.T) {
 	old := Doc{Benches: []Result{{Name: "X", Metrics: map[string]float64{"ns/op": 100, "cap-lines": 10}}}}
 	new := Doc{Benches: []Result{{Name: "X", Metrics: map[string]float64{"ns/op": 109, "cap-lines": 99}}}}
-	deltas, _, _ := compareDocs(old, new, 10)
+	deltas, _, _ := compareDocs(old, new, thresholds{def: 10})
 	for _, d := range deltas {
 		if d.regressed {
 			t.Fatalf("nothing should regress (9%% ns/op, neutral cap-lines): %+v", d)
@@ -84,7 +84,7 @@ func TestCompareDocsThresholdAndNeutralMetrics(t *testing.T) {
 	}
 	// Past the threshold it flags.
 	new.Benches[0].Metrics["ns/op"] = 120
-	deltas, _, _ = compareDocs(old, new, 10)
+	deltas, _, _ = compareDocs(old, new, thresholds{def: 10})
 	found := false
 	for _, d := range deltas {
 		if d.unit == "ns/op" && d.regressed {
@@ -101,38 +101,150 @@ func TestCompareDocsZeroBaselineRegression(t *testing.T) {
 	// change is computable (the zero-alloc guarantee regressing).
 	old := Doc{Benches: []Result{{Name: "DatapathFrame", Metrics: map[string]float64{"allocs/op": 0}}}}
 	new := Doc{Benches: []Result{{Name: "DatapathFrame", Metrics: map[string]float64{"allocs/op": 214}}}}
-	deltas, _, _ := compareDocs(old, new, 10)
+	deltas, _, _ := compareDocs(old, new, thresholds{def: 10})
 	if len(deltas) != 1 || !deltas[0].regressed {
 		t.Fatalf("0 -> 214 allocs/op not flagged: %+v", deltas)
 	}
-	out := formatCompare(deltas, nil, nil, 10)
+	out := formatCompare(deltas, nil, nil)
 	if !strings.Contains(out, "new nonzero") || !strings.Contains(out, "REGRESSION") {
 		t.Fatalf("zero-baseline delta rendered wrong:\n%s", out)
 	}
 	// Staying at zero is clean.
 	new.Benches[0].Metrics["allocs/op"] = 0
-	deltas, _, _ = compareDocs(old, new, 10)
+	deltas, _, _ = compareDocs(old, new, thresholds{def: 10})
 	if deltas[0].regressed {
 		t.Fatalf("0 -> 0 flagged as regression: %+v", deltas[0])
 	}
 	// A metric disappearing entirely (dropped ReportAllocs) must
 	// still leave a visible row.
 	delete(new.Benches[0].Metrics, "allocs/op")
-	deltas, _, _ = compareDocs(old, new, 10)
+	deltas, _, _ = compareDocs(old, new, thresholds{def: 10})
 	if len(deltas) != 1 || !deltas[0].gone {
 		t.Fatalf("vanished metric not reported: %+v", deltas)
 	}
-	if out := formatCompare(deltas, nil, nil, 10); !strings.Contains(out, "metric removed") {
+	if out := formatCompare(deltas, nil, nil); !strings.Contains(out, "metric removed") {
 		t.Fatalf("vanished metric row missing:\n%s", out)
 	}
 }
 
 func TestFormatCompareIsMarkdown(t *testing.T) {
-	deltas := []delta{{bench: "A", unit: "Mbit/s", old: 10, new: 5, pct: -50, regressed: true}}
-	out := formatCompare(deltas, []string{"Gone"}, []string{"New"}, 10)
+	deltas := []delta{{bench: "A", unit: "Mbit/s", old: 10, new: 5, pct: -50, threshold: 10, regressed: true}}
+	out := formatCompare(deltas, []string{"Gone"}, []string{"New"})
 	for _, want := range []string{"| benchmark |", "| A | Mbit/s |", "REGRESSION", "| Gone |", "removed", "| New |", "new"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAggregateMinOfN(t *testing.T) {
+	// Three -count repeats: min keeps the best run per metric in its
+	// quality direction — smallest ns/op, largest Mbit/s, smallest
+	// neutral metric — so one slow outlier cannot fake a regression.
+	in := `BenchmarkScenario5/SACK-8	1	300 ns/op	75.0 Mbit/s	12.0 cap-lines
+BenchmarkScenario5/SACK-8	1	100 ns/op	80.0 Mbit/s	10.0 cap-lines
+BenchmarkScenario5/SACK-8	1	200 ns/op	60.0 Mbit/s	11.0 cap-lines
+BenchmarkOther-8	1	50 ns/op
+`
+	doc, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := aggregate(doc, "min")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agg.Benches) != 2 {
+		t.Fatalf("aggregated to %d benches, want 2", len(agg.Benches))
+	}
+	b := agg.Benches[0]
+	if b.Name != "Scenario5/SACK" || b.Runs != 3 {
+		t.Fatalf("first bench wrong: %+v", b)
+	}
+	if b.Metrics["ns/op"] != 100 || b.Metrics["Mbit/s"] != 80 || b.Metrics["cap-lines"] != 10 {
+		t.Fatalf("min aggregation wrong: %+v", b.Metrics)
+	}
+	if agg.Benches[1].Name != "Other" || agg.Benches[1].Runs != 1 {
+		t.Fatalf("singleton bench wrong: %+v", agg.Benches[1])
+	}
+}
+
+func TestAggregateMedian(t *testing.T) {
+	in := `BenchmarkX-8	1	300 ns/op	75.0 Mbit/s
+BenchmarkX-8	1	100 ns/op	80.0 Mbit/s
+BenchmarkX-8	1	200 ns/op	60.0 Mbit/s
+`
+	doc, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := aggregate(doc, "median")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := agg.Benches[0].Metrics
+	if m["ns/op"] != 200 || m["Mbit/s"] != 75 {
+		t.Fatalf("median aggregation wrong: %+v", m)
+	}
+	// Even run counts take the lower middle — always a real
+	// measurement, never an interpolated value.
+	doc.Benches = doc.Benches[:2]
+	agg, err = aggregate(doc, "median")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Benches[0].Metrics["ns/op"] != 100 {
+		t.Fatalf("even-count median wrong: %+v", agg.Benches[0].Metrics)
+	}
+	if _, err := aggregate(doc, "mean"); err == nil {
+		t.Fatal("unknown agg mode accepted")
+	}
+}
+
+func TestPerBenchmarkThresholds(t *testing.T) {
+	th, err := parseThresholds(20, "Scenario5/*=50, DatapathFrame=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := th.for_("Scenario5/SACK"); got != 50 {
+		t.Fatalf("glob rule not applied: got %v", got)
+	}
+	if got := th.for_("DatapathFrame"); got != 5 {
+		t.Fatalf("exact rule not applied: got %v", got)
+	}
+	if got := th.for_("Scenario7/cubic"); got != 20 {
+		t.Fatalf("default not applied: got %v", got)
+	}
+
+	// The same 30% ns/op growth passes the loose benchmark and fails
+	// the tight one, and each row reports its own threshold.
+	old := Doc{Benches: []Result{
+		{Name: "Scenario5/SACK", Metrics: map[string]float64{"ns/op": 100}},
+		{Name: "DatapathFrame", Metrics: map[string]float64{"ns/op": 100}},
+	}}
+	new := Doc{Benches: []Result{
+		{Name: "Scenario5/SACK", Metrics: map[string]float64{"ns/op": 130}},
+		{Name: "DatapathFrame", Metrics: map[string]float64{"ns/op": 130}},
+	}}
+	deltas, _, _ := compareDocs(old, new, th)
+	byBench := map[string]delta{}
+	for _, d := range deltas {
+		byBench[d.bench] = d
+	}
+	if d := byBench["Scenario5/SACK"]; d.regressed || d.threshold != 50 {
+		t.Fatalf("loose benchmark flagged: %+v", d)
+	}
+	if d := byBench["DatapathFrame"]; !d.regressed || d.threshold != 5 {
+		t.Fatalf("tight benchmark not flagged: %+v", d)
+	}
+	out := formatCompare(deltas, nil, nil)
+	if !strings.Contains(out, "REGRESSION (>5%)") {
+		t.Fatalf("per-benchmark threshold not rendered:\n%s", out)
+	}
+
+	for _, bad := range []string{"nopct", "x=notanumber", "[=5"} {
+		if _, err := parseThresholds(10, bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
 		}
 	}
 }
@@ -176,7 +288,7 @@ func TestParseBenchmemLine(t *testing.T) {
 	// A B/op growth past the threshold must flag alongside ns/op.
 	old := Doc{Benches: []Result{{Name: "DatapathFrame", Metrics: map[string]float64{"B/op": 64, "allocs/op": 1}}}}
 	new := Doc{Benches: []Result{{Name: "DatapathFrame", Metrics: map[string]float64{"B/op": 96, "allocs/op": 1}}}}
-	deltas, _, _ := compareDocs(old, new, 10)
+	deltas, _, _ := compareDocs(old, new, thresholds{def: 10})
 	flagged := false
 	for _, d := range deltas {
 		if d.unit == "B/op" && d.regressed {

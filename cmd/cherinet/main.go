@@ -11,12 +11,18 @@
 //
 // Experiments and their flags come from internal/core's scenario
 // registry; an unknown name suggests the nearest registered ones.
+//
+// The -parallel flag (default GOMAXPROCS) sets how many host workers a
+// scenario's sweep cells — and, inside a sharded bed, its stack shards
+// — run on. Every report is byte-identical at any value; -parallel 1
+// restores fully sequential execution.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/core"
@@ -64,9 +70,11 @@ func main() {
 	traceDir := fs.String("trace", "", "scenario5: write per-point Chrome trace-event JSON into this directory")
 	metricsDir := fs.String("metrics", "", "scenario5: write per-point metrics timeseries (CSV+JSON) into this directory")
 	pcapDir := fs.String("pcap", "", "scenario5: write per-point per-peer libpcap captures under this directory")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "host workers for sweep cells and shard stepping (1 = sequential; output is identical at any value)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		usage()
 	}
+	core.SetParallelism(*parallel)
 	if !fstack.ValidCongestion(*cc) {
 		fmt.Fprintf(os.Stderr, "cherinet: -cc %q is not a registered algorithm (have %v)\n",
 			*cc, fstack.CongestionAlgos())

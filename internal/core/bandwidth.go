@@ -6,6 +6,7 @@ import (
 	"repro/internal/fstack"
 	"repro/internal/iperf"
 	"repro/internal/sim"
+	"repro/internal/testbed"
 )
 
 // Direction selects which side of the link the local box plays, as in
@@ -90,13 +91,26 @@ func runVirtual(clk *sim.VClock, bed *Setup, apps []func(now int64), timed []dea
 func runVirtualUntil(clk *sim.VClock, bed *Setup, apps []func(now int64), timed []deadliner, done func() bool, deadlineNS int64) error {
 	start := clk.Now()
 	loops := bed.Loops()
+	// Per-instant loop stepping: sequential by default; a bed eligible
+	// for parallel shard stepping (see testbed.NewShardStepper) runs its
+	// shard loops on Parallelism() host workers instead, with identical
+	// observable behavior.
+	stepLoops := func() {
+		for _, l := range loops {
+			l.RunOnce()
+		}
+	}
+	if p := Parallelism(); p > 1 {
+		if ps := testbed.NewShardStepper(bed, p); ps != nil {
+			defer ps.Close()
+			stepLoops = ps.RunOnce
+		}
+	}
 	for clk.Now()-start < deadlineNS {
 		if done() {
 			return nil
 		}
-		for _, l := range loops {
-			l.RunOnce()
-		}
+		stepLoops()
 		now := clk.Now()
 		for _, f := range apps {
 			f(now)

@@ -260,17 +260,20 @@ func RunScenario4(cfg Scenario4Config, dir Direction, flows int, durationNS int6
 // RunScenario4Sweep measures aggregate goodput for every shard count in
 // shardCounts, in both Baseline and capability mode.
 func RunScenario4Sweep(shardCounts []int, flows int, durationNS int64) ([]Scenario4Result, error) {
-	var out []Scenario4Result
+	var cells []Scenario4Config
 	for _, capMode := range []bool{false, true} {
 		for _, k := range shardCounts {
-			r, err := RunScenario4(Scenario4Config{Shards: k, CapMode: capMode}, LocalIsClient, flows, durationNS)
-			if err != nil {
-				return nil, fmt.Errorf("shards=%d cap=%v: %w", k, capMode, err)
-			}
-			out = append(out, r)
+			cells = append(cells, Scenario4Config{Shards: k, CapMode: capMode})
 		}
 	}
-	return out, nil
+	return RunCells(Parallelism(), len(cells), func(i int) (Scenario4Result, error) {
+		cfg := cells[i]
+		r, err := RunScenario4(cfg, LocalIsClient, flows, durationNS)
+		if err != nil {
+			return r, fmt.Errorf("shards=%d cap=%v: %w", cfg.Shards, cfg.CapMode, err)
+		}
+		return r, nil
+	})
 }
 
 // FormatScenario4 renders a sweep as a scaling table.

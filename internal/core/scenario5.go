@@ -228,48 +228,55 @@ func RunScenario5(cfg Scenario5Config, durationNS int64) (Scenario5Result, error
 // RunScenario5LossSweep measures goodput vs loss rate: for every loss
 // point, go-back-N vs SACK in both Baseline and capability mode, at
 // equal link settings. An optional Scenario5Obs instruments every
-// point's bed and exports the traces/timeseries per point.
+// point's bed and exports the traces/timeseries per point. Cells run
+// on the host worker pool (Parallelism); results keep sweep order.
 func RunScenario5LossSweep(losses []float64, delayNS int64, rateBps float64, cc string, durationNS int64, obsOpt ...Scenario5Obs) ([]Scenario5Result, error) {
-	var out []Scenario5Result
+	var cells []Scenario5Config
 	for _, loss := range losses {
 		for _, capMode := range []bool{false, true} {
 			for _, modern := range []bool{false, true} {
-				cfg := Scenario5Config{
+				cells = append(cells, Scenario5Config{
 					CapMode: capMode, Modern: modern, Congestion: cc,
 					Link: netem.Config{LossRate: loss, DelayNS: delayNS, RateBps: rateBps},
-				}
-				r, err := runScenario5Point(cfg, durationNS, obsOpt)
-				if err != nil {
-					return nil, fmt.Errorf("loss=%.2f%% cap=%v modern=%v: %w", loss*100, capMode, modern, err)
-				}
-				out = append(out, r)
+				})
 			}
 		}
 	}
-	return out, nil
+	return RunCells(Parallelism(), len(cells), func(i int) (Scenario5Result, error) {
+		cfg := cells[i]
+		r, err := runScenario5Point(cfg, durationNS, obsOpt)
+		if err != nil {
+			return r, fmt.Errorf("loss=%.2f%% cap=%v modern=%v: %w",
+				cfg.Link.LossRate*100, cfg.CapMode, cfg.Modern, err)
+		}
+		return r, nil
+	})
 }
 
 // RunScenario5BDPSweep measures goodput vs path BDP (the one-way delay
 // swept at a fixed bottleneck rate), go-back-N vs SACK+window-scaling,
 // in both Baseline and capability mode.
 func RunScenario5BDPSweep(delaysNS []int64, lossRate float64, rateBps float64, cc string, durationNS int64, obsOpt ...Scenario5Obs) ([]Scenario5Result, error) {
-	var out []Scenario5Result
+	var cells []Scenario5Config
 	for _, d := range delaysNS {
 		for _, capMode := range []bool{false, true} {
 			for _, modern := range []bool{false, true} {
-				cfg := Scenario5Config{
+				cells = append(cells, Scenario5Config{
 					CapMode: capMode, Modern: modern, Congestion: cc,
 					Link: netem.Config{LossRate: lossRate, DelayNS: d, RateBps: rateBps},
-				}
-				r, err := runScenario5Point(cfg, durationNS, obsOpt)
-				if err != nil {
-					return nil, fmt.Errorf("delay=%dms cap=%v modern=%v: %w", d/1e6, capMode, modern, err)
-				}
-				out = append(out, r)
+				})
 			}
 		}
 	}
-	return out, nil
+	return RunCells(Parallelism(), len(cells), func(i int) (Scenario5Result, error) {
+		cfg := cells[i]
+		r, err := runScenario5Point(cfg, durationNS, obsOpt)
+		if err != nil {
+			return r, fmt.Errorf("delay=%dms cap=%v modern=%v: %w",
+				cfg.Link.DelayNS/1e6, cfg.CapMode, cfg.Modern, err)
+		}
+		return r, nil
+	})
 }
 
 // runScenario5Point runs one sweep point, instrumented and exported

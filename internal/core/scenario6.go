@@ -372,21 +372,24 @@ func RunScenario6(cfg Scenario6Config, flows int, durationNS int64) (Scenario6Re
 // RunScenario6Sweep measures every (shard count × recovery) pair in
 // both Baseline and capability mode, at equal seeded link settings.
 func RunScenario6Sweep(shardCounts []int, flows int, durationNS int64, base Scenario6Config) ([]Scenario6Result, error) {
-	var out []Scenario6Result
+	var cells []Scenario6Config
 	for _, capMode := range []bool{false, true} {
 		for _, modern := range []bool{false, true} {
 			for _, k := range shardCounts {
 				cfg := base
 				cfg.Shards, cfg.CapMode, cfg.Modern = k, capMode, modern
-				r, err := RunScenario6(cfg, flows, durationNS)
-				if err != nil {
-					return nil, fmt.Errorf("shards=%d cap=%v modern=%v: %w", k, capMode, modern, err)
-				}
-				out = append(out, r)
+				cells = append(cells, cfg)
 			}
 		}
 	}
-	return out, nil
+	return RunCells(Parallelism(), len(cells), func(i int) (Scenario6Result, error) {
+		cfg := cells[i]
+		r, err := RunScenario6(cfg, flows, durationNS)
+		if err != nil {
+			return r, fmt.Errorf("shards=%d cap=%v modern=%v: %w", cfg.Shards, cfg.CapMode, cfg.Modern, err)
+		}
+		return r, nil
+	})
 }
 
 // FormatScenario6 renders a sweep. Speedup is against the paper

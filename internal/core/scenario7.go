@@ -247,23 +247,26 @@ func RunScenario7(cfg Scenario7Config, durationNS int64) (Scenario7Result, error
 // each congestion controller in ccs, in both Baseline and capability
 // mode, at equal seeded link settings.
 func RunScenario7RTTSweep(delaysNS []int64, ccs []string, rateBps float64, durationNS int64) ([]Scenario7Result, error) {
-	var out []Scenario7Result
+	var cells []Scenario7Config
 	for _, d := range delaysNS {
 		for _, capMode := range []bool{false, true} {
 			for _, cc := range ccs {
-				cfg := Scenario7Config{
+				cells = append(cells, Scenario7Config{
 					CapMode: capMode, Congestion: cc,
 					Link: netem.Config{DelayNS: d, RateBps: rateBps},
-				}
-				r, err := RunScenario7(cfg, durationNS)
-				if err != nil {
-					return nil, fmt.Errorf("delay=%dms cap=%v cc=%s: %w", d/1e6, capMode, ccName(cc), err)
-				}
-				out = append(out, r)
+				})
 			}
 		}
 	}
-	return out, nil
+	return RunCells(Parallelism(), len(cells), func(i int) (Scenario7Result, error) {
+		cfg := cells[i]
+		r, err := RunScenario7(cfg, durationNS)
+		if err != nil {
+			return r, fmt.Errorf("delay=%dms cap=%v cc=%s: %w",
+				cfg.Link.DelayNS/1e6, cfg.CapMode, ccName(cfg.Congestion), err)
+		}
+		return r, nil
+	})
 }
 
 // FormatScenario7 renders a sweep with per-row utilization and, where

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 	"strings"
 
 	"repro/internal/churn"
@@ -197,7 +196,7 @@ func Scenario8Churn(s *testbed.Bed, cfg Scenario8Config) (Scenario8Result, error
 
 	// Phase A: establish and hold the idle population.
 	segBefore := s.Envs[0].Seg.Used()
-	heapBefore := heapInUse()
+	heapBefore := retainedBytes(s)
 	preloaded := func() bool {
 		return cli.PreloadDone() || cli.Err() != hostos.OK || srv.Err() != hostos.OK
 	}
@@ -209,7 +208,7 @@ func Scenario8Churn(s *testbed.Bed, cfg Scenario8Config) (Scenario8Result, error
 	}
 	if cfg.Conns > 0 {
 		res.SegPerConn = float64(s.Envs[0].Seg.Used()-segBefore) / float64(cfg.Conns)
-		res.HeapPerConn = float64(int64(heapInUse())-int64(heapBefore)) / float64(cfg.Conns)
+		res.HeapPerConn = float64(int64(retainedBytes(s))-int64(heapBefore)) / float64(cfg.Conns)
 	}
 
 	// Phase B: the rate-paced storm, over the held population.
@@ -236,13 +235,19 @@ func Scenario8Churn(s *testbed.Bed, cfg Scenario8Config) (Scenario8Result, error
 	return res, nil
 }
 
-// heapInUse samples live heap bytes after a full collection, so the
-// preload delta measures retained connection state, not garbage.
-func heapInUse() uint64 {
-	runtime.GC()
-	var m runtime.MemStats
-	runtime.ReadMemStats(&m)
-	return m.HeapAlloc
+// retainedBytes sums the connection-plane heap accounting of every
+// stack in the bed — the server shards plus each peer's single stack,
+// since both endpoints of every preloaded pair live in this process.
+// The preload delta therefore measures retained connection state
+// deterministically: unlike a runtime.MemStats sample, it cannot see
+// the allocations of sweep cells running concurrently on other host
+// cores, so the report is byte-identical at any -parallel value.
+func retainedBytes(s *testbed.Bed) uint64 {
+	b := s.Sharded.RetainedBytes()
+	for _, p := range s.Peers {
+		b += p.Env.Stk.RetainedBytes()
+	}
+	return b
 }
 
 // DefaultScenario8Duration is the churn phase's virtual length.
@@ -261,21 +266,23 @@ func RunScenario8(cfg Scenario8Config) (Scenario8Result, error) {
 // Baseline and capability mode at a fixed shard count and idle
 // population.
 func RunScenario8RateSweep(shards, conns int, rates []float64, durationNS int64) ([]Scenario8Result, error) {
-	var out []Scenario8Result
+	var cells []Scenario8Config
 	for _, capMode := range []bool{false, true} {
 		for _, rate := range rates {
-			cfg := Scenario8Config{
+			cells = append(cells, Scenario8Config{
 				Shards: shards, CapMode: capMode, Conns: conns,
 				Rate: rate, DurationNS: durationNS,
-			}
-			r, err := RunScenario8(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("rate=%.0f cap=%v: %w", rate, capMode, err)
-			}
-			out = append(out, r)
+			})
 		}
 	}
-	return out, nil
+	return RunCells(Parallelism(), len(cells), func(i int) (Scenario8Result, error) {
+		cfg := cells[i]
+		r, err := RunScenario8(cfg)
+		if err != nil {
+			return r, fmt.Errorf("rate=%.0f cap=%v: %w", cfg.Rate, cfg.CapMode, err)
+		}
+		return r, nil
+	})
 }
 
 // FormatScenario8 renders a sweep. The drops column folds refused SYNs

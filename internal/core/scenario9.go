@@ -437,41 +437,45 @@ func RunScenario9(cfg Scenario9Config) (Scenario9Result, error) {
 // RunScenario9RateSweep measures the open-loop offered-rate ladder in
 // both Baseline and capability mode.
 func RunScenario9RateSweep(proto string, shards, conns int, rates []float64, link netem.Config, durationNS int64) ([]Scenario9Result, error) {
-	var out []Scenario9Result
+	var cells []Scenario9Config
 	for _, capMode := range []bool{false, true} {
 		for _, rate := range rates {
-			cfg := Scenario9Config{
+			cells = append(cells, Scenario9Config{
 				Proto: proto, Shards: shards, CapMode: capMode,
 				Rate: rate, Conns: conns, Link: link, DurationNS: durationNS,
-			}
-			r, err := RunScenario9(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s rate=%.0f cap=%v: %w", proto, rate, capMode, err)
-			}
-			out = append(out, r)
+			})
 		}
 	}
-	return out, nil
+	return RunCells(Parallelism(), len(cells), func(i int) (Scenario9Result, error) {
+		cfg := cells[i]
+		r, err := RunScenario9(cfg)
+		if err != nil {
+			return r, fmt.Errorf("%s rate=%.0f cap=%v: %w", cfg.Proto, cfg.Rate, cfg.CapMode, err)
+		}
+		return r, nil
+	})
 }
 
 // RunScenario9ConcurrencySweep measures the closed-loop concurrency
 // ladder in both Baseline and capability mode.
 func RunScenario9ConcurrencySweep(proto string, shards int, concs []int, link netem.Config, durationNS int64) ([]Scenario9Result, error) {
-	var out []Scenario9Result
+	var cells []Scenario9Config
 	for _, capMode := range []bool{false, true} {
 		for _, conc := range concs {
-			cfg := Scenario9Config{
+			cells = append(cells, Scenario9Config{
 				Proto: proto, Shards: shards, CapMode: capMode,
 				Conns: conc, Link: link, DurationNS: durationNS,
-			}
-			r, err := RunScenario9(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s conc=%d cap=%v: %w", proto, conc, capMode, err)
-			}
-			out = append(out, r)
+			})
 		}
 	}
-	return out, nil
+	return RunCells(Parallelism(), len(cells), func(i int) (Scenario9Result, error) {
+		cfg := cells[i]
+		r, err := RunScenario9(cfg)
+		if err != nil {
+			return r, fmt.Errorf("%s conc=%d cap=%v: %w", cfg.Proto, cfg.Conns, cfg.CapMode, err)
+		}
+		return r, nil
+	})
 }
 
 // FormatScenario9 renders a sweep: per-request latency quantiles

@@ -6,6 +6,7 @@ import (
 	"math"
 	"slices"
 	"sync"
+	"unsafe"
 
 	"repro/internal/dpdk"
 	"repro/internal/fstack/connscale"
@@ -517,6 +518,55 @@ func (s *Stack) ConnCount() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.conns)
+}
+
+// RetainedBytes is a deterministic accounting of the heap the stack's
+// connection plane holds onto: connection and socket structs (live and
+// free-listed), their buffer headers, reassembly queues and SACK
+// scoreboards, half-open SYN-cache entries, and recycled datagram
+// buffers. Segment-backed socket buffer storage is excluded — the
+// segment allocator reports that itself (MemSeg.Used).
+//
+// Scenario 8 measures the idle population's memory cost as a delta of
+// this count, not of runtime.MemStats: the process heap is shared by
+// every concurrently running sweep cell, so a ReadMemStats delta is
+// garbage at -parallel > 1, while this count derives only from the
+// stack's own state and is identical at any host parallelism.
+func (s *Stack) RetainedBytes() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	const (
+		connSz  = uint64(unsafe.Sizeof(tcpConn{}))
+		sockSz  = uint64(unsafe.Sizeof(socket{}))
+		bufSz   = uint64(unsafe.Sizeof(sockBuf{}))
+		synSz   = uint64(unsafe.Sizeof(synEntry{}))
+		rangeSz = uint64(unsafe.Sizeof(seqRange{}))
+		oooSz   = uint64(unsafe.Sizeof(oooSeg{}))
+	)
+	var b uint64
+	conn := func(c *tcpConn) {
+		b += connSz
+		if c.sndBuf != nil {
+			b += bufSz
+		}
+		if c.rcvBuf != nil {
+			b += bufSz
+		}
+		b += uint64(cap(c.rcvOOO)) * oooSz
+		b += uint64(cap(c.sacked)) * rangeSz
+	}
+	for _, c := range s.conns {
+		conn(c)
+	}
+	for _, c := range s.connFree {
+		conn(c)
+	}
+	b += uint64(len(s.socks)+len(s.sockFree)) * sockSz
+	b += uint64(len(s.syncache)+len(s.synFree)) * synSz
+	for _, d := range s.dgramFree {
+		b += uint64(cap(d))
+	}
+	return b
 }
 
 // AcceptQueueDepth sums the pending (accepted, not yet Accept()ed)

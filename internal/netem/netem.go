@@ -182,6 +182,20 @@ type Link struct {
 	// on the datapath — the nil check is the whole disabled-cost.
 	tr    *obs.Trace
 	trSrc uint16
+
+	// arena is where dropped frames return (the sender's frame arena,
+	// taken from the port at Connect time); nil falls back to the
+	// package default, for links built over bare Endpoints.
+	arena *nic.FrameArena
+}
+
+// freeFrame returns a dropped frame's buffer to the link's arena.
+func (l *Link) freeFrame(data []byte) {
+	if l.arena != nil {
+		l.arena.Free(data)
+		return
+	}
+	nic.FreeFrame(data)
 }
 
 // SetTrace installs the link's flight recorder (nil disables). Events
@@ -257,6 +271,7 @@ func Connect(clk hostos.Clock, a, b *nic.Port, cfg Config) *Link {
 // impairs frames leaving port a toward b, ba the reverse path.
 func ConnectAsym(clk hostos.Clock, a, b *nic.Port, ab, ba Config) *Link {
 	l := NewAsym(clk, a, b, ab, ba)
+	l.arena = a.Arena()
 	a.Attach(l, 0)
 	b.Attach(l, 1)
 	return l
@@ -314,7 +329,7 @@ func (l *Link) Send(from int, data []byte, readyAt int64) {
 			if l.tr != nil {
 				l.tr.Record(now, obs.EvNetemDrop, l.trSrc+uint16(from), int64(len(data)), obs.DropBurst, 0)
 			}
-			nic.FreeFrame(data)
+			l.freeFrame(data)
 			return
 		}
 	}
@@ -324,7 +339,7 @@ func (l *Link) Send(from int, data []byte, readyAt int64) {
 		if l.tr != nil {
 			l.tr.Record(now, obs.EvNetemDrop, l.trSrc+uint16(from), int64(len(data)), obs.DropIID, 0)
 		}
-		nic.FreeFrame(data)
+		l.freeFrame(data)
 		return
 	}
 
@@ -354,7 +369,7 @@ func (l *Link) Send(from int, data []byte, readyAt int64) {
 			if l.tr != nil {
 				l.tr.Record(now, obs.EvNetemDrop, l.trSrc+uint16(from), int64(len(data)), obs.DropQueue, 0)
 			}
-			nic.FreeFrame(data)
+			l.freeFrame(data)
 			return
 		}
 		d.nextFree += int64(float64(len(data)+wireOverheadBytes) * 8e9 / cfg.RateBps)

@@ -13,34 +13,63 @@ import "sync"
 // Ownership contract: a frame handed to Conduit.Send or
 // Endpoint.DeliverFrame belongs to the receiving side. Whoever
 // consumes it (the RX path after copying it into descriptor memory, an
-// impairment pipeline that drops it) calls FreeFrame; nobody may
-// retain the slice afterward. Code that needs the bytes past that
-// point (taps, traces) must copy.
+// impairment pipeline that drops it) returns it to the arena it came
+// from; nobody may retain the slice afterward. Code that needs the
+// bytes past that point (taps, traces) must copy.
+//
+// Locality: frames never cross testbeds — a frame allocated by a bed's
+// TX path is freed by the same bed's RX path or links — so each
+// testbed.Bed owns a private FrameArena shared by its local machine,
+// its peers and its links. Concurrent sweep cells therefore never
+// contend on (or leak buffers into) one global sync.Pool shard chain,
+// and within a bed every Alloc/Free site runs in the sequential device
+// phases, so the pool is contention-free there too. The package-level
+// AllocFrame/FreeFrame keep their signatures over a process-wide
+// default arena for hand-wired tests and single-topology tools.
 
-// framePool holds *[maxFrame]byte so Get/Put move a single pointer —
-// pooling []byte directly would allocate a slice header per Put.
-var framePool = sync.Pool{
-	New: func() any { return new([maxFrame]byte) },
+// FrameArena is one pool of wire-frame buffers. The zero value is not
+// usable; call NewFrameArena.
+type FrameArena struct {
+	// pool holds *[maxFrame]byte so Get/Put move a single pointer —
+	// pooling []byte directly would allocate a slice header per Put.
+	pool sync.Pool
 }
 
-// AllocFrame returns an n-byte frame buffer from the arena. Buffers
-// always carry cap == maxFrame, which is how FreeFrame recognizes
-// arena frames.
-func AllocFrame(n int) []byte {
+// NewFrameArena returns an empty arena (buffers are allocated on
+// demand and recycled thereafter).
+func NewFrameArena() *FrameArena {
+	return &FrameArena{pool: sync.Pool{
+		New: func() any { return new([maxFrame]byte) },
+	}}
+}
+
+// Alloc returns an n-byte frame buffer from the arena. Buffers always
+// carry cap == maxFrame, which is how Free recognizes arena frames.
+func (a *FrameArena) Alloc(n int) []byte {
 	if n > maxFrame {
 		// Oversized (never the case for port traffic, which enforces
-		// the MTU): fall back to the allocator; FreeFrame will ignore it.
+		// the MTU): fall back to the allocator; Free will ignore it.
 		return make([]byte, n)
 	}
-	return framePool.Get().(*[maxFrame]byte)[:n]
+	return a.pool.Get().(*[maxFrame]byte)[:n]
 }
 
-// FreeFrame returns a frame buffer to the arena. Foreign slices (tests
+// Free returns a frame buffer to the arena. Foreign slices (tests
 // hand-deliver their own buffers) are recognized by capacity and left
 // to the garbage collector.
-func FreeFrame(b []byte) {
+func (a *FrameArena) Free(b []byte) {
 	if cap(b) != maxFrame {
 		return
 	}
-	framePool.Put((*[maxFrame]byte)(b[:maxFrame]))
+	a.pool.Put((*[maxFrame]byte)(b[:maxFrame]))
 }
+
+// defaultArena backs the package-level AllocFrame/FreeFrame: the arena
+// of every port not given a bed-local one.
+var defaultArena = NewFrameArena()
+
+// AllocFrame returns an n-byte frame buffer from the default arena.
+func AllocFrame(n int) []byte { return defaultArena.Alloc(n) }
+
+// FreeFrame returns a frame buffer to the default arena.
+func FreeFrame(b []byte) { defaultArena.Free(b) }

@@ -42,6 +42,11 @@ type Config struct {
 	// CapDMA routes every DMA access through the port's DMA capability
 	// (IOMMU-style); raw otherwise.
 	CapDMA bool
+	// Arena supplies the wire-frame buffers the ports transmit and
+	// receive (nil = the package default). A testbed gives every
+	// machine and link of one bed the same private arena so concurrent
+	// beds never share pool state.
+	Arena *FrameArena
 }
 
 // DefaultBusConfig returns the calibrated 82576 bus parameters.
@@ -101,17 +106,22 @@ func New(cfg Config) (*Card, error) {
 			c.busUse[i] = -2 * busActivityWindow
 		}
 	}
+	arena := cfg.Arena
+	if arena == nil {
+		arena = defaultArena
+	}
 	for i := 0; i < cfg.Ports; i++ {
 		mac := cfg.MAC
 		mac[5] += byte(i)
 		p := &Port{
-			card: c,
-			idx:  i,
-			bdf:  fmt.Sprintf("%s.%d", cfg.BDFBase, i),
-			mac:  mac,
-			clk:  cfg.Clk,
-			mem:  cfg.Mem,
-			line: sim.NewSerializer(cfg.Clk, cfg.LineRateBps, serializerWindow),
+			card:  c,
+			idx:   i,
+			bdf:   fmt.Sprintf("%s.%d", cfg.BDFBase, i),
+			mac:   mac,
+			clk:   cfg.Clk,
+			mem:   cfg.Mem,
+			arena: arena,
+			line:  sim.NewSerializer(cfg.Clk, cfg.LineRateBps, serializerWindow),
 		}
 		// Every RX queue gets a full packet-buffer slice; with RSS off
 		// only queue 0 is used and the buffering matches the old
@@ -122,6 +132,7 @@ func New(cfg Config) (*Card, error) {
 		}
 		for q := range p.fifos {
 			p.fifos[q].limit = fifoBytes
+			p.fifos[q].arena = arena
 		}
 		p.capDMA = cfg.CapDMA
 		c.ports = append(c.ports, p)
@@ -191,6 +202,12 @@ func (c *Card) busCanAdmit(port int) bool {
 
 // busLimited reports whether the card models a finite PCI bus.
 func (c *Card) busLimited() bool { return c.busShare != nil }
+
+// BusLimited reports whether the card models a finite PCI bus. The
+// fair-share arbiter of a finite bus makes polling order part of the
+// machine state, so drivers that reorder device steps (the parallel
+// shard runner) must check this before doing so.
+func (c *Card) BusLimited() bool { return c.busLimited() }
 
 // busNextAdmitAt reports when the port's bus share could next admit a
 // transfer, WITHOUT recording activity: deadline queries are simulator

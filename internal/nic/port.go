@@ -28,13 +28,14 @@ const maxFrame = 1514
 // Port is one Ethernet port (one PCI function) of a card. It implements
 // hostos.PCIDevice.
 type Port struct {
-	card *Card
-	idx  int
-	bdf  string
-	mac  [6]byte
-	clk  hostos.Clock
-	mem  *cheri.TMem
-	line *sim.Serializer
+	card  *Card
+	idx   int
+	bdf   string
+	mac   [6]byte
+	clk   hostos.Clock
+	mem   *cheri.TMem
+	arena *FrameArena
+	line  *sim.Serializer
 
 	// fifos are the per-RX-queue slices of the receive packet buffer;
 	// the RSS classifier picks one per arriving frame (queue 0 when RSS
@@ -116,6 +117,11 @@ func (p *Port) SetRxTap(fn func(tsNS int64, data []byte)) {
 
 // BDF returns the port's PCI address.
 func (p *Port) BDF() string { return p.bdf }
+
+// Arena returns the frame arena this port allocates from and frees to.
+// An impairment pipeline attached to the port frees dropped frames into
+// the same arena.
+func (p *Port) Arena() *FrameArena { return p.arena }
 
 // VendorID returns Intel's PCI vendor id.
 func (p *Port) VendorID() uint16 { return 0x8086 }
@@ -358,6 +364,45 @@ func (p *Port) Step() {
 	}
 }
 
+// DrainTXThrough transmits as many pending descriptors as the line and
+// bus will admit on queues 0..maxQ, in queue-index order, looping past
+// stepTX's per-call burst cap, and reports whether queue maxQ's head
+// advanced. It touches only the TX path — no conduit pump, no RX ring
+// fill — so it is safe to run while other queues' software rings are
+// being driven concurrently.
+//
+// The parallel shard runner calls it when a shard's TX ring fills
+// mid-instant: the sequential driver would have drained the ring
+// continuously while the shard ran, and because virtual time is frozen
+// and earlier shards' frames all book before later ones', draining
+// queues 0..q at the stall point books the identical line schedule and
+// reproduces the exact descriptor-ring backpressure the sequential
+// stack would have seen.
+func (p *Port) DrainTXThrough(maxQ int) bool {
+	if maxQ >= MaxQueues {
+		maxQ = MaxQueues - 1
+	}
+	progress := false
+	for q := 0; q <= maxQ; q++ {
+		for {
+			p.mu.Lock()
+			before := p.regs.txq[q].head
+			p.mu.Unlock()
+			p.stepTX(q)
+			p.mu.Lock()
+			moved := p.regs.txq[q].head != before
+			p.mu.Unlock()
+			if !moved {
+				break
+			}
+			if q == maxQ {
+				progress = true
+			}
+		}
+	}
+	return progress
+}
+
 // stepTX transmits queue q's descriptors [TDH, TDT).
 func (p *Port) stepTX(q int) {
 	p.mu.Lock()
@@ -411,7 +456,7 @@ func (p *Port) stepTX(q int) {
 		}
 		doneAt, _ := p.line.Admit(length + wireOverhead)
 		p.card.busAdmit(p.idx, int(p.card.cfg.BusCostTX*float64(length+wireOverhead)))
-		data := AllocFrame(length)
+		data := p.arena.Alloc(length)
 		copy(data, buf)
 		p.pipe.Send(p.pipeEnd, data, doneAt+PropagationDelayNS)
 
@@ -462,14 +507,14 @@ func (p *Port) stepRX(q int) {
 		descAddr := base + uint64(head)*DescSize
 		desc, ok := p.dmaRO(descAddr, DescSize)
 		if !ok {
-			FreeFrame(fr.data) // popped, so ours to release
+			p.arena.Free(fr.data) // popped, so ours to release
 			break
 		}
 		bufAddr := binary.LittleEndian.Uint64(desc[0:8])
 		dst, ok := p.dmaRW(bufAddr, len(fr.data))
 		if !ok {
 			// Bad buffer: drop the frame, consume the descriptor.
-			FreeFrame(fr.data)
+			p.arena.Free(fr.data)
 			p.writeBackRX(descAddr, 0)
 			head = (head + 1) % n
 			continue
@@ -487,7 +532,7 @@ func (p *Port) stepRX(q int) {
 		}
 		// The frame now lives in descriptor memory; its wire buffer
 		// returns to the arena (see the ownership contract in arena.go).
-		FreeFrame(fr.data)
+		p.arena.Free(fr.data)
 	}
 	if gotFrames > 0 && tr != nil {
 		tr.Record(now, obs.EvNicRxBurst, src, int64(gotFrames), int64(gotBytes), int64(q))

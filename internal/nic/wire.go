@@ -29,6 +29,7 @@ type rxFifo struct {
 	bytes  int
 	limit  int
 	missed uint64
+	arena  *FrameArena // where tail-dropped frames return; nil = default
 }
 
 // push stores an arriving frame, tail-dropping when the buffer is full.
@@ -37,7 +38,11 @@ func (f *rxFifo) push(fr frame) {
 	defer f.mu.Unlock()
 	if f.bytes+len(fr.data) > f.limit {
 		f.missed++
-		FreeFrame(fr.data)
+		arena := f.arena
+		if arena == nil {
+			arena = defaultArena
+		}
+		arena.Free(fr.data)
 		return
 	}
 	f.frames = append(f.frames, fr)

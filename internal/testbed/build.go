@@ -47,6 +47,11 @@ type Bed struct {
 	// for it (via NextDeadline) on every iteration, and the topology
 	// never changes after Build.
 	loops []*fstack.Loop
+
+	// arena is this bed's private frame-buffer pool, shared by the
+	// local machine, every peer and every link — frames never cross
+	// beds, so concurrent sweep cells never contend on one global pool.
+	arena *nic.FrameArena
 }
 
 // Loops lists every main loop in the bed (local compartments first —
@@ -128,6 +133,7 @@ func Build(spec Spec) (*Bed, error) {
 	if macLast == 0 {
 		macLast = defaultLocalMAC
 	}
+	arena := nic.NewFrameArena()
 	local, err := newMachine(machineConfig{
 		Name:        spec.Machine.Name,
 		Clk:         spec.Clk,
@@ -138,11 +144,12 @@ func Build(spec Spec) (*Bed, error) {
 		BusLimited:  spec.Machine.BusLimited,
 		CapDMA:      spec.Machine.CapDMA,
 		MACLast:     macLast,
+		Arena:       arena,
 	})
 	if err != nil {
 		return nil, err
 	}
-	bed := &Bed{Clk: spec.Clk, Local: local}
+	bed := &Bed{Clk: spec.Clk, Local: local, arena: arena}
 	for _, cs := range spec.Compartments {
 		if err := bed.buildCompartment(cs); err != nil {
 			return nil, err
@@ -376,6 +383,7 @@ func (b *Bed) buildPeer(spec Spec, ps PeerSpec) error {
 	m, err := newMachine(machineConfig{
 		Name: name, Clk: spec.Clk, Ports: defaultPeerPorts,
 		LineRateBps: lineRate, MACLast: peerMAC(ps),
+		Arena: b.arena,
 	})
 	if err != nil {
 		return err

@@ -31,6 +31,7 @@ type machineConfig struct {
 	BusLimited  bool
 	CapDMA      bool
 	MACLast     byte
+	Arena       *nic.FrameArena
 }
 
 // newMachine boots a machine per the config.
@@ -56,6 +57,7 @@ func newMachine(cfg machineConfig) (*Machine, error) {
 		Clk:         cfg.Clk,
 		Mem:         k.Mem,
 		CapDMA:      cfg.CapDMA,
+		Arena:       cfg.Arena,
 	}
 	if cfg.BusLimited {
 		ncfg.BusRateBps, ncfg.BusCostTX, ncfg.BusCostRX = nic.DefaultBusConfig()
