@@ -296,6 +296,38 @@ func BenchmarkScenario9(b *testing.B) {
 	}
 }
 
+// BenchmarkScenario10 measures the fault-storm point in both modes:
+// a sharded HTTP service under two injected capability faults with the
+// supervisor restarting trapped compartments. Done/s is throughput
+// under the storm; blast-min is the worst surviving shard's
+// completions (in capability mode it should match the clean run) and
+// mttr-ms the mean fault-to-recovery time.
+func BenchmarkScenario10(b *testing.B) {
+	for _, capMode := range []bool{false, true} {
+		capMode := capMode
+		name := "baseline"
+		if capMode {
+			name = "cheri"
+		}
+		b.Run(name, func(b *testing.B) {
+			var last core.Scenario10Result
+			for i := 0; i < b.N; i++ {
+				r, err := core.RunScenario10(core.Scenario10Config{
+					Shards: 3, CapMode: capMode, Faults: 2, MTBFNS: 40e6,
+					Conns: 2, DurationNS: 300e6,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+			b.ReportMetric(last.CompletedPerSec(), "done/s")
+			b.ReportMetric(float64(last.OtherMinDone), "blast-min")
+			b.ReportMetric(float64(last.MTTRMeanNS)/1e6, "mttr-ms")
+		})
+	}
+}
+
 // --- Ablations (design choices called out in DESIGN.md) ---
 
 // BenchmarkAblationCapChecks compares the datapath memory access with

@@ -245,9 +245,10 @@ func (t thresholds) for_(bench string) float64 {
 // quality direction (counts like cap-lines) and is reported only.
 func metricDirection(unit string) int {
 	switch unit {
-	case "Mbit/s", "MB/s", "util-pct":
+	case "Mbit/s", "MB/s", "util-pct", "done/s", "blast-min":
 		return +1
-	case "ns/op", "B/op", "allocs/op", "retx", "ns-mean", "ns-med":
+	case "ns/op", "B/op", "allocs/op", "retx", "ns-mean", "ns-med",
+		"p99-µs", "timeouts", "mttr-ms":
 		return -1
 	}
 	// Custom ReportMetric units with a known prefix (ns-mean:label).

@@ -67,6 +67,9 @@ func main() {
 	s8dur := fs.Int64("s8duration", def.S8DurationNS, "scenario8 churn time per point (virtual ns)")
 	proto := fs.String("proto", "", "scenario9 protocol: http or dns (empty = both)")
 	s9dur := fs.Int64("s9duration", def.S9DurationNS, "scenario9 measured time per point (virtual ns)")
+	faults := fs.Int("faults", def.Faults, "scenario10 injected capability-fault count")
+	mtbf := fs.Int64("mtbf", def.MTBFNS, "scenario10 mean time between faults (virtual ns)")
+	s10dur := fs.Int64("s10duration", def.S10DurationNS, "scenario10 measured time (virtual ns)")
 	traceDir := fs.String("trace", "", "scenario5: write per-point Chrome trace-event JSON into this directory")
 	metricsDir := fs.String("metrics", "", "scenario5: write per-point metrics timeseries (CSV+JSON) into this directory")
 	pcapDir := fs.String("pcap", "", "scenario5: write per-point per-peer libpcap captures under this directory")
@@ -81,29 +84,33 @@ func main() {
 		os.Exit(2)
 	}
 	opts := core.RunOptions{
-		FFWrite:      core.FFWriteConfig{Iterations: *iters, IntervalNS: *interval, Payload: *payload},
-		Shards:       *shards,
-		Flows:        *flows,
-		DurationNS:   *duration,
-		Loss:         *loss,
-		DelayNS:      *delay,
-		RateBps:      *rate,
-		S5DurationNS: *s5dur,
-		AckRateBps:   *ackrate,
-		S6DurationNS: *s6dur,
-		Mode:         *mode,
-		Congestion:   *cc,
-		S7DurationNS: *s7dur,
-		Conns:        *conns,
-		ConnRate:     def.ConnRate,
-		S8DurationNS: *s8dur,
-		Proto:        *proto,
-		S9Rate:       def.S9Rate,
-		S9Conns:      def.S9Conns,
-		S9DurationNS: *s9dur,
-		TraceDir:     *traceDir,
-		MetricsDir:   *metricsDir,
-		PcapDir:      *pcapDir,
+		FFWrite:       core.FFWriteConfig{Iterations: *iters, IntervalNS: *interval, Payload: *payload},
+		Shards:        *shards,
+		Flows:         *flows,
+		DurationNS:    *duration,
+		Loss:          *loss,
+		DelayNS:       *delay,
+		RateBps:       *rate,
+		S5DurationNS:  *s5dur,
+		AckRateBps:    *ackrate,
+		S6DurationNS:  *s6dur,
+		Mode:          *mode,
+		Congestion:    *cc,
+		S7DurationNS:  *s7dur,
+		Conns:         *conns,
+		ConnRate:      def.ConnRate,
+		S8DurationNS:  *s8dur,
+		Proto:         *proto,
+		S9Rate:        def.S9Rate,
+		S9Conns:       def.S9Conns,
+		S9DurationNS:  *s9dur,
+		Faults:        *faults,
+		MTBFNS:        *mtbf,
+		S10Conns:      def.S10Conns,
+		S10DurationNS: *s10dur,
+		TraceDir:      *traceDir,
+		MetricsDir:    *metricsDir,
+		PcapDir:       *pcapDir,
 	}
 	// -rate and -conns are overloaded: -rate is bits/s for scenario5's
 	// bottleneck, flows/s for scenario8's churn, requests/s for
@@ -118,6 +125,8 @@ func main() {
 			opts.S9Rate = *rate
 		case cmd == "scenario9" && f.Name == "conns":
 			opts.S9Conns = *conns
+		case cmd == "scenario10" && f.Name == "conns":
+			opts.S10Conns = *conns
 		}
 	})
 

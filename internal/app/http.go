@@ -74,6 +74,29 @@ func NewHTTPServer(ip fstack.IPv4Addr, port uint16, backlog, respBytes int) *HTT
 	}
 }
 
+// Restart resets the server after its stack crashed: close the stale
+// descriptors (which is what hands the crashed connections' memory back
+// to the arena) and re-run the listen/bind setup on the next Step. The
+// supervisor's restart hook calls this — it is the compartment's main()
+// starting over.
+func (s *HTTPServer) Restart(api API) {
+	fds := make([]int, 0, len(s.conns))
+	for fd := range s.conns {
+		fds = append(fds, fd)
+	}
+	slices.Sort(fds)
+	for _, fd := range fds {
+		api.Close(fd)
+		delete(s.conns, fd)
+	}
+	if s.started {
+		api.Close(s.lfd)
+	}
+	s.started = false
+	s.failure = hostos.OK
+	s.wantStep = true
+}
+
 // Served reports completed request/response exchanges (response fully
 // handed to the stack).
 func (s *HTTPServer) Served() uint64 { return s.served }
@@ -102,7 +125,11 @@ func (s *HTTPServer) Step(api API, now int64) {
 	if !s.started {
 		s.started = true
 		s.wantStep = false
-		s.epfd = api.EpollCreate()
+		if s.epfd == 0 {
+			// The epoll descriptor survives a stack crash (only its
+			// interest set is dropped), so a restarted server reuses it.
+			s.epfd = api.EpollCreate()
+		}
 		fd, errno := api.Socket(fstack.SockStream)
 		if errno != hostos.OK {
 			s.fail(errno)
@@ -300,6 +327,24 @@ type HTTPClient struct {
 	Hist       stats.Histogram
 	Trace      *obs.Trace // optional per-request trace events
 	Src        uint16     // trace source id (worker index)
+	// Resilient survives server death: a reset connection counts its
+	// outstanding requests as lost and reconnects instead of failing
+	// the run. The reconnect needs no backoff — the reset itself only
+	// arrives once the restarted stack answers a retransmit, so the
+	// server is already back up when the client learns of the crash.
+	Resilient bool
+	// OnComplete, when set, observes every completed request: when it
+	// finished and when it was issued (the time-to-recovery probe: the
+	// first completion of a request issued after a fault bounds the
+	// outage — completions alone do not, since responses already in
+	// flight at the crash still land moments later).
+	OnComplete func(now, issued int64)
+	// TimeoutNS, with Resilient, bounds how long a request may stay
+	// outstanding before the connection is presumed dead and replaced.
+	// A crashed stack is silent — if the request was fully ACKed before
+	// the crash, nothing is in flight to retransmit and no reset ever
+	// arrives, so liveness needs an application clock. 0 disables it.
+	TimeoutNS int64
 
 	state     httpCliState
 	epfd      int
@@ -312,6 +357,8 @@ type HTTPClient struct {
 	issued    uint64
 	completed uint64
 	deferred  uint64
+	lost      uint64
+	resets    uint64
 	inflight  int
 	rr        int
 	failure   hostos.Errno
@@ -345,6 +392,11 @@ func (c *HTTPClient) Issued() uint64    { return c.issued }
 func (c *HTTPClient) Completed() uint64 { return c.completed }
 func (c *HTTPClient) Deferred() uint64  { return c.deferred }
 
+// Lost / Resets report requests abandoned on reset connections and
+// connection re-establishments (Resilient mode).
+func (c *HTTPClient) Lost() uint64   { return c.lost }
+func (c *HTTPClient) Resets() uint64 { return c.resets }
+
 // RunNS returns the measured phase's virtual length (valid once Done).
 func (c *HTTPClient) RunNS() int64 { return c.endNS - c.startNS }
 
@@ -361,21 +413,36 @@ func (c *HTTPClient) NextDeadline(now int64) int64 {
 	if c.state != httpCliRunning {
 		return math.MaxInt64
 	}
+	d := c.expiry()
 	end := c.startNS + c.DurationNS
 	if now >= end {
-		return math.MaxInt64 // draining: completion is event-driven
+		return d // draining: completions are event-driven, timeouts are not
 	}
-	if c.Rate <= 0 {
-		return end
-	}
-	if c.inflight >= maxOutstanding {
-		return end
+	if c.Rate <= 0 || c.inflight >= maxOutstanding {
+		return min(d, end)
 	}
 	at := c.startNS + int64(float64(c.issued+1)/c.Rate*1e9)
 	if at > end {
-		return end
+		at = end
 	}
-	return at
+	return min(d, at)
+}
+
+// expiry is the earliest instant an outstanding request times out
+// (MaxInt64 with no request timeout configured or nothing outstanding).
+func (c *HTTPClient) expiry() int64 {
+	if !c.Resilient || c.TimeoutNS <= 0 {
+		return math.MaxInt64
+	}
+	d := int64(math.MaxInt64)
+	for _, cc := range c.conns {
+		if cc.up && cc.outstanding() > 0 {
+			if at := cc.t0[cc.t0Head] + c.TimeoutNS; at < d {
+				d = at
+			}
+		}
+	}
+	return d
 }
 
 func (c *HTTPClient) fail(errno hostos.Errno) {
@@ -432,6 +499,17 @@ func (c *HTTPClient) Step(api API, now int64) {
 		if !c.drain(api, now) {
 			return
 		}
+		if c.Resilient && c.TimeoutNS > 0 {
+			// Replace connections whose oldest request has sat
+			// unanswered past the timeout (a silently dead server).
+			for i, cc := range c.conns {
+				if cc.up && cc.outstanding() > 0 && now-cc.t0[cc.t0Head] >= c.TimeoutNS {
+					if !c.reconnect(api, i) {
+						return
+					}
+				}
+			}
+		}
 		elapsed := now - c.startNS
 		if elapsed < c.DurationNS {
 			if c.Rate > 0 {
@@ -442,8 +520,13 @@ func (c *HTTPClient) Step(api API, now int64) {
 						c.deferred += target - c.issued
 						break
 					}
-					cc := c.conns[c.rr%len(c.conns)]
-					c.rr++
+					cc := c.pickUp()
+					if cc == nil {
+						// Every connection is re-establishing; the due
+						// slots are honest backpressure.
+						c.deferred += target - c.issued
+						break
+					}
 					if !c.issue(api, cc, now) {
 						return
 					}
@@ -451,7 +534,7 @@ func (c *HTTPClient) Step(api API, now int64) {
 			} else {
 				// Closed-loop: every idle connection issues immediately.
 				for _, cc := range c.conns {
-					if cc.outstanding() == 0 {
+					if cc.up && cc.outstanding() == 0 {
 						if !c.issue(api, cc, now) {
 							return
 						}
@@ -468,6 +551,43 @@ func (c *HTTPClient) Step(api API, now int64) {
 	}
 }
 
+// reconnect replaces connection i after its server reset it: the
+// outstanding requests are counted lost, the stale fd is closed, and a
+// fresh connect starts through the same epoll. Any managed source port
+// is reused — safe, because the reset already aborted the old
+// connection and released its binding.
+func (c *HTTPClient) reconnect(api API, i int) bool {
+	cc := c.conns[i]
+	n := cc.outstanding()
+	c.lost += uint64(n)
+	c.inflight -= n
+	c.resets++
+	api.Close(cc.fd)
+	delete(c.byFD, cc.fd)
+	fd, errno := api.Socket(fstack.SockStream)
+	if errno != hostos.OK {
+		c.fail(errno)
+		return false
+	}
+	if c.Sports != nil && c.Sports[i] != 0 {
+		if errno := api.Bind(fd, fstack.IPv4Addr{}, c.Sports[i]); errno != hostos.OK {
+			c.fail(errno)
+			return false
+		}
+	}
+	if errno := api.EpollCtl(c.epfd, fstack.EpollCtlAdd, fd, fstack.EPOLLOUT); errno != hostos.OK {
+		c.fail(errno)
+		return false
+	}
+	if errno := api.Connect(fd, c.ServerIP, c.Port); errno != hostos.EINPROGRESS && errno != hostos.OK {
+		c.fail(errno)
+		return false
+	}
+	*cc = httpCliConn{fd: fd, need: -1, t0: cc.t0[:0], hdr: cc.hdr[:0], tx: cc.tx[:0]}
+	c.byFD[fd] = i
+	return true
+}
+
 // issue starts one request on a connection: the latency clock starts
 // here, before any Write, so send-side queueing is measured.
 func (c *HTTPClient) issue(api API, cc *httpCliConn, now int64) bool {
@@ -478,6 +598,20 @@ func (c *HTTPClient) issue(api API, cc *httpCliConn, now int64) bool {
 	return c.flush(api, cc)
 }
 
+// pickUp returns the next round-robin connection that is established,
+// or nil when every connection is down (mid-reconnect). With all
+// connections up it degenerates to the plain round-robin.
+func (c *HTTPClient) pickUp() *httpCliConn {
+	for range c.conns {
+		cc := c.conns[c.rr%len(c.conns)]
+		c.rr++
+		if cc.up {
+			return cc
+		}
+	}
+	return nil
+}
+
 // flush pushes buffered request bytes, arming EPOLLOUT on EAGAIN.
 func (c *HTTPClient) flush(api API, cc *httpCliConn) bool {
 	for cc.txHead < len(cc.tx) {
@@ -486,6 +620,9 @@ func (c *HTTPClient) flush(api API, cc *httpCliConn) bool {
 			break
 		}
 		if errno != hostos.OK {
+			if c.Resilient {
+				return c.reconnect(api, c.byFD[cc.fd])
+			}
 			c.fail(errno)
 			return false
 		}
@@ -522,6 +659,12 @@ func (c *HTTPClient) drain(api API, now int64) bool {
 		}
 		cc := c.conns[i]
 		if ev.Events&(fstack.EPOLLERR|fstack.EPOLLHUP) != 0 {
+			if c.Resilient {
+				if !c.reconnect(api, i) {
+					return false
+				}
+				continue
+			}
 			c.fail(hostos.ECONNRESET)
 			return false
 		}
@@ -557,6 +700,9 @@ func (c *HTTPClient) read(api API, cc *httpCliConn, now int64) bool {
 			return true
 		}
 		if errno != hostos.OK || n == 0 {
+			if c.Resilient {
+				return c.reconnect(api, c.byFD[cc.fd])
+			}
 			c.fail(hostos.ECONNRESET)
 			return false
 		}
@@ -628,5 +774,8 @@ func (c *HTTPClient) complete(cc *httpCliConn, now int64) {
 	c.Hist.Record(now - t0)
 	if c.Trace != nil {
 		c.Trace.Record(now, obs.EvAppRequest, c.Src, now-t0, int64(cc.bodyLen), obs.ReqHTTP)
+	}
+	if c.OnComplete != nil {
+		c.OnComplete(now, t0)
 	}
 }

@@ -132,3 +132,19 @@ func TestGoldenScenario9(t *testing.T) {
 	}
 	assertGolden(t, "scenario9.golden", b.String())
 }
+
+// TestGoldenScenario10 pins the fault-storm grid: {baseline, cheri} x
+// {clean, 2-fault storm} on the short test configuration. Any drift in
+// crash semantics, restart ordering, reconnect timing or the MTTR
+// probe shows up as a byte diff in the dip/blast/MTTR columns.
+func TestGoldenScenario10(t *testing.T) {
+	skipUnderRace(t)
+	results, err := runScenario10Cells(Parallelism(), Scenario10Config{
+		Shards: 3, Faults: 2, MTBFNS: 40e6,
+		Conns: 2, DurationNS: 300e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGolden(t, "scenario10.golden", FormatScenario10(results))
+}

@@ -68,6 +68,13 @@ type RunOptions struct {
 	S9Rate       float64
 	S9Conns      int
 	S9DurationNS int64
+	// Faults caps scenario 10's injected capability-fault count; MTBFNS
+	// is its mean time between faults; S10Conns its per-shard closed-
+	// loop connection count; S10DurationNS its measured time.
+	Faults        int
+	MTBFNS        int64
+	S10Conns      int
+	S10DurationNS int64
 	// TraceDir, MetricsDir and PcapDir switch on the observability
 	// layer for scenario 5: per-point Chrome trace-event JSON, metrics
 	// timeseries (CSV + JSON), and per-peer link captures. Empty (the
@@ -80,23 +87,27 @@ type RunOptions struct {
 // DefaultRunOptions mirrors the cherinet flag defaults.
 func DefaultRunOptions() RunOptions {
 	return RunOptions{
-		FFWrite:      FFWriteConfig{Iterations: 100_000, IntervalNS: 20_000, Payload: 1448},
-		Shards:       4,
-		Flows:        8,
-		DurationNS:   DefaultScenario4Duration,
-		Loss:         0.01,
-		DelayNS:      10e6,
-		RateBps:      100e6,
-		S5DurationNS: DefaultScenario5Duration,
-		S6DurationNS: DefaultScenario6Duration,
-		Mode:         "upload",
-		S7DurationNS: DefaultScenario7Duration,
-		Conns:        100_000,
-		ConnRate:     50_000,
-		S8DurationNS: DefaultScenario8Duration,
-		S9Rate:       20_000,
-		S9Conns:      32,
-		S9DurationNS: DefaultScenario9Duration,
+		FFWrite:       FFWriteConfig{Iterations: 100_000, IntervalNS: 20_000, Payload: 1448},
+		Shards:        4,
+		Flows:         8,
+		DurationNS:    DefaultScenario4Duration,
+		Loss:          0.01,
+		DelayNS:       10e6,
+		RateBps:       100e6,
+		S5DurationNS:  DefaultScenario5Duration,
+		S6DurationNS:  DefaultScenario6Duration,
+		Mode:          "upload",
+		S7DurationNS:  DefaultScenario7Duration,
+		Conns:         100_000,
+		ConnRate:      50_000,
+		S8DurationNS:  DefaultScenario8Duration,
+		S9Rate:        20_000,
+		S9Conns:       32,
+		S9DurationNS:  DefaultScenario9Duration,
+		Faults:        4,
+		MTBFNS:        60e6,
+		S10Conns:      4,
+		S10DurationNS: DefaultScenario10Duration,
 	}
 }
 
@@ -375,6 +386,34 @@ var Registry = []ScenarioEntry{
 					fmt.Sprintf("%s closed-loop concurrency sweep (%.2f%% loss, %.0f ms RTT)",
 						proto, o.Loss*100, float64(2*o.DelayNS)/1e6), closed))
 			}
+			return nil
+		},
+	},
+	{
+		Name:  "scenario10",
+		Desc:  "fault storm: injected capability faults, blast radius and time-to-recovery, baseline vs cheri",
+		Flags: "-shards -faults -mtbf -conns -s10duration",
+		Run: func(o RunOptions, w io.Writer) error {
+			if o.Shards < 1 {
+				return fmt.Errorf("-shards must be at least 1")
+			}
+			if o.Faults < 1 {
+				return fmt.Errorf("-faults must be at least 1")
+			}
+			if o.MTBFNS <= 0 {
+				return fmt.Errorf("-mtbf must be positive")
+			}
+			if o.S10Conns < 1 {
+				return fmt.Errorf("-conns must be at least 1")
+			}
+			results, err := RunScenario10Sweep(Scenario10Config{
+				Shards: o.Shards, Faults: o.Faults, MTBFNS: o.MTBFNS,
+				Conns: o.S10Conns, DurationNS: o.S10DurationNS,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(w, FormatScenario10(results))
 			return nil
 		},
 	},

@@ -126,6 +126,34 @@ func Probe(pci *hostos.PCI, bdf string, seg *MemSeg) (*EthDev, error) {
 // MAC returns the port's hardware address.
 func (d *EthDev) MAC() [6]byte { return d.mac }
 
+// faultInjector is the optional fault-injection surface of the bound
+// device (nic.Port implements it); the fault plane reaches hardware
+// faults through the driver so app code never touches a raw port.
+type faultInjector interface {
+	SetQueueStall(q int, stalled bool)
+	InjectDMAFaults(n int64)
+}
+
+// SetQueueStall freezes or thaws one of the bound device's queue
+// pairs; reports false when the device has no fault surface.
+func (d *EthDev) SetQueueStall(q int, stalled bool) bool {
+	fi, ok := d.dev.(faultInjector)
+	if ok {
+		fi.SetQueueStall(q, stalled)
+	}
+	return ok
+}
+
+// InjectDMAFaults arms a burst of n DMA master aborts on the bound
+// device; reports false when the device has no fault surface.
+func (d *EthDev) InjectDMAFaults(n int64) bool {
+	fi, ok := d.dev.(faultInjector)
+	if ok {
+		fi.InjectDMAFaults(n)
+	}
+	return ok
+}
+
 // Configure allocates one nrx/ntx descriptor ring pair from the segment
 // and programs the device — the single-queue setup every pre-RSS caller
 // uses. pool supplies RX buffers.

@@ -116,6 +116,15 @@ func (c *arpCache) insert(ip IPv4Addr, mac MACAddr, now int64) []*pendingPacket 
 	return p
 }
 
+// reset forgets every binding and parked packet — the compartment that
+// learned them crashed; its successor re-resolves from scratch.
+func (c *arpCache) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	clear(c.entries)
+	clear(c.pending)
+}
+
 // park queues a packet waiting for ip to resolve, dropping the oldest
 // beyond the queue bound.
 func (c *arpCache) park(ip IPv4Addr, payload []byte, proto uint16) {

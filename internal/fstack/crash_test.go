@@ -1,0 +1,170 @@
+package fstack
+
+import (
+	"testing"
+
+	"repro/internal/hostos"
+)
+
+// TestCrashLatchesErrnos pins the socket-layer semantics of a stack
+// crash: in-flight connections latch ECONNRESET, listeners and UDP
+// bindings latch ENETDOWN, and the latched errno — not EAGAIN — is
+// what every blocked entry point returns afterward.
+func TestCrashLatchesErrnos(t *testing.T) {
+	e := newEnv(t, false)
+	_, afd := e.connectPair(8080)
+
+	// A UDP binding on the victim stack, alongside the TCP plane.
+	ufd, errno := e.stkB.Socket(SockDgram)
+	if errno != hostos.OK {
+		t.Fatal(errno)
+	}
+	if errno := e.stkB.Bind(ufd, IPv4Addr{}, 5353); errno != hostos.OK {
+		t.Fatal(errno)
+	}
+
+	e.stkB.Crash()
+
+	if _, errno := e.stkB.Read(afd, make([]byte, 64)); errno != hostos.ECONNRESET {
+		t.Fatalf("Read on crashed conn: %v, want ECONNRESET", errno)
+	}
+	if _, errno := e.stkB.Write(afd, []byte("x")); errno != hostos.ECONNRESET {
+		t.Fatalf("Write on crashed conn: %v, want ECONNRESET", errno)
+	}
+	// The listener fd is 3 (first descriptor B created in connectPair).
+	if _, _, _, errno := e.stkB.Accept(3); errno != hostos.ENETDOWN {
+		t.Fatalf("Accept on crashed listener: %v, want ENETDOWN", errno)
+	}
+	if _, _, _, errno := e.stkB.RecvFrom(ufd, make([]byte, 64)); errno != hostos.ENETDOWN {
+		t.Fatalf("RecvFrom on crashed UDP sock: %v, want ENETDOWN", errno)
+	}
+	if _, errno := e.stkB.SendTo(ufd, []byte("x"), IP4(10, 0, 0, 1), 53); errno != hostos.ENETDOWN {
+		t.Fatalf("SendTo on crashed UDP sock: %v, want ENETDOWN", errno)
+	}
+	if !e.stkB.Down() {
+		t.Fatal("Down() must report the crash")
+	}
+}
+
+// TestCrashDropsEpollRegistrations: after a crash the interest sets
+// are empty (re-adding an fd succeeds where a duplicate add would
+// EINVAL), and a re-registered stale fd reports EPOLLERR.
+func TestCrashDropsEpollRegistrations(t *testing.T) {
+	e := newEnv(t, false)
+	_, afd := e.connectPair(8080)
+	epfd := e.stkB.EpollCreate()
+	if errno := e.stkB.EpollCtl(epfd, EpollCtlAdd, afd, EPOLLIN); errno != hostos.OK {
+		t.Fatal(errno)
+	}
+
+	e.stkB.Crash()
+
+	evs := make([]Event, 8)
+	if n, errno := e.stkB.EpollWait(epfd, evs); errno != hostos.OK || n != 0 {
+		t.Fatalf("EpollWait after crash: n=%d errno=%v, want 0 events", n, errno)
+	}
+	// A fresh Add succeeds — proof the registration was fully dropped,
+	// not just masked.
+	if errno := e.stkB.EpollCtl(epfd, EpollCtlAdd, afd, EPOLLIN); errno != hostos.OK {
+		t.Fatalf("re-Add after crash: %v (interest set not dropped?)", errno)
+	}
+	n, _ := e.stkB.EpollWait(epfd, evs)
+	if n != 1 || evs[0].FD != afd || evs[0].Events&EPOLLERR == 0 {
+		t.Fatalf("stale fd readiness: n=%d evs=%+v, want EPOLLERR on %d", n, evs[0], afd)
+	}
+}
+
+// TestRestartServesAgain walks the whole recovery arc: crash, restart,
+// listener re-established on the same port, the peer's stale
+// connection reset by the restarted stack's RST, and a fresh
+// connection served.
+func TestRestartServesAgain(t *testing.T) {
+	e := newEnv(t, false)
+	cfd, _ := e.connectPair(8080)
+
+	e.stkB.Crash()
+	// An outage with the peer alive: B's poll is a no-op throughout.
+	for i := 0; i < 20; i++ {
+		e.tick()
+	}
+	e.stkB.Restart()
+
+	// The supervisor re-runs the server's socket path: same port, new
+	// fd — the old binding died with the crash.
+	lfd, errno := e.stkB.Socket(SockStream)
+	if errno != hostos.OK {
+		t.Fatal(errno)
+	}
+	if errno := e.stkB.Bind(lfd, IPv4Addr{}, 8080); errno != hostos.OK {
+		t.Fatalf("re-bind after restart: %v", errno)
+	}
+	if errno := e.stkB.Listen(lfd, 8); errno != hostos.OK {
+		t.Fatal(errno)
+	}
+
+	// The peer discovers the death on its next transmission: the
+	// restarted stack knows nothing of the tuple and answers RST.
+	if _, errno := e.stkA.Write(cfd, []byte("ping")); errno != hostos.OK {
+		t.Fatalf("client write: %v", errno)
+	}
+	e.pumpUntil(4000, "stale client conn reset", func() bool {
+		_, errno := e.stkA.Read(cfd, make([]byte, 64))
+		return errno == hostos.ECONNRESET
+	})
+	if errno := e.stkA.Close(cfd); errno != hostos.OK {
+		t.Fatal(errno)
+	}
+
+	// A fresh connection works end to end.
+	cfd2, errno := e.stkA.Socket(SockStream)
+	if errno != hostos.OK {
+		t.Fatal(errno)
+	}
+	if errno := e.stkA.Connect(cfd2, IP4(10, 0, 0, 2), 8080); errno != hostos.EINPROGRESS {
+		t.Fatal(errno)
+	}
+	e.pumpUntil(4000, "post-restart accept", func() bool {
+		_, _, _, errno := e.stkB.Accept(lfd)
+		return errno == hostos.OK
+	})
+}
+
+// TestRetainedBytesRecoverAcrossRestart: once the application closes
+// its stale fds, the connection plane's retained memory returns to the
+// pre-fault level — a crash/restart cycle leaks nothing from the
+// arenas.
+func TestRetainedBytesRecoverAcrossRestart(t *testing.T) {
+	e := newEnv(t, false)
+
+	// Warm the arenas with one full connect/close cycle so the
+	// baseline includes the recycled structs. The client closes first
+	// so B's side runs CLOSE_WAIT -> LAST_ACK -> closed and recycles
+	// (closing B first would park its conn in TIME_WAIT instead).
+	cfd, afd := e.connectPair(8080)
+	e.stkA.Close(cfd)
+	e.pumpUntil(4000, "peer FIN", func() bool {
+		_, errno := e.stkB.Read(afd, make([]byte, 64))
+		return errno == hostos.OK // EOF: n=0, errno OK
+	})
+	e.stkB.Close(afd)
+	e.stkB.Close(3) // listener fd
+	for i := 0; i < 400; i++ {
+		e.tick()
+	}
+	base := e.stkB.RetainedBytes()
+
+	// Fault cycle: same shape, but the teardown is a crash.
+	cfd, afd = e.connectPair(8080)
+	lfd := afd - 1 // connectPair's listener is the fd before the accept
+	_ = cfd
+	e.stkB.Crash()
+	e.stkB.Restart()
+	e.stkB.Close(afd)
+	e.stkB.Close(lfd)
+	for i := 0; i < 400; i++ {
+		e.tick()
+	}
+	if got := e.stkB.RetainedBytes(); got != base {
+		t.Fatalf("retained bytes after crash cycle: %d, want pre-fault %d", got, base)
+	}
+}

@@ -114,6 +114,9 @@ func (s *Stack) readiness(fd int) uint32 {
 	var r uint32
 	switch {
 	case sk.lst != nil:
+		if sk.lst.err != hostos.OK {
+			r |= EPOLLERR
+		}
 		if sk.lst.pendingCount() > 0 {
 			r |= EPOLLIN
 		}
@@ -134,6 +137,9 @@ func (s *Stack) readiness(fd int) uint32 {
 			r |= EPOLLERR
 		}
 	case sk.udp != nil:
+		if sk.udp.err != hostos.OK {
+			r |= EPOLLERR
+		}
 		if sk.udp.queued() > 0 {
 			r |= EPOLLIN
 		}

@@ -22,6 +22,11 @@ type listener struct {
 	halfOpen int
 	pending  []*tcpConn // established, awaiting Accept
 	head     int        // index of the oldest pending conn
+
+	// err is latched when the stack crashes under the listener
+	// (ENETDOWN): Accept returns it instead of EAGAIN, telling a
+	// supervised server to rebuild its socket from scratch.
+	err hostos.Errno
 }
 
 // pendingCount is the accept-queue depth.
@@ -68,6 +73,10 @@ type udpSock struct {
 	ep   tcpEndpoint
 	q    []dgram
 	head int
+
+	// err is latched when the stack crashes under the binding
+	// (ENETDOWN); SendTo/RecvFrom return it until the fd is closed.
+	err hostos.Errno
 }
 
 func (u *udpSock) queued() int { return len(u.q) - u.head }
@@ -225,6 +234,9 @@ func (s *Stack) acceptLocked(fd int) (int, IPv4Addr, uint16, hostos.Errno) {
 	}
 	if sk.lst == nil {
 		return -1, IPv4Addr{}, 0, hostos.EINVAL
+	}
+	if sk.lst.err != hostos.OK {
+		return -1, IPv4Addr{}, 0, sk.lst.err
 	}
 	if sk.lst.pendingCount() == 0 {
 		return -1, IPv4Addr{}, 0, hostos.EAGAIN
@@ -544,6 +556,9 @@ func (s *Stack) sendToLocked(fd int, data []byte, ip IPv4Addr, port uint16) (int
 	if len(data) > udpPayloadMax {
 		return -1, hostos.EMSGSIZE
 	}
+	if sk.udp != nil && sk.udp.err != hostos.OK {
+		return -1, sk.udp.err
+	}
 	if sk.udp == nil {
 		// Auto-bind an ephemeral port.
 		if errno := s.bindLocked(fd, IPv4Addr{}, s.allocEphemeral()); errno != hostos.OK {
@@ -586,6 +601,9 @@ func (s *Stack) recvFromLocked(fd int, dst []byte) (int, IPv4Addr, uint16, hosto
 	}
 	if sk.typ != SockDgram || sk.udp == nil {
 		return -1, IPv4Addr{}, 0, hostos.EINVAL
+	}
+	if sk.udp.err != hostos.OK {
+		return -1, IPv4Addr{}, 0, sk.udp.err
 	}
 	if sk.udp.queued() == 0 {
 		return -1, IPv4Addr{}, 0, hostos.EAGAIN

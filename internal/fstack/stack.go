@@ -226,6 +226,11 @@ type Stack struct {
 	rtoMinNS   int64 // 0 = package default (SetRTOMin)
 	tuning     TCPTuning
 
+	// down marks a crashed stack (see Crash/Restart in crash.go): poll
+	// is a no-op and nextDeadlineLocked reports quiescence until the
+	// supervisor restarts the compartment.
+	down bool
+
 	// wantPoll marks state-driven work an API call queued for the next
 	// poll's timer pass (currently: a read re-opened a closed receive
 	// window, so a window-update ACK is owed). The event-driven driver
@@ -388,6 +393,13 @@ func connDeadline(c *tcpConn) int64 {
 // many are parked) and whatever the attached devices hold. Callers
 // hold the stack mutex.
 func (s *Stack) nextDeadlineLocked(now int64) int64 {
+	if s.down {
+		// A crashed stack holds no work: arrivals park in the device
+		// rings until Restart (whose instant the supervisor's own
+		// NextDeadline supplies), so reporting them here would spin the
+		// leaping driver at `now` for the whole outage.
+		return math.MaxInt64
+	}
 	if s.wantPoll {
 		return now
 	}
@@ -940,6 +952,9 @@ func (s *Stack) removeConn(c *tcpConn) {
 // exactly the connections with pending work. Callers hold the stack
 // mutex.
 func (s *Stack) poll() {
+	if s.down {
+		return // crashed: not even the devices are stepped
+	}
 	s.wantPoll = false // the visit pass below answers any queued work
 	burst := s.rxBurst[:]
 	for _, nif := range s.nifs {

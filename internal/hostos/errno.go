@@ -23,6 +23,7 @@ const (
 	EMSGSIZE      Errno = 40
 	EADDRINUSE    Errno = 48
 	EADDRNOTAVAIL Errno = 49
+	ENETDOWN      Errno = 50
 	ECONNRESET    Errno = 54
 	EISCONN       Errno = 56
 	ENOTCONN      Errno = 57
@@ -49,6 +50,7 @@ var errnoNames = map[Errno]string{
 	EMSGSIZE:      "EMSGSIZE",
 	EADDRINUSE:    "EADDRINUSE",
 	EADDRNOTAVAIL: "EADDRNOTAVAIL",
+	ENETDOWN:      "ENETDOWN",
 	ECONNRESET:    "ECONNRESET",
 	EISCONN:       "EISCONN",
 	ENOTCONN:      "ENOTCONN",

@@ -98,6 +98,45 @@ func (c *CVM) Trap(f *cheri.Fault) {
 	c.trap = f
 }
 
+// Trapped reports whether the cVM is dead from a capability fault (the
+// supervisor's poll predicate).
+func (c *CVM) Trapped() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state == StateTrapped
+}
+
+// Restart revives a trapped cVM in place. Intravisor restarts a crashed
+// compartment by re-entering its loader over the same memory window
+// (pages are never returned to the host), so the model re-derives the
+// DDC and register template from the root rather than re-allocating:
+// the window, ID and name survive; every capability the old incarnation
+// held is dead because new gates must be sealed over the fresh DDC.
+func (c *CVM) Restart() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state != StateTrapped {
+		return fmt.Errorf("intravisor: restart of cVM %q in state %v", c.Name, c.state)
+	}
+	ddc, err := c.iv.root.SetAddr(c.base).SetBounds(c.size)
+	if err != nil {
+		return err
+	}
+	ddc, err = ddc.AndPerms(cheri.PermData)
+	if err != nil {
+		return err
+	}
+	pcc, err := c.iv.codeCap.AndPerms(cheri.PermCode)
+	if err != nil {
+		return err
+	}
+	c.ddc = ddc
+	c.ctx = cheri.Context{DDC: ddc, PCC: pcc}
+	c.trap = nil
+	c.state = StateRunning
+	return nil
+}
+
 // TrapFault returns the fault that terminated the cVM, if any.
 func (c *CVM) TrapFault() *cheri.Fault {
 	c.mu.Lock()

@@ -105,6 +105,35 @@ func TestCVMLifecycle(t *testing.T) {
 	}
 }
 
+func TestCVMRestart(t *testing.T) {
+	iv := newIV(t)
+	c, _ := iv.CreateCVM("c", 1<<20)
+	c.Start()
+	if err := c.Restart(); err == nil {
+		t.Fatal("Restart of a running cVM must fail")
+	}
+	// An out-of-window load traps the compartment.
+	if err := c.Load(c.Base()+c.Size(), make([]byte, 8)); err == nil {
+		t.Fatal("out-of-window load must fault")
+	}
+	if !c.Trapped() || c.TrapFault() == nil {
+		t.Fatalf("after fault: state=%v fault=%v", c.State(), c.TrapFault())
+	}
+	if err := c.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	if c.State() != StateRunning || c.Trapped() || c.TrapFault() != nil {
+		t.Fatalf("after restart: state=%v fault=%v", c.State(), c.TrapFault())
+	}
+	// Same window, working DDC: in-window accesses go through again.
+	if c.DDC().Base() != c.Base() || c.DDC().Len() != c.Size() || !c.DDC().Tag() {
+		t.Fatalf("restarted DDC %v does not cover window", c.DDC())
+	}
+	if err := c.Store(c.Base(), []byte{1, 2, 3, 4}); err != nil {
+		t.Fatalf("in-window store after restart: %v", err)
+	}
+}
+
 func TestTrampolineClockGettime(t *testing.T) {
 	iv := newIV(t)
 	c, _ := iv.CreateCVM("c", 1<<20)

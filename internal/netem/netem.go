@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"sync"
 
 	"repro/internal/hostos"
@@ -98,21 +99,29 @@ const defaultQueueBytes = 256 * 1024
 
 // DirStats counts one direction's fate per frame.
 type DirStats struct {
-	Sent         uint64 // frames offered to the link
-	Delivered    uint64 // frames handed to the far port
-	LostRandom   uint64 // i.i.d. loss
-	LostBurst    uint64 // Gilbert–Elliott loss
-	DroppedQueue uint64 // bottleneck queue overflow (tail or RED)
-	Reordered    uint64 // frames held back by the reorder knob
+	Sent           uint64 // frames offered to the link
+	Delivered      uint64 // frames handed to the far port
+	LostRandom     uint64 // i.i.d. loss
+	LostBurst      uint64 // Gilbert–Elliott loss
+	DroppedQueue   uint64 // bottleneck queue overflow (tail or RED)
+	DroppedCarrier uint64 // frames offered while the carrier was down
+	Reordered      uint64 // frames held back by the reorder knob
 }
 
 // Lost sums every frame the link destroyed.
-func (s DirStats) Lost() uint64 { return s.LostRandom + s.LostBurst + s.DroppedQueue }
+func (s DirStats) Lost() uint64 {
+	return s.LostRandom + s.LostBurst + s.DroppedQueue + s.DroppedCarrier
+}
 
-// String summarizes the direction.
+// String summarizes the direction. The carrier term only appears when
+// flaps actually dropped frames, so flap-free reports are unchanged.
 func (s DirStats) String() string {
-	return fmt.Sprintf("sent %d, delivered %d, lost %d (iid %d, burst %d, queue %d), reordered %d",
+	out := fmt.Sprintf("sent %d, delivered %d, lost %d (iid %d, burst %d, queue %d), reordered %d",
 		s.Sent, s.Delivered, s.Lost(), s.LostRandom, s.LostBurst, s.DroppedQueue, s.Reordered)
+	if s.DroppedCarrier > 0 {
+		out += fmt.Sprintf(", carrier-dropped %d", s.DroppedCarrier)
+	}
+	return out
 }
 
 // Endpoint receives the frames a Link delivers. *nic.Port satisfies it.
@@ -157,6 +166,13 @@ type dirState struct {
 	held     frameHeap
 	seq      uint64
 	stats    DirStats
+	// Carrier flap schedule: carr holds the remaining toggle instants
+	// (sorted ascending; each consumes one flip of carrUp). The carrier
+	// starts up; nil carr means no schedule and zero cost — the nil
+	// check is read without the lock, mirroring the tr contract, so
+	// SetCarrierSchedule must be called before traffic.
+	carr   []int64
+	carrUp bool
 	// due is the reusable scratch takeDueLocked fills — allocating a
 	// fresh slice per release was one of the datapath's per-frame
 	// allocation sites. It is LOANED: takeDueLocked hands it out and
@@ -293,12 +309,77 @@ func (l *Link) Stats(dir int) DirStats {
 	return d.stats
 }
 
+// SetCarrierSchedule installs a deterministic carrier flap schedule on
+// one direction: toggles are the virtual-time instants (ns, ascending)
+// at which the carrier flips, starting from up. A frame offered while
+// the carrier is down is dropped at enqueue (DroppedCarrier), distinct
+// from the loss models; frames already in the delay line still
+// deliver. Call before driving traffic, like SetTrace.
+func (l *Link) SetCarrierSchedule(dir int, toggles []int64) {
+	d := &l.dirs[dir]
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sched := append([]int64(nil), toggles...)
+	sort.Slice(sched, func(i, j int) bool { return sched[i] < sched[j] })
+	d.carr = sched
+	d.carrUp = true
+}
+
+// Carrier reports one direction's carrier state after advancing its
+// flap schedule to now.
+func (l *Link) Carrier(dir int, now int64) bool {
+	d := &l.dirs[dir]
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	l.advanceCarrierLocked(d, dir, now)
+	if d.carr == nil {
+		return true
+	}
+	return d.carrUp
+}
+
+// advanceCarrierLocked consumes every toggle due at or before t,
+// flipping the carrier and tracing each edge at its scheduled instant.
+// Caller holds d.mu.
+func (l *Link) advanceCarrierLocked(d *dirState, dir int, t int64) {
+	for len(d.carr) > 0 && d.carr[0] <= t {
+		at := d.carr[0]
+		d.carr = d.carr[1:]
+		d.carrUp = !d.carrUp
+		if l.tr != nil {
+			up := int64(0)
+			if d.carrUp {
+				up = 1
+			}
+			l.tr.Record(at, obs.EvLinkCarrier, l.trSrc+uint16(dir), up, 0, 0)
+		}
+	}
+}
+
 // Send implements nic.Conduit: impair one frame leaving endpoint
 // `from`, and schedule (or drop) its delivery to the peer.
 func (l *Link) Send(from int, data []byte, readyAt int64) {
 	dst := l.ends[1-from]
 	d := &l.dirs[from]
 	cfg := l.cfg[from]
+	// Carrier flaps apply before every other impairment — a frame
+	// offered to a dead carrier never reaches the loss models or the
+	// bottleneck. The nil check keeps flap-free links at zero cost.
+	if d.carr != nil {
+		d.mu.Lock()
+		l.advanceCarrierLocked(d, from, readyAt)
+		if !d.carrUp {
+			d.stats.Sent++
+			d.stats.DroppedCarrier++
+			d.mu.Unlock()
+			if l.tr != nil {
+				l.tr.Record(readyAt, obs.EvNetemDrop, l.trSrc+uint16(from), int64(len(data)), obs.DropCarrier, 0)
+			}
+			l.freeFrame(data)
+			return
+		}
+		d.mu.Unlock()
+	}
 	if cfg.pristine() {
 		// Bit-transparent: same bytes, same instant, same order, and no
 		// PRNG draws, so a pristine link is indistinguishable from a
@@ -407,6 +488,9 @@ func (l *Link) Pump(now int64) {
 	for dir := range l.dirs {
 		d := &l.dirs[dir]
 		d.mu.Lock()
+		if d.carr != nil {
+			l.advanceCarrierLocked(d, dir, now)
+		}
 		due := d.takeDueLocked(now)
 		d.mu.Unlock()
 		if len(due) > 0 {
@@ -427,6 +511,12 @@ func (l *Link) NextDeadline(int64) int64 {
 		ds.mu.Lock()
 		if len(ds.held) > 0 && ds.held[0].deliverAt < d {
 			d = ds.held[0].deliverAt
+		}
+		// Pending flap edges are deadlines too, so the leaping driver
+		// visits every toggle instant (and traces it) even on an idle
+		// link.
+		if len(ds.carr) > 0 && ds.carr[0] < d {
+			d = ds.carr[0]
 		}
 		ds.mu.Unlock()
 	}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cheri"
 	"repro/internal/hostos"
@@ -50,6 +51,14 @@ type Port struct {
 
 	mu   sync.Mutex
 	regs portRegs
+
+	// Fault injection (the Scenario 10 fault plane). stalled queues are
+	// skipped by Step and excluded from NextDeadline (guarded by mu);
+	// dmaFaults budgets injected DMA failures consumed by dmaRO/dmaRW —
+	// atomics, because the DMA helpers run without p.mu held.
+	stalled    [MaxQueues]bool
+	dmaFaults  atomic.Int64
+	dmaFaulted atomic.Uint64
 
 	// statistics (guarded by mu)
 	gprc, gptc uint64 // good packets
@@ -307,8 +316,58 @@ func (p *Port) DeliverFrame(data []byte, readyAt int64) {
 	p.fifos[q].push(frame{data: data, readyAt: readyAt})
 }
 
+// SetQueueStall freezes (or thaws) one queue pair: a stalled queue's
+// TX ring stops draining and its RX FIFO stops filling descriptors, so
+// arrivals back up and eventually tail-drop (Missed), exactly like a
+// wedged hardware queue. Deterministic: the stall is an instantaneous
+// state flip driven from the virtual-time fault plane.
+func (p *Port) SetQueueStall(q int, stalled bool) {
+	if q < 0 || q >= MaxQueues {
+		return
+	}
+	p.mu.Lock()
+	p.stalled[q] = stalled
+	p.mu.Unlock()
+}
+
+// QueueStalled reports one queue's stall state.
+func (p *Port) QueueStalled(q int) bool {
+	if q < 0 || q >= MaxQueues {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stalled[q]
+}
+
+// InjectDMAFaults arms a burst: the next n DMA mappings (descriptor or
+// buffer, either direction) fail as master aborts. The port's existing
+// fault paths absorb them — TX bursts stop mid-ring, RX frames drop
+// with the descriptor consumed.
+func (p *Port) InjectDMAFaults(n int64) {
+	if n > 0 {
+		p.dmaFaults.Add(n)
+	}
+}
+
+// DMAFaulted counts injected DMA faults that have fired.
+func (p *Port) DMAFaulted() uint64 { return p.dmaFaulted.Load() }
+
+// dmaFault consumes one unit of the injected-fault budget.
+func (p *Port) dmaFault() bool {
+	if p.dmaFaults.Load() <= 0 {
+		return false
+	}
+	p.dmaFaults.Add(-1)
+	p.dmaFaulted.Add(1)
+	return true
+}
+
 // dmaRO maps [addr, addr+n) of host memory for a device read.
 func (p *Port) dmaRO(addr uint64, n int) ([]byte, bool) {
+	if p.dmaFault() {
+		return nil, false
+	}
 	if p.capDMA {
 		s, err := p.mem.CheckedSliceRO(p.dmaCap.SetAddr(addr), addr, n)
 		return s, err == nil
@@ -319,6 +378,9 @@ func (p *Port) dmaRO(addr uint64, n int) ([]byte, bool) {
 
 // dmaRW maps [addr, addr+n) for a device write, invalidating tags.
 func (p *Port) dmaRW(addr uint64, n int) ([]byte, bool) {
+	if p.dmaFault() {
+		return nil, false
+	}
 	if p.capDMA {
 		s, err := p.mem.CheckedSlice(p.dmaCap.SetAddr(addr), addr, n)
 		return s, err == nil
@@ -343,8 +405,8 @@ func (p *Port) Step() {
 	txEn := p.regs.tctl&TctlEN != 0 && pipe != nil
 	rxEn := p.regs.rctl&RctlEN != 0
 	for q := 0; q < MaxQueues; q++ {
-		tx[q] = txEn && p.regs.txq[q].length >= DescSize
-		rx[q] = rxEn && p.regs.rxq[q].length >= DescSize
+		tx[q] = txEn && p.regs.txq[q].length >= DescSize && !p.stalled[q]
+		rx[q] = rxEn && p.regs.rxq[q].length >= DescSize && !p.stalled[q]
 	}
 	p.mu.Unlock()
 	if pipe != nil {
@@ -406,7 +468,7 @@ func (p *Port) DrainTXThrough(maxQ int) bool {
 // stepTX transmits queue q's descriptors [TDH, TDT).
 func (p *Port) stepTX(q int) {
 	p.mu.Lock()
-	if p.regs.tctl&TctlEN == 0 || p.pipe == nil {
+	if p.regs.tctl&TctlEN == 0 || p.pipe == nil || p.stalled[q] {
 		p.mu.Unlock()
 		return
 	}
@@ -479,7 +541,7 @@ func (p *Port) stepTX(q int) {
 // [RDH, RDT).
 func (p *Port) stepRX(q int) {
 	p.mu.Lock()
-	if p.regs.rctl&RctlEN == 0 {
+	if p.regs.rctl&RctlEN == 0 || p.stalled[q] {
 		p.mu.Unlock()
 		return
 	}
@@ -605,8 +667,12 @@ func (p *Port) NextDeadline(now int64) int64 {
 	var rxArmed [MaxQueues]bool
 	txPending := false
 	for q := 0; q < MaxQueues; q++ {
-		rxArmed[q] = rxEn && p.regs.rxq[q].length >= DescSize
-		if txEn && p.regs.txq[q].length >= DescSize && p.regs.txq[q].head != p.regs.txq[q].tail {
+		// A stalled queue holds no time-based work: excluding it keeps
+		// the leaping driver from spinning at `now` on a ring that will
+		// not move until the fault plane thaws it.
+		rxArmed[q] = rxEn && p.regs.rxq[q].length >= DescSize && !p.stalled[q]
+		if txEn && p.regs.txq[q].length >= DescSize && !p.stalled[q] &&
+			p.regs.txq[q].head != p.regs.txq[q].tail {
 			txPending = true
 		}
 	}

@@ -57,8 +57,26 @@ const (
 	// send to last response byte, B=response bytes, C=kind
 	// (ReqHTTP/ReqDNS/ReqTimeout). Src = app worker id.
 	EvAppRequest
+	// EvFault: an injected or organic fault hit a compartment or
+	// device. A=fault kind (FaultCap/FaultNICStall/FaultDMA),
+	// B=retries so far for this target. Src = env/device id.
+	EvFault
+	// EvRestart: the supervisor restarted a trapped compartment.
+	// A=retry count consumed, B=downtime ns (trap → restart).
+	// Src = env id.
+	EvRestart
+	// EvLinkCarrier: a link direction's carrier toggled. A=1 for up,
+	// 0 for down. Src = link src base + direction.
+	EvLinkCarrier
 
 	evTypeCount
+)
+
+// EvFault kinds (event argument A).
+const (
+	FaultCap      = 0 // injected capability fault trapped a cVM
+	FaultNICStall = 1 // NIC queue stall window began
+	FaultDMA      = 2 // DMA fault burst armed
 )
 
 // EvAppRequest kinds (event argument C).
@@ -80,6 +98,9 @@ const (
 	DropIID   = 0 // i.i.d. random loss
 	DropBurst = 1 // Gilbert–Elliott burst loss
 	DropQueue = 2 // bottleneck queue overflow (tail or RED)
+	// DropCarrier: the frame entered the pipeline while the direction's
+	// carrier was down (flap schedule), distinct from loss-model drops.
+	DropCarrier = 3
 )
 
 // EvTCPRetransmit kinds (event argument A).
@@ -104,6 +125,9 @@ var evNames = [evTypeCount]string{
 	EvGateCrossing:  "gate.crossing",
 	EvUDPDrop:       "udp.drop",
 	EvAppRequest:    "app.request",
+	EvFault:         "faultplane.fault",
+	EvRestart:       "faultplane.restart",
+	EvLinkCarrier:   "netem.carrier",
 }
 
 var evLayers = [evTypeCount]string{
@@ -121,6 +145,9 @@ var evLayers = [evTypeCount]string{
 	EvGateCrossing:  "intravisor",
 	EvUDPDrop:       "fstack",
 	EvAppRequest:    "app",
+	EvFault:         "faultplane",
+	EvRestart:       "faultplane",
+	EvLinkCarrier:   "netem",
 }
 
 // String names the event type ("layer.event").

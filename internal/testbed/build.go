@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/dpdk"
+	"repro/internal/faultplane"
 	"repro/internal/fstack"
 	"repro/internal/hostos"
 	"repro/internal/intravisor"
@@ -42,6 +43,16 @@ type Bed struct {
 	Obs *obs.Obs
 	// Pcaps are the open per-peer link captures (ObsSpec.PcapDir).
 	Pcaps []*LinkCapture
+	// Faults and Super are the wired fault plane and compartment
+	// supervisor; both nil when the spec's FaultSpec is the zero value.
+	// The driver steps them via FaultStep.
+	Faults *faultplane.Plane
+	Super  *faultplane.Supervisor
+	// RestartHook, when set, runs after the supervisor brings a crashed
+	// environment's cVM, gates and stack back up — the place an
+	// experiment re-establishes listeners and epoll registrations, the
+	// way the restarted compartment's main() would.
+	RestartHook func(e *Env, now int64)
 
 	// loops caches the Loops() result: the event-driven driver asks
 	// for it (via NextDeadline) on every iteration, and the topology
@@ -52,6 +63,10 @@ type Bed struct {
 	// local machine, every peer and every link — frames never cross
 	// beds, so concurrent sweep cells never contend on one global pool.
 	arena *nic.FrameArena
+
+	// gatesEnv is the environment Gates exports, so a restart knows
+	// whose gates to re-seal.
+	gatesEnv *Env
 }
 
 // Loops lists every main loop in the bed (local compartments first —
@@ -105,6 +120,14 @@ func (b *Bed) NextDeadline(now int64) int64 {
 	// sample instant in keeps the timeseries on its grid even when the
 	// bed itself would leap further. Nil-safe no-op when obs is off.
 	if at := b.Obs.NextDeadline(now); at < d {
+		d = at
+	}
+	// Same for the fault plane's next event and the supervisor's next
+	// restart instant (both nil-safe MaxInt64 with no FaultSpec).
+	if at := b.Faults.NextDeadline(now); at < d {
+		d = at
+	}
+	if at := b.Super.NextDeadline(now); at < d {
 		d = at
 	}
 	return d
@@ -172,6 +195,14 @@ func Build(spec Spec) (*Bed, error) {
 	// never reaches wireObs, so the hook pointers stay nil everywhere.
 	if spec.Obs.Enabled() {
 		if err := bed.wireObs(spec); err != nil {
+			return nil, err
+		}
+	}
+	// Fault plane after obs (its events trace through the recorder); a
+	// zero FaultSpec never reaches wireFaults, so Faults and Super stay
+	// nil and FaultStep costs two nil checks.
+	if spec.Faults.Enabled() {
+		if err := bed.wireFaults(spec); err != nil {
 			return nil, err
 		}
 	}
@@ -251,6 +282,7 @@ func (b *Bed) buildCompartment(cs CompartmentSpec) error {
 			return err
 		}
 		b.Gates = gates
+		b.gatesEnv = env
 		for _, appName := range cs.AppCVMs {
 			app, err := b.Local.NewCVM(appName)
 			if err != nil {

@@ -24,6 +24,19 @@ type StackGates struct {
 	epCreate, epCtl, epWait               *intravisor.Gate
 }
 
+// Rebind re-exports every gate after the stack compartment restarted.
+// The old sealed pairs were derived from the dead incarnation's DDC;
+// the supervisor mints fresh ones and the wrapper layer swaps them in
+// place, so application-side GatedAPI handles keep working untouched.
+func (g *StackGates) Rebind(iv *intravisor.Intravisor, stackEnv *Env) error {
+	ng, err := NewStackGates(iv, stackEnv)
+	if err != nil {
+		return err
+	}
+	*g = *ng
+	return nil
+}
+
 // ip4FromU64 decodes an IPv4 address passed as a scalar argument.
 func ip4FromU64(v uint64) fstack.IPv4Addr {
 	return fstack.IP4(byte(v>>24), byte(v>>16), byte(v>>8), byte(v))

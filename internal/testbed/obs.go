@@ -82,7 +82,7 @@ func (b *Bed) wireObs(spec Spec) error {
 		}
 	}
 	if o.Metrics != nil {
-		b.registerGauges(o.Metrics)
+		b.registerGauges(o.Metrics, spec)
 	}
 	if oSpec.PcapDir != "" {
 		return b.openPcaps(oSpec)
@@ -92,8 +92,11 @@ func (b *Bed) wireObs(spec Spec) error {
 
 // registerGauges builds the bed's metrics registry: registration order
 // is deterministic (envs in spec order, then peers) so the exported CSV
-// column order is stable run to run.
-func (b *Bed) registerGauges(m *obs.Metrics) {
+// column order is stable run to run. Fault-plane gauges (compartment
+// state, link carrier) only exist when the spec declares faults, so
+// fault-free timeseries keep their exact column set.
+func (b *Bed) registerGauges(m *obs.Metrics, spec Spec) {
+	faults := spec.Faults.Enabled()
 	sumCwndPipe := func(e *Env) func() (int, int) {
 		if ss := e.Sharded; ss != nil {
 			return func() (int, int) {
@@ -134,6 +137,17 @@ func (b *Bed) registerGauges(m *obs.Metrics) {
 			m.Gauge(fmt.Sprintf("%s.dev%d.rx_mbps", e.Name, j), rateMbps(func() uint64 { return d.Stats().IBytes }))
 			m.Gauge(fmt.Sprintf("%s.dev%d.tx_mbps", e.Name, j), rateMbps(func() uint64 { return d.Stats().OBytes }))
 		}
+		if faults {
+			stacks := envStacks(e)
+			m.Gauge(e.Name+".up", func(int64) float64 {
+				for _, stk := range stacks {
+					if stk.Down() {
+						return 0
+					}
+				}
+				return 1
+			})
+		}
 	}
 	for i, p := range b.Peers {
 		ln := b.Links[i]
@@ -151,6 +165,14 @@ func (b *Bed) registerGauges(m *obs.Metrics) {
 				_, ns := ln.Depth(dir, now)
 				return float64(ns) / 1e3
 			})
+			if faults {
+				m.Gauge(fmt.Sprintf("link.%s.%s.carrier", name, way), func(now int64) float64 {
+					if ln.Carrier(dir, now) {
+						return 1
+					}
+					return 0
+				})
+			}
 		}
 	}
 	if iv := b.Local.IV; iv != nil {

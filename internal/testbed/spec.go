@@ -50,6 +50,10 @@ type Spec struct {
 	// allocated, and the bed's behavior is bit-identical to a bed built
 	// without it.
 	Obs ObsSpec
+	// Faults declares the deterministic fault schedule and the
+	// supervisor's restart policy. The zero value keeps the fault plane
+	// off with the same bit-identity guarantee as Obs.
+	Faults FaultSpec
 }
 
 // ObsSpec selects the observability instruments wired into a bed. Each
@@ -336,7 +340,7 @@ func (s Spec) validate() error {
 			return err
 		}
 	}
-	return nil
+	return s.validateFaults()
 }
 
 // validStackTuning rejects TCP tunings the stack would refuse at
